@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: per-stripe process variation and chip screening.
+ *
+ * The paper notes in passing that "rare malfunction racetrack
+ * stripes can be disabled during chip testing" (Sec. 4.1) and that
+ * its error model uses a conservative estimate of process
+ * variations. This bench quantifies both remarks: a lognormal
+ * per-stripe rate spread inflates the chip's aggregate error rate
+ * above the nominal-stripe prediction, and screening out the tail
+ * recovers most of the MTTF for a tiny capacity cost.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "device/variation.hh"
+#include "model/reliability.hh"
+
+using namespace rtm;
+
+int
+main()
+{
+    banner("Ablation", "process variation and chip screening");
+
+    // Baseline: the default LLC's DUE MTTF with nominal stripes.
+    PaperCalibratedErrorModel error_model;
+    ReliabilityModel rel(&error_model, Scheme::PeccSAdaptive);
+    double log_due = rel.sequence({1, 1, 1}).log_due; // typical op
+    const double intensity = 83e6 * 512;
+    double nominal_mttf = steadyStateMttf(log_due, intensity);
+    char buf[64];
+    std::printf("nominal-stripe DUE MTTF: %s\n\n",
+                formatDuration(nominal_mttf, buf, sizeof(buf)));
+
+    for (double sigma : {0.5, 1.0, 1.5}) {
+        StripeVariationModel var(sigma);
+        std::printf("per-stripe rate spread sigma = %.1f "
+                    "(mean inflation %.2fx):\n",
+                    sigma, var.meanMultiplier());
+        TextTable t({"screen at", "stripes disabled",
+                     "rate inflation", "chip DUE MTTF",
+                     "MTTF recovered"});
+        // "off" = no screening, then progressively tighter.
+        const double thresholds[] = {1e9, 20.0, 5.0, 2.0};
+        auto outcomes = evaluateScreening(
+            var, {thresholds[0], thresholds[1], thresholds[2],
+                  thresholds[3]});
+        for (const auto &o : outcomes) {
+            double mttf = nominal_mttf / o.rate_inflation;
+            char cell[64];
+            formatDuration(mttf, cell, sizeof(cell));
+            char label[32];
+            if (o.threshold > 1e6)
+                std::snprintf(label, sizeof(label), "off");
+            else
+                std::snprintf(label, sizeof(label), "%.0fx",
+                              o.threshold);
+            t.addRow({label,
+                      TextTable::num(o.disabled_fraction),
+                      TextTable::fixed(o.rate_inflation, 3), cell,
+                      TextTable::fixed(o.mttf_recovery, 2)});
+        }
+        t.print(stdout);
+        std::printf("\n");
+    }
+
+    std::printf("reading guide: even heavy process spread "
+                "(sigma 1.5, mean inflation 3.1x) is almost fully "
+                "recovered by disabling the worst fraction of a "
+                "percent of stripes at test time - the paper's "
+                "one-line remark, quantified.\n");
+    return 0;
+}

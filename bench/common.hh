@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses.
+ *
+ * Each bench binary regenerates the rows/series of one table or
+ * figure from the paper's evaluation. Absolute values reflect this
+ * repository's simulator substrate; EXPERIMENTS.md records the
+ * paper-vs-measured comparison.
+ */
+
+#ifndef RTM_BENCH_COMMON_HH
+#define RTM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "util/prob.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace rtm
+{
+
+/** Print a bench banner naming the figure/table reproduced. */
+inline void
+banner(const char *id, const char *title)
+{
+    std::printf("==============================================\n");
+    std::printf("%s: %s\n", id, title);
+    std::printf("==============================================\n");
+}
+
+/** Format seconds as both scientific and human-readable text. */
+inline std::string
+mttfCell(double seconds)
+{
+    char human[64];
+    formatDuration(seconds, human, sizeof(human));
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.3g s (%s)", seconds, human);
+    return buf;
+}
+
+/** Default simulation sizing shared by the workload benches. */
+constexpr uint64_t kBenchRequests = 60000;
+constexpr uint64_t kBenchWarmup = 8000;
+constexpr uint64_t kBenchDivisor = 16;
+
+} // namespace rtm
+
+#endif // RTM_BENCH_COMMON_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 1: MTTF of a racetrack-memory LLC against the per-stripe
+ * position error rate.
+ *
+ * The curve is MTTF = 1 / (p * R) with R the LLC's stripe-shift
+ * intensity (accesses/s x 512 stripes per line). The paper's anchors:
+ * a raw error rate ~1e-4 collapses MTTF to microseconds, and meeting
+ * a 10-year MTTF requires p < 1e-19.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.hh"
+#include "model/reliability.hh"
+
+using namespace rtm;
+
+int
+main()
+{
+    banner("Figure 1",
+           "MTTF of a racetrack LLC vs position error rate");
+
+    // Stripe-shift intensity of the paper's GPGPU-style LLC:
+    // ~14.6M line accesses/s x 512 stripes (back-solved from the
+    // 1.33 us baseline MTTF at p ~ 1e-4).
+    const double intensity = 7.5e9;
+    std::printf("stripe-shift intensity: %.3g shifts/s\n\n",
+                intensity);
+
+    TextTable t({"error rate / stripe shift", "MTTF", "meets 10y",
+                 "meets 1000y"});
+    for (int e = -2; e >= -24; e -= 2) {
+        double p = std::pow(10.0, e);
+        double mttf = steadyStateMttf(std::log(p), intensity);
+        t.addRow({TextTable::num(p), mttfCell(mttf),
+                  mttf >= 10 * kSecondsPerYear ? "yes" : "no",
+                  mttf >= 1000 * kSecondsPerYear ? "yes" : "no"});
+    }
+    t.print(stdout);
+
+    // The paper's two headline anchors.
+    double p_typical = 1e-4;
+    std::printf("\ntypical raw rate %.0e -> MTTF %s\n", p_typical,
+                mttfCell(steadyStateMttf(std::log(p_typical),
+                                         intensity))
+                    .c_str());
+    double need = 1.0 / (10 * kSecondsPerYear * intensity);
+    std::printf("10-year MTTF requires p <= %.2e (paper: ~1e-19)\n",
+                need);
+    return 0;
+}

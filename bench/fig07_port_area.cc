@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 7: area overhead of adding read-only ports to a 64-bit
+ * racetrack stripe, for different counts of read/write ports.
+ *
+ * Reproduces the figure's series: average area per data bit (F^2/b)
+ * as the number of added read-only ports sweeps 1..20, one series
+ * per R/W port count in {0, 2, 4, 6, 8}. The knee where the
+ * transistor layer outgrows the stripe footprint is the paper's
+ * "too many access ports" regime.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "model/area.hh"
+
+using namespace rtm;
+
+int
+main()
+{
+    banner("Figure 7", "area cost of adding read ports");
+
+    AreaModel area;
+    TextTable t({"R ports", "R/W=0", "R/W=2", "R/W=4", "R/W=6",
+                 "R/W=8"});
+    for (int r = 1; r <= 20; ++r) {
+        std::vector<std::string> row = {TextTable::integer(r)};
+        for (int rw : {0, 2, 4, 6, 8}) {
+            row.push_back(TextTable::fixed(
+                area.areaPerBitWithPorts(64, r, rw), 2));
+        }
+        t.addRow(row);
+    }
+    t.print(stdout);
+
+    std::printf("\nmarginal cost of one more read port "
+                "(F^2/bit):\n");
+    std::printf("  below the knee (stripe-dominated): %.3f\n",
+                area.areaPerBitWithPorts(64, 2, 0) -
+                    area.areaPerBitWithPorts(64, 1, 0));
+    std::printf("  above the knee (transistor-dominated): %.3f\n",
+                area.areaPerBitWithPorts(64, 20, 8) -
+                    area.areaPerBitWithPorts(64, 19, 8));
+    return 0;
+}

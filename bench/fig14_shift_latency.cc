@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 14: total racetrack shift latency per workload, normalised
+ * to the unprotected baseline, for p-ECC-O and the two p-ECC-S
+ * policies.
+ *
+ * Expected shape: p-ECC-O roughly doubles shift latency (1-step
+ * maximum distance); the safe-distance schemes cut the overhead to
+ * tens of percent, with the adaptive policy cheapest.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "sim/runner.hh"
+
+using namespace rtm;
+
+int
+main()
+{
+    banner("Figure 14", "normalised total shift latency");
+
+    PaperCalibratedErrorModel model;
+    auto rows = runMatrix(racetrackSchemeOptions(), &model,
+                          kBenchRequests, kBenchWarmup,
+                          kBenchDivisor);
+
+    TextTable t({"workload", "baseline", "p-ECC-O", "S-adaptive",
+                 "S-worst"});
+    std::vector<double> o_v, a_v, w_v;
+    for (const auto &row : rows) {
+        double base = static_cast<double>(
+            std::max<Cycles>(row.results[0].shift_cycles, 1));
+        double o = row.results[1].shift_cycles / base;
+        double a = row.results[2].shift_cycles / base;
+        double w = row.results[3].shift_cycles / base;
+        o_v.push_back(o);
+        a_v.push_back(a);
+        w_v.push_back(w);
+        t.addRow({row.profile.name, "1.00", TextTable::fixed(o, 2),
+                  TextTable::fixed(a, 2), TextTable::fixed(w, 2)});
+    }
+    t.addRow({"geomean", "1.00", TextTable::fixed(geomean(o_v), 2),
+              TextTable::fixed(geomean(a_v), 2),
+              TextTable::fixed(geomean(w_v), 2)});
+    t.print(stdout);
+
+    std::printf("\npaper anchors: p-ECC-O ~2x baseline; p-ECC-S "
+                "worst ~1.23x; adaptive below worst\n");
+    return 0;
+}

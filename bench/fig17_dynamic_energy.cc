@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 17: LLC dynamic energy per workload, normalised to the SRAM
+ * LLC, across the standard option set.
+ *
+ * Expected shape: dynamic energy is similar across SRAM, STT-RAM and
+ * the unprotected racetrack; protection adds shift-path energy -
+ * p-ECC-O most (every step pays its own stage-2 pulse plus a window
+ * check), the safe-distance schemes less.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "sim/runner.hh"
+
+using namespace rtm;
+
+int
+main()
+{
+    banner("Figure 17", "normalised LLC dynamic energy");
+
+    PaperCalibratedErrorModel model;
+    auto options = standardLlcOptions();
+    auto rows = runMatrix(options, &model, kBenchRequests,
+                          kBenchWarmup, kBenchDivisor);
+
+    std::vector<std::string> header = {"workload"};
+    for (const auto &o : options)
+        header.push_back(o.label);
+    TextTable t(header);
+
+    std::vector<std::vector<double>> cols(options.size());
+    for (const auto &row : rows) {
+        double sram = row.results[0].cache_dynamic_energy;
+        std::vector<std::string> cells = {row.profile.name};
+        for (size_t i = 0; i < options.size(); ++i) {
+            double norm =
+                row.results[i].cache_dynamic_energy / sram;
+            cells.push_back(TextTable::fixed(norm, 3));
+            cols[i].push_back(norm);
+        }
+        t.addRow(cells);
+    }
+    std::vector<std::string> gm = {"geomean"};
+    for (auto &col : cols)
+        gm.push_back(TextTable::fixed(geomean(col), 3));
+    t.addRow(gm);
+    t.print(stdout);
+
+    double rm = geomean(cols[3]);
+    std::printf("\nLLC dynamic-energy overhead vs RM w/o p-ECC:\n");
+    std::printf("  p-ECC-O           +%.1f%%\n",
+                100.0 * (geomean(cols[4]) / rm - 1.0));
+    std::printf("  p-ECC-S adaptive  +%.1f%%\n",
+                100.0 * (geomean(cols[5]) / rm - 1.0));
+    std::printf("  p-ECC-S worst     +%.1f%%\n",
+                100.0 * (geomean(cols[6]) / rm - 1.0));
+    std::printf("paper anchors: p-ECC-O +46%%, worst +14%%, "
+                "adaptive +20%%\n");
+    return 0;
+}

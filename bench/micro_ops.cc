@@ -1,0 +1,168 @@
+/**
+ * @file
+ * google-benchmark micro-timings of the hot simulator operations:
+ * cyclic decode, protected shift, planner lookup, cache access, and
+ * LLC shift-engine access. These guard the simulator's own
+ * performance (the workload matrices run millions of these).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/combined.hh"
+#include "codec/protected_stripe.hh"
+#include "control/fsm.hh"
+#include "control/planner.hh"
+#include "mem/cache.hh"
+#include "device/montecarlo.hh"
+#include "mem/rm_bank.hh"
+
+namespace rtm
+{
+namespace
+{
+
+void
+BM_CyclicDecode(benchmark::State &state)
+{
+    CyclicCode code(2);
+    int obs = 1;
+    for (auto _ : state) {
+        DecodeResult r = code.decode(obs, 3, 1);
+        benchmark::DoNotOptimize(r);
+        obs = (obs + 1) & 3;
+    }
+}
+BENCHMARK(BM_CyclicDecode);
+
+void
+BM_ProtectedShift(benchmark::State &state)
+{
+    ZeroErrorModel model;
+    PeccConfig c;
+    c.num_segments = 8;
+    c.seg_len = 8;
+    c.correct = 1;
+    c.variant = PeccVariant::Standard;
+    ProtectedStripe ps(c, &model, Rng(1));
+    ps.initializeIdeal();
+    int idx = 0;
+    for (auto _ : state) {
+        auto r = ps.seekIndex(idx);
+        benchmark::DoNotOptimize(r);
+        idx = (idx + 3) & 7;
+    }
+}
+BENCHMARK(BM_ProtectedShift);
+
+void
+BM_PlannerLookup(benchmark::State &state)
+{
+    PaperCalibratedErrorModel model;
+    StsTiming timing(kDefaultClockHz, 0.4e-9, 1.0e-9, 0.34e-9);
+    ShiftPlanner planner(&model, timing, 1, 7);
+    Cycles interval = 1;
+    for (auto _ : state) {
+        const SequencePlan &p = planner.planFor(7, interval);
+        benchmark::DoNotOptimize(&p);
+        interval = (interval * 7 + 3) % 1000;
+    }
+}
+BENCHMARK(BM_PlannerLookup);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(1 << 20, 16);
+    Addr addr = 0;
+    for (auto _ : state) {
+        auto r = cache.access(addr, false);
+        benchmark::DoNotOptimize(r);
+        addr = (addr * 2654435761u + 64) & ((1 << 24) - 1);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_RmBankAccess(benchmark::State &state)
+{
+    PaperCalibratedErrorModel model;
+    RmBankConfig cfg;
+    cfg.line_frames = 1 << 16;
+    cfg.scheme = Scheme::PeccSAdaptive;
+    RmBank bank(cfg, &model, racetrackL3());
+    uint64_t frame = 1;
+    Cycles now = 0;
+    for (auto _ : state) {
+        auto r = bank.accessFrame(frame & 0xffff, now);
+        benchmark::DoNotOptimize(r);
+        frame = frame * 29 + 7;
+        now += 40;
+    }
+}
+BENCHMARK(BM_RmBankAccess);
+
+void
+BM_HammingEncodeDecode(benchmark::State &state)
+{
+    HammingSecded code;
+    uint64_t data = 0x0123456789abcdefull;
+    for (auto _ : state) {
+        uint8_t check = code.encode(data);
+        BeccDecode d = code.decode(data ^ 1, check);
+        benchmark::DoNotOptimize(d);
+        data = data * 6364136223846793005ull + 1;
+    }
+}
+BENCHMARK(BM_HammingEncodeDecode);
+
+void
+BM_ProtectedLineRead(benchmark::State &state)
+{
+    ZeroErrorModel model;
+    PeccConfig c;
+    c.num_segments = 1;
+    c.seg_len = 8;
+    c.correct = 1;
+    c.variant = PeccVariant::Standard;
+    ProtectedLine line(c, &model, Rng(1));
+    line.initialize();
+    for (int i = 0; i < 8; ++i)
+        line.write(i, 0x1111111111111111ull * i);
+    int idx = 0;
+    for (auto _ : state) {
+        LineReadResult r = line.read(idx);
+        benchmark::DoNotOptimize(r);
+        idx = (idx + 3) & 7;
+    }
+}
+BENCHMARK(BM_ProtectedLineRead);
+
+void
+BM_ControllerFsm(benchmark::State &state)
+{
+    StsTiming timing(kDefaultClockHz, 0.4e-9, 1.0e-9, 0.34e-9);
+    ShiftFsm fsm(timing);
+    for (auto _ : state) {
+        Cycles c = fsm.run(7);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_ControllerFsm);
+
+void
+BM_MonteCarloTrial(benchmark::State &state)
+{
+    DeviceParams params;
+    PositionErrorMonteCarlo mc(params, 5);
+    Rng rng(7);
+    for (auto _ : state) {
+        double d = mc.simulateDeviation(7, rng);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_MonteCarloTrial);
+
+} // namespace
+} // namespace rtm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 2: probability of out-of-step position errors after STS, for
+ * shift distances 1..7.
+ *
+ * Prints the paper-calibrated rates (the architecture experiments'
+ * input) side by side with the physics-fitted model derived from
+ * this repository's Monte Carlo, for k = 1 and k = 2 combined-sign
+ * rates.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.hh"
+#include "device/error_model.hh"
+#include "device/montecarlo.hh"
+
+using namespace rtm;
+
+namespace
+{
+
+double
+combined(const PositionErrorModel &m, int distance, int k)
+{
+    return std::exp(m.logProbStep(distance, k)) +
+           std::exp(m.logProbStep(distance, -k));
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 2", "out-of-step error rates after STS");
+
+    PaperCalibratedErrorModel paper;
+    DeviceParams params;
+    PositionErrorMonteCarlo mc(params, 7);
+    FittedErrorModel fitted = mc.fitModel(200000);
+
+    TextTable t({"distance", "k=1 (paper)", "k=1 (fitted)",
+                 "k=2 (paper)", "k=2 (fitted)", "k=3 (paper)"});
+    for (int d = 1; d <= 7; ++d) {
+        t.addRow({TextTable::integer(d),
+                  TextTable::num(combined(paper, d, 1)),
+                  TextTable::num(combined(fitted, d, 1)),
+                  TextTable::num(combined(paper, d, 2)),
+                  TextTable::num(combined(fitted, d, 2)),
+                  TextTable::num(combined(paper, d, 3))});
+    }
+    t.print(stdout);
+
+    std::printf("\nSTS latency (Sec. 4.1): ");
+    std::printf("1-step = 3 cycles, 7-step = 8 cycles at 2 GHz\n");
+    std::printf("extrapolation beyond 7 steps: k=1 ~ N^1.64, "
+                "k=2 ~ N^8 (fitted to the table)\n");
+    return 0;
+}

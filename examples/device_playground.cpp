@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Device playground: integrate the domain-wall equation of motion
+ * through a shift pulse and print an ASCII trajectory, then run a
+ * small Monte Carlo and report the extracted error statistics - the
+ * device-physics layer of the stack on its own.
+ *
+ *   ./device_playground [overdrive]
+ *
+ * e.g. ./device_playground 2.0   (drive at 2x the threshold J0)
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "device/dwmotion.hh"
+#include "device/montecarlo.hh"
+
+using namespace rtm;
+
+namespace
+{
+
+void
+plotTrajectory(const DomainWallModel &model,
+               const std::vector<TrajectoryPoint> &traj,
+               double pulse_s)
+{
+    // 24 rows of time, 61 columns of position (|: notch centres).
+    const int rows = 24;
+    const int cols = 61;
+    double q_min = -0.5 * model.pitch();
+    double q_max = 4.5 * model.pitch();
+    std::printf("  t(ns)  q trajectory ('|' notch centres, '*' "
+                "wall, x = drive off)\n");
+    for (int r = 0; r < rows; ++r) {
+        size_t i = static_cast<size_t>(
+            r * (static_cast<int>(traj.size()) - 1) / (rows - 1));
+        const TrajectoryPoint &p = traj[i];
+        std::string line(static_cast<size_t>(cols), ' ');
+        for (int k = 0; k <= 4; ++k) {
+            double q = k * model.pitch();
+            int c = static_cast<int>((q - q_min) / (q_max - q_min) *
+                                     (cols - 1));
+            line[static_cast<size_t>(c)] = '|';
+        }
+        int c = static_cast<int>((p.q - q_min) / (q_max - q_min) *
+                                 (cols - 1));
+        if (c >= 0 && c < cols)
+            line[static_cast<size_t>(c)] =
+                p.t < pulse_s ? '*' : 'x';
+        std::printf("  %5.2f  %s\n", p.t * 1e9, line.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double overdrive = argc > 1 ? std::atof(argv[1]) : 2.0;
+
+    DeviceParams params;
+    DomainWallModel model(params);
+    double j = overdrive * params.thresholdCurrentDensity();
+
+    std::printf("domain-wall playground\n");
+    std::printf("----------------------\n");
+    std::printf("pitch %.0f nm (flat %.0f + notch %.0f), drive "
+                "J = %.2f x J0, u = %.1f m/s\n",
+                model.pitch() * 1e9, params.flat_width * 1e9,
+                params.pinning_width * 1e9, overdrive,
+                params.spinVelocity(j));
+    std::printf("simulated depinning velocity: %.1f m/s "
+                "(threshold J/J0 = %.2f)\n\n",
+                model.depinningVelocity(),
+                model.depinningVelocity() /
+                    params.spinVelocity(
+                        params.thresholdCurrentDensity()));
+
+    // Stage 1: a deliberately short pulse (3.6 step times) leaves
+    // the wall in a flat region - the stop-in-middle error.
+    double step_time = model.stepTravelTime(j);
+    std::printf("one-pitch travel time at this drive: %.2f ns\n\n",
+                step_time * 1e9);
+    std::vector<TrajectoryPoint> traj;
+    WallState st;
+    double pulse = 3.6 * step_time;
+    WallState mid = model.simulatePulse(st, j, pulse, 2e-9, 1e-12,
+                                        &traj);
+    plotTrajectory(model, traj, pulse);
+    std::printf("\nafter stage 1: %.2f pitches - %s\n",
+                mid.q / model.pitch(),
+                model.inNotchRegion(mid.q)
+                    ? "pinned in a notch"
+                    : "STOP-IN-MIDDLE (read would be undefined)");
+
+    // Stage 2 (STS): a sub-threshold pulse walks the wall through
+    // the flat region into notch 4, but cannot pull a pinned wall
+    // out of a notch.
+    double j_sub = 0.5 * params.thresholdCurrentDensity();
+    double crawl_v = params.spinVelocity(j_sub) * 1.5;
+    double stage2 = 1.5 * model.pitch() / crawl_v;
+    WallState end = model.simulatePulse(mid, j_sub, stage2, 2e-9,
+                                        1e-12);
+    std::printf("after STS stage 2 (%.1f ns at 0.5 J0): %.2f "
+                "pitches (%d whole steps), %s\n\n",
+                stage2 * 1e9, end.q / model.pitch(),
+                model.stepsTravelled(0.0, end.q),
+                model.inNotchRegion(end.q)
+                    ? "pinned in a notch - error converted to a "
+                      "correctable out-of-step"
+                    : "still in a flat region");
+
+    // Monte Carlo: per-distance deviation statistics and error
+    // rates under Table 1 variations.
+    PositionErrorMonteCarlo mc(params, 42);
+    std::printf("Monte Carlo (200k trials/distance):\n");
+    std::printf("  %-9s %-12s %-12s %-12s\n", "distance",
+                "mean dev", "sigma dev", "P(error)");
+    for (int d : {1, 4, 7}) {
+        ErrorPdf pdf = mc.run(d, 200000);
+        double p_err = 1.0 - pdf.stepProbability(0);
+        std::printf("  %-9d %-12.4f %-12.4f %-12.3g\n", d,
+                    pdf.deviation.mean(), pdf.deviation.stddev(),
+                    p_err);
+    }
+    FittedErrorModel fit = mc.fitModel(100000);
+    std::printf("\nfitted model: sigma=%.4f rho=%.3f drift=%.5f -> "
+                "P(+/-1 | 7-step) = %.3g\n",
+                fit.params().sigma_step, fit.params().resync_rho,
+                fit.params().drift,
+                std::exp(fit.logProbStep(7, 1)) +
+                    std::exp(fit.logProbStep(7, -1)));
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * ECC stack demo: one 64-bit word column protected by BOTH code
+ * families - SECDED for flipped magnetisations, p-ECC for position
+ * errors - the orthogonal-protection organisation the paper argues
+ * racetrack memory needs (Sec. 3.2).
+ *
+ *   ./ecc_stack
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "codec/combined.hh"
+#include "device/error_model.hh"
+
+using namespace rtm;
+
+int
+main()
+{
+    std::printf("combined p-ECC + SECDED stack demo\n");
+    std::printf("----------------------------------\n\n");
+
+    // High injected position-error rate so a short demo sees both
+    // fault classes.
+    auto base = std::make_shared<PaperCalibratedErrorModel>();
+    ScaledErrorModel model(base, 400.0);
+
+    PeccConfig cfg;
+    cfg.num_segments = 1;
+    cfg.seg_len = 8;
+    cfg.correct = 1;
+    cfg.variant = PeccVariant::Standard;
+    ProtectedLine line(cfg, &model, Rng(20150613));
+    line.initialize();
+    std::printf("line: 72 stripes (64 data + 8 SECDED check), "
+                "8 words deep, SECDED p-ECC per stripe\n\n");
+
+    uint64_t words[8];
+    Rng dice(99);
+    for (int idx = 0; idx < 8; ++idx) {
+        words[idx] = dice.next();
+        line.write(idx, words[idx]);
+    }
+
+    int reads = 0, wrong = 0, flagged = 0;
+    int injected_flips = 0;
+    for (int i = 0; i < 1500; ++i) {
+        int idx = static_cast<int>(dice.uniformInt(8));
+        if (dice.bernoulli(0.02)) {
+            line.flipStoredBit(
+                idx, static_cast<int>(dice.uniformInt(64)));
+            ++injected_flips;
+        }
+        LineReadResult r = line.read(idx);
+        ++reads;
+        if (!r.ok()) {
+            ++flagged;
+            line.initialize(); // rebuild after a flagged failure
+            for (int j = 0; j < 8; ++j)
+                line.write(j, words[j]);
+            continue;
+        }
+        if (r.data != words[idx])
+            ++wrong;
+        if (r.bit_status == BeccDecode::Status::Corrected)
+            line.write(idx, words[idx]); // scrub the repaired word
+    }
+
+    std::printf("reads                   %d\n", reads);
+    std::printf("bit flips injected      %d\n", injected_flips);
+    std::printf("bit-code corrections    %llu\n",
+                static_cast<unsigned long long>(
+                    line.bitCorrections()));
+    std::printf("position detections     %llu\n",
+                static_cast<unsigned long long>(
+                    line.positionDetections()));
+    std::printf("flagged failures (DUE)  %d\n", flagged);
+    std::printf("silently wrong reads    %d  <- must be zero\n",
+                wrong);
+    std::printf("\nthe two code families never interfere: position "
+                "slips are fixed by counter-shifts before the bit "
+                "code ever decodes, and flipped bits never confuse "
+                "the position windows.\n");
+    return wrong == 0 ? 0 : 1;
+}

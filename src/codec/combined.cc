@@ -1,0 +1,109 @@
+#include "combined.hh"
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+ProtectedLine::ProtectedLine(const PeccConfig &config,
+                             const PositionErrorModel *model,
+                             Rng rng)
+    : config_(config)
+{
+    if (config_.num_segments != 1)
+        rtm_fatal("ProtectedLine expects single-segment stripes "
+                  "(one word bit per index)");
+    stripes_.reserve(kStripes);
+    for (int s = 0; s < kStripes; ++s) {
+        stripes_.push_back(std::make_unique<ProtectedStripe>(
+            config_, model, rng.fork()));
+    }
+}
+
+void
+ProtectedLine::initialize()
+{
+    for (auto &s : stripes_)
+        s->initializeIdeal();
+}
+
+bool
+ProtectedLine::seekAll(int idx, LineReadResult *result)
+{
+    bool ok = true;
+    for (auto &s : stripes_) {
+        ProtectedShiftResult r = s->seekIndex(idx);
+        if (r.detected) {
+            ++detections_;
+            if (result)
+                result->position_corrected |= r.corrected;
+        }
+        if (r.unrecoverable) {
+            ok = false;
+            if (result)
+                result->position_due = true;
+        }
+    }
+    return ok;
+}
+
+void
+ProtectedLine::write(int idx, uint64_t data)
+{
+    uint8_t check = becc_.encode(data);
+    if (!seekAll(idx, nullptr))
+        rtm_warn("write at index %d hit a position DUE", idx);
+    for (int bit = 0; bit < 64; ++bit) {
+        stripes_[static_cast<size_t>(bit)]->writeAligned(
+            0, (data >> bit) & 1 ? Bit::One : Bit::Zero);
+    }
+    for (int c = 0; c < HammingSecded::kCheckBits; ++c) {
+        stripes_[static_cast<size_t>(64 + c)]->writeAligned(
+            0, (check >> c) & 1 ? Bit::One : Bit::Zero);
+    }
+}
+
+LineReadResult
+ProtectedLine::read(int idx)
+{
+    LineReadResult res;
+    if (!seekAll(idx, &res))
+        return res;
+
+    uint64_t data = 0;
+    uint8_t check = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+        Bit b = stripes_[static_cast<size_t>(bit)]->readAligned(0);
+        if (b == Bit::One)
+            data |= 1ull << bit;
+        // Bit::X (destroyed domain) reads as 0: a bit error for
+        // the SECDED layer to handle.
+    }
+    for (int c = 0; c < HammingSecded::kCheckBits; ++c) {
+        Bit b =
+            stripes_[static_cast<size_t>(64 + c)]->readAligned(0);
+        if (b == Bit::One)
+            check = static_cast<uint8_t>(check | (1u << c));
+    }
+
+    BeccDecode d = becc_.decode(data, check);
+    res.bit_status = d.status;
+    res.data = d.data;
+    if (d.status == BeccDecode::Status::Corrected)
+        ++bit_corrections_;
+    return res;
+}
+
+void
+ProtectedLine::flipStoredBit(int idx, int bit)
+{
+    if (bit < 0 || bit >= 64)
+        rtm_panic("flipStoredBit: bit %d out of range", bit);
+    if (!seekAll(idx, nullptr))
+        return;
+    auto &stripe = stripes_[static_cast<size_t>(bit)];
+    Bit cur = stripe->readAligned(0);
+    stripe->writeAligned(0, invert(cur));
+}
+
+} // namespace rtm

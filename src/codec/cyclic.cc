@@ -1,0 +1,129 @@
+#include "cyclic.hh"
+
+#include <functional>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+/**
+ * FKM (Fredricksen-Kessler-Maiorana) construction of the
+ * lexicographically least binary de Bruijn sequence B(2, n):
+ * concatenation of Lyndon words of length dividing n.
+ */
+std::vector<uint8_t>
+deBruijn(int n)
+{
+    std::vector<uint8_t> sequence;
+    std::vector<int> a(static_cast<size_t>(2 * n), 0);
+    // Recursive generation, iteratively via explicit lambda.
+    std::function<void(int, int)> db = [&](int t, int p) {
+        if (t > n) {
+            if (n % p == 0)
+                for (int j = 1; j <= p; ++j)
+                    sequence.push_back(
+                        static_cast<uint8_t>(a[static_cast<size_t>(j)]));
+            return;
+        }
+        a[static_cast<size_t>(t)] = a[static_cast<size_t>(t - p)];
+        db(t + 1, p);
+        for (int j = a[static_cast<size_t>(t - p)] + 1; j < 2; ++j) {
+            a[static_cast<size_t>(t)] = j;
+            db(t + 1, t);
+        }
+    };
+    db(1, 1);
+    return sequence;
+}
+
+} // anonymous namespace
+
+CyclicCode::CyclicCode(int window_bits)
+    : window_(window_bits), period_(1 << window_bits)
+{
+    if (window_bits < 1 || window_bits > 16)
+        rtm_fatal("CyclicCode window must be in [1,16], got %d",
+                  window_bits);
+    sequence_ = deBruijn(window_bits);
+    if (static_cast<int>(sequence_.size()) != period_)
+        rtm_panic("de Bruijn length %zu != period %d",
+                  sequence_.size(), period_);
+    phase_lookup_.assign(static_cast<size_t>(period_), -1);
+    for (int phase = 0; phase < period_; ++phase) {
+        int value = 0;
+        for (int i = 0; i < window_; ++i) {
+            int idx = (phase + i) % period_;
+            value = (value << 1) |
+                    sequence_[static_cast<size_t>(idx)];
+        }
+        if (phase_lookup_[static_cast<size_t>(value)] != -1)
+            rtm_panic("window value %d is not unique", value);
+        phase_lookup_[static_cast<size_t>(value)] = phase;
+    }
+}
+
+Bit
+CyclicCode::bitAt(int64_t index) const
+{
+    int64_t m = index % period_;
+    if (m < 0)
+        m += period_;
+    return sequence_[static_cast<size_t>(m)] ? Bit::One : Bit::Zero;
+}
+
+int
+CyclicCode::phaseOf(const std::vector<Bit> &window_bits) const
+{
+    if (static_cast<int>(window_bits.size()) != window_)
+        return -1;
+    int value = 0;
+    for (Bit b : window_bits) {
+        if (b == Bit::X)
+            return -1;
+        value = (value << 1) | (b == Bit::One ? 1 : 0);
+    }
+    return phase_lookup_[static_cast<size_t>(value)];
+}
+
+DecodeResult
+CyclicCode::decode(int observed, int expected,
+                   int correct_strength) const
+{
+    DecodeResult res;
+    if (observed < 0) {
+        // Unreadable window (stop-in-middle or destroyed domains):
+        // an error is evident, but its direction is unknowable.
+        res.valid = false;
+        res.detected = true;
+        res.correctable = false;
+        return res;
+    }
+    res.valid = true;
+    // The window phase equals (base - offset_true) mod T while the
+    // expectation uses the believed offset, so the residue recovers
+    // e = offset_true - offset_believed as (expected - observed).
+    int t = period_;
+    int diff = ((expected - observed) % t + t) % t;
+    if (diff == 0)
+        return res; // ok
+    res.detected = true;
+    if (diff <= correct_strength) {
+        res.correctable = true;
+        res.step_error = diff;
+    } else if (t - diff <= correct_strength) {
+        res.correctable = true;
+        res.step_error = -(t - diff);
+    } else {
+        // Residue outside +/-m: detectable only. For T = 2m+2 this is
+        // exactly the +/-(m+1) alias the paper describes for SECDED.
+        res.correctable = false;
+        res.step_error = 0;
+    }
+    return res;
+}
+
+} // namespace rtm

@@ -1,0 +1,224 @@
+#include "layout.hh"
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+void
+validate(const PeccConfig &c)
+{
+    if (c.num_segments < 1)
+        rtm_fatal("stripe needs at least one segment");
+    if (c.seg_len < 2)
+        rtm_fatal("segment length must be >= 2");
+    if (c.correct < 0)
+        rtm_fatal("correction strength must be >= 0");
+    // The paper states m < Lseg - 1 (Sec. 4.2.3) but its own
+    // sensitivity figures include SECDED on Lseg = 2 stripes, where
+    // the single possible shift distance is 1 and +/-1 correction
+    // still makes sense; we accept m up to Lseg - 1.
+    if (c.correct > c.seg_len - 1 &&
+        c.variant == PeccVariant::Standard)
+        rtm_fatal("p-ECC requires m <= Lseg - 1 (m=%d, Lseg=%d)",
+                  c.correct, c.seg_len);
+}
+
+} // anonymous namespace
+
+int
+PeccLayout::extraDomains() const
+{
+    // Paper accounting (Sec. 4.2.3 / 4.2.4), used by the area model:
+    //  - SED: Lseg + 1 code domains (the paper's 5 for Lseg = 4);
+    //  - p-ECC: 2m guards plus a code region of Lseg - 1 + 2m;
+    //  - p-ECC-O: 2(m+1) domains at each end.
+    const auto &c = config;
+    switch (c.variant) {
+      case PeccVariant::None:
+        return 0;
+      case PeccVariant::Standard:
+        if (c.correct == 0)
+            return c.seg_len + 1;
+        return 2 * c.correct + (c.seg_len - 1 + 2 * c.correct);
+      case PeccVariant::OverheadRegion:
+        return 4 * (c.correct + 1);
+    }
+    return 0;
+}
+
+int
+PeccLayout::extraReadPorts() const
+{
+    const auto &c = config;
+    switch (c.variant) {
+      case PeccVariant::None:
+        return 0;
+      case PeccVariant::Standard:
+        return c.correct + 1;
+      case PeccVariant::OverheadRegion:
+        // "m more read ports than original p-ECC" (Sec. 4.2.4).
+        return 2 * c.correct + 1;
+    }
+    return 0;
+}
+
+int
+PeccLayout::extraWritePorts() const
+{
+    return config.variant == PeccVariant::OverheadRegion ? 2 : 0;
+}
+
+double
+PeccLayout::storageOverhead() const
+{
+    return static_cast<double>(extraDomains()) /
+           static_cast<double>(config.dataDomains());
+}
+
+int
+PeccLayout::offsetForIndex(int r) const
+{
+    if (r < 0 || r >= config.seg_len)
+        rtm_panic("segment index %d out of range", r);
+    return config.seg_len - 1 - r;
+}
+
+int
+PeccLayout::expectedPhase(int offset, int period) const
+{
+    int base;
+    if (config.variant == PeccVariant::Standard) {
+        base = window_slots.front() - code_base;
+    } else {
+        base = window_slots.front();
+    }
+    int phase = (base - offset) % period;
+    return phase < 0 ? phase + period : phase;
+}
+
+int
+PeccLayout::expectedLeftPhase(int offset, int period) const
+{
+    int base = left_window_slots.empty() ? 0
+                                         : left_window_slots.front();
+    int phase = (base - offset) % period;
+    return phase < 0 ? phase + period : phase;
+}
+
+std::vector<Port>
+PeccLayout::buildPorts() const
+{
+    std::vector<Port> ports;
+    for (int slot : data_port_slots)
+        ports.push_back({slot, PortKind::ReadWrite});
+    for (int slot : window_slots)
+        ports.push_back({slot, PortKind::ReadOnly});
+    for (int slot : left_window_slots)
+        ports.push_back({slot, PortKind::ReadOnly});
+    return ports;
+}
+
+int
+PeccLayout::dataPortIndex(int segment) const
+{
+    if (segment < 0 || segment >= config.num_segments)
+        rtm_panic("segment %d out of range", segment);
+    return segment;
+}
+
+int
+PeccLayout::windowPortIndex(int i) const
+{
+    if (i < 0 || i >= static_cast<int>(window_slots.size()))
+        rtm_panic("window port %d out of range", i);
+    return config.num_segments + i;
+}
+
+int
+PeccLayout::leftWindowPortIndex(int i) const
+{
+    if (i < 0 || i >= static_cast<int>(left_window_slots.size()))
+        rtm_panic("left window port %d out of range", i);
+    return config.num_segments +
+           static_cast<int>(window_slots.size()) + i;
+}
+
+PeccLayout
+computeLayout(const PeccConfig &config)
+{
+    validate(config);
+    PeccLayout lay;
+    lay.config = config;
+
+    const int s = config.num_segments;
+    const int lseg = config.seg_len;
+    const int m = config.correct;
+    const int detect = config.detect();
+    const int w = config.window();
+    // Largest believed offset, and largest physical excursion once a
+    // detectable error of +/-(m+1) is stacked on top of it.
+    const int omax = lseg - 1;
+    const int omax_err = omax + detect;
+
+    switch (config.variant) {
+      case PeccVariant::None: {
+        lay.data_base = 0;
+        lay.wire_len = s * lseg + omax;
+        break;
+      }
+      case PeccVariant::Standard: {
+        // [m guards][data][code region][right excursion room]
+        lay.data_base = m;
+        lay.code_base = lay.data_base + s * lseg;
+        lay.code_len = lseg + 3 * m + 2;
+        int window_base = lay.code_base + omax_err;
+        for (int i = 0; i < w; ++i)
+            lay.window_slots.push_back(window_base + i);
+        lay.wire_len = lay.code_base + lay.code_len + omax_err;
+        break;
+      }
+      case PeccVariant::OverheadRegion: {
+        // Each end: [entry margin][code window m+1][guard]. The
+        // margin keeps everything that enters at the wire end -
+        // maintenance writes made under a wrong believed offset and
+        // the undefined domains an over-shift injects - away from
+        // the window slots for the whole duration of a correction
+        // episode (up to kMaxCorrectionRounds raw counter-shifts,
+        // each of which can itself suffer a +/-(m+1) error). The
+        // guard keeps the window off the data region under the same
+        // worst-case excursions. Window bits are therefore always
+        // evidence written *before* the operation under check.
+        //
+        // These margins make the functional wire a conservative
+        // superset of the paper's 2(m+1)-domains-per-end accounting
+        // (extraDomains() reports the paper's number).
+        const int m1 = m + 1;
+        const int margin = kOverheadScrubDepthFactor * m1;
+        const int guard = 4 * m1;
+        lay.left_code_len = margin + w + guard;
+        lay.data_base = lay.left_code_len;
+        for (int i = 0; i < w; ++i)
+            lay.left_window_slots.push_back(margin + i);
+        int right_window_base =
+            lay.data_base + s * lseg + (lseg - 1) + guard;
+        for (int i = 0; i < w; ++i)
+            lay.window_slots.push_back(right_window_base + i);
+        lay.wire_len = right_window_base + w + margin;
+        lay.has_end_write_ports = true;
+        break;
+      }
+    }
+
+    // Data ports: over the right-most domain of each segment at home.
+    for (int seg = 0; seg < s; ++seg) {
+        lay.data_port_slots.push_back(lay.data_base + seg * lseg +
+                                      (lseg - 1));
+    }
+    return lay;
+}
+
+} // namespace rtm

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Geometry of a protected racetrack stripe (paper Sec. 4.2).
+ *
+ * The layout maps a protection configuration (segment shape and p-ECC
+ * strength/variant) onto concrete wire slots: where data domains sit
+ * at the home position, where the access ports are, where code bits
+ * live, and how many domains/ports the protection adds over the
+ * unprotected baseline. All paper-facing overhead numbers (extra
+ * domains, extra read ports, storage overhead fraction) come from
+ * here; the functional wire length used by the simulator is a
+ * conservative superset that additionally reserves explicit slots for
+ * every legal excursion, so fault injection can never index off the
+ * model.
+ *
+ * Conventions: the tape shifts right by a cumulative offset
+ * o in [0, seg_len - 1]; data port s sits over the right-most domain
+ * of segment s at home (o = 0), so segment-local index r is read at
+ * offset o = seg_len - 1 - r.
+ */
+
+#ifndef RTM_CODEC_LAYOUT_HH
+#define RTM_CODEC_LAYOUT_HH
+
+#include <vector>
+
+#include "device/stripe.hh"
+
+namespace rtm
+{
+
+/**
+ * Entry-margin depth factor of the OverheadRegion functional layout:
+ * margin = factor * (m + 1) slots per wire end. Sized so undefined or
+ * stale domains entering during a correction episode (initial error
+ * plus kMaxCorrectionRounds erroneous counter-shifts) can never reach
+ * the code window slots.
+ */
+constexpr int kOverheadScrubDepthFactor = 8;
+
+/** Bounded retries of the correction loop before declaring DUE. */
+constexpr int kMaxCorrectionRounds = 4;
+
+/** Protection flavour for one stripe. */
+enum class PeccVariant
+{
+    None,           //!< unprotected baseline
+    Standard,       //!< dedicated p-ECC region (Sec. 4.2.1-4.2.3)
+    OverheadRegion  //!< p-ECC-O: code in overhead regions (4.2.4)
+};
+
+/** Configuration of one protected stripe. */
+struct PeccConfig
+{
+    int num_segments = 8;  //!< read/write ports sharing the stripe
+    int seg_len = 8;       //!< domains per segment (Lseg)
+    int correct = 1;       //!< m: step errors corrected (0 = SED)
+    PeccVariant variant = PeccVariant::Standard;
+
+    /** Total data domains on the stripe. */
+    int dataDomains() const { return num_segments * seg_len; }
+
+    /** Largest legal single-shift distance. */
+    int maxShiftDistance() const
+    {
+        return variant == PeccVariant::OverheadRegion ? 1
+                                                      : seg_len - 1;
+    }
+
+    /** Detection reach: +/-(m+1) errors are detected. */
+    int detect() const { return correct + 1; }
+
+    /** Code window width = number of adjacent code read ports. */
+    int window() const { return correct + 1; }
+};
+
+/** Fully resolved stripe geometry. */
+struct PeccLayout
+{
+    PeccConfig config;
+
+    int wire_len = 0;        //!< functional wire slots
+    int data_base = 0;       //!< wire slot of data[0] at home
+    int code_base = 0;       //!< wire slot of code[0] at home
+                             //!< (Standard variant only)
+    int code_len = 0;        //!< dedicated code domains (Standard)
+    int left_code_len = 0;   //!< p-ECC-O left code region length
+
+    /** Wire slots of the per-segment read/write data ports. */
+    std::vector<int> data_port_slots;
+
+    /** Wire slots of the code-window read ports (left-to-right).
+     *  For p-ECC-O these are the right-end window; the left-end
+     *  window is in left_window_slots. */
+    std::vector<int> window_slots;
+
+    /** p-ECC-O only: left-end code window. */
+    std::vector<int> left_window_slots;
+
+    /** True if the variant maintains code via end write ports. */
+    bool has_end_write_ports = false;
+
+    // ---- paper-facing overhead accounting ---------------------------
+
+    /** Extra domains versus the unprotected baseline stripe. */
+    int extraDomains() const;
+
+    /** Extra read ports versus the baseline. */
+    int extraReadPorts() const;
+
+    /** Extra write ports versus the baseline. */
+    int extraWritePorts() const;
+
+    /** Storage overhead: extra domains / data domains. */
+    double storageOverhead() const;
+
+    /** Offset needed to read segment-local index r. */
+    int offsetForIndex(int r) const;
+
+    /** Expected code phase at believed cumulative offset o. */
+    int expectedPhase(int offset, int period) const;
+
+    /** Expected left-window code phase (p-ECC-O). */
+    int expectedLeftPhase(int offset, int period) const;
+
+    /** Build the port list for RacetrackStripe construction. */
+    std::vector<Port> buildPorts() const;
+
+    /** Index of data port s in the built port list. */
+    int dataPortIndex(int segment) const;
+
+    /** Index of window port i in the built port list. */
+    int windowPortIndex(int i) const;
+
+    /** Index of left-window port i in the built port list. */
+    int leftWindowPortIndex(int i) const;
+};
+
+/** Resolve a configuration into a concrete layout. */
+PeccLayout computeLayout(const PeccConfig &config);
+
+} // namespace rtm
+
+#endif // RTM_CODEC_LAYOUT_HH

@@ -1,0 +1,299 @@
+#include "protected_stripe.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+ProtectedStripe::ProtectedStripe(const PeccConfig &config,
+                                 const PositionErrorModel *model,
+                                 Rng rng)
+    : layout_(computeLayout(config)), code_(config.window()),
+      stripe_(layout_.wire_len, layout_.buildPorts(), model,
+              std::move(rng))
+{
+}
+
+void
+ProtectedStripe::initializeIdeal()
+{
+    const auto &c = layout_.config;
+    // The rebuild below lays contents out at the home alignment;
+    // any offset the tape had drifted to beforehand is gone.
+    stripe_.resetTracking();
+    // Data region: zeroes.
+    for (int j = 0; j < c.dataDomains(); ++j)
+        stripe_.poke(layout_.data_base + j, Bit::Zero);
+
+    if (c.variant == PeccVariant::Standard) {
+        for (int j = 0; j < layout_.code_len; ++j)
+            stripe_.poke(layout_.code_base + j, code_.bitAt(j));
+    } else if (c.variant == PeccVariant::OverheadRegion) {
+        // Every non-data slot carries the global code c(slot) at the
+        // home position; maintenance writes keep the invariant as the
+        // tape moves.
+        for (int slot = 0; slot < layout_.wire_len; ++slot) {
+            if (slot >= layout_.data_base &&
+                slot < layout_.data_base + c.dataDomains()) {
+                continue;
+            }
+            stripe_.poke(slot, code_.bitAt(slot));
+        }
+    }
+    believed_offset_ = 0;
+}
+
+int
+ProtectedStripe::positionError() const
+{
+    return stripe_.trueOffset() - believed_offset_;
+}
+
+int
+ProtectedStripe::readWindowPhase(bool left_window) const
+{
+    const auto &slots = left_window ? layout_.left_window_slots
+                                    : layout_.window_slots;
+    if (slots.empty())
+        rtm_panic("this layout has no %s window",
+                  left_window ? "left" : "right");
+    std::vector<Bit> bits;
+    bits.reserve(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+        int port = left_window
+                       ? layout_.leftWindowPortIndex(
+                             static_cast<int>(i))
+                       : layout_.windowPortIndex(static_cast<int>(i));
+        bits.push_back(stripe_.read(port));
+    }
+    return code_.phaseOf(bits);
+}
+
+DecodeResult
+ProtectedStripe::decodeWindow(bool left_window) const
+{
+    int observed = readWindowPhase(left_window);
+    int expected = left_window
+                       ? layout_.expectedLeftPhase(believed_offset_,
+                                                   code_.period())
+                       : layout_.expectedPhase(believed_offset_,
+                                               code_.period());
+    return code_.decode(observed, expected, layout_.config.correct);
+}
+
+DecodeResult
+ProtectedStripe::checkNow() const
+{
+    if (layout_.config.variant == PeccVariant::None) {
+        // No code: report a clean (vacuous) result.
+        DecodeResult r;
+        r.valid = true;
+        return r;
+    }
+    return decodeWindow(false);
+}
+
+void
+ProtectedStripe::shiftAndWriteStep(int direction)
+{
+    // Entering-domain code value for the post-shift believed offset.
+    int o_new = believed_offset_ + direction;
+    Bit entering;
+    if (direction > 0) {
+        // Tape moves right; a domain enters at slot 0 with tape
+        // index -o_new (tape index = slot - offset).
+        entering = code_.bitAt(-static_cast<int64_t>(o_new));
+        stripe_.shiftAndWrite(entering, true);
+    } else {
+        entering = code_.bitAt(
+            static_cast<int64_t>(layout_.wire_len - 1) - o_new);
+        stripe_.shiftAndWrite(entering, false);
+    }
+    believed_offset_ = o_new;
+}
+
+void
+ProtectedStripe::repairEndCode()
+{
+    // After a correction episode the entry margins may hold stale or
+    // undefined code: maintenance writes made during the erroneous
+    // movement used the (then wrong) believed offset, correction
+    // shifts injected unwritten domains, and extra entering domains
+    // were never programmed at all. Once the window check confirms
+    // the tape is back in place, the controller scrubs the margins
+    // with the end write ports (a short burst of shuttle
+    // shift-and-write passes in hardware; corrections are ~1e-4
+    // rare, so the cost is negligible). The scrub deliberately never
+    // touches window slots: window bits must stay evidence written
+    // *before* the operation under check, otherwise a failed
+    // correction could overwrite the proof of its own failure - and
+    // it only runs after convergence, because scrubbing with a wrong
+    // believed offset would plant corruption instead of removing it.
+    int scrub = kOverheadScrubDepthFactor *
+                (layout_.config.correct + 1);
+    for (int slot = 0; slot < std::min(scrub, layout_.wire_len);
+         ++slot) {
+        stripe_.poke(slot,
+                     code_.bitAt(static_cast<int64_t>(slot) -
+                                 believed_offset_));
+    }
+    for (int slot = std::max(0, layout_.wire_len - scrub);
+         slot < layout_.wire_len; ++slot) {
+        stripe_.poke(slot,
+                     code_.bitAt(static_cast<int64_t>(slot) -
+                                 believed_offset_));
+    }
+}
+
+ProtectedShiftResult
+ProtectedStripe::shiftBy(int distance, int max_correction_rounds)
+{
+    ProtectedShiftResult res;
+    const auto &c = layout_.config;
+    if (distance == 0)
+        return res;
+
+    if (c.variant == PeccVariant::OverheadRegion) {
+        // Step-by-step shift-and-write; check after every step.
+        int dir = distance > 0 ? 1 : -1;
+        for (int i = 0; i < std::abs(distance); ++i) {
+            shiftAndWriteStep(dir);
+            // Check the trailing window (the one the tape moves away
+            // from): right window for right shifts, left for left.
+            DecodeResult d = decodeWindow(dir < 0);
+            if (d.ok())
+                continue;
+            res.detected = true;
+            res.inferred_error = d.step_error;
+            if (!d.correctable) {
+                res.unrecoverable = true;
+                return res;
+            }
+            // Correction episode: raw counter-shifts (the end write
+            // ports stay idle - writing while the position is in
+            // doubt would plant code bits keyed to a possibly-wrong
+            // believed offset). The margins absorb the undefined
+            // domains each raw shift injects; the window re-check
+            // stays trustworthy throughout. One verified scrub
+            // repairs the margins after convergence.
+            int rounds = 0;
+            while (rounds++ < max_correction_rounds) {
+                int corr = -d.step_error;
+                stripe_.shift(corr);
+                res.correction_shifts += std::abs(corr);
+                d = decodeWindow(dir < 0);
+                if (d.ok()) {
+                    res.corrected = true;
+                    repairEndCode();
+                    break;
+                }
+                if (!d.correctable) {
+                    res.unrecoverable = true;
+                    return res;
+                }
+            }
+            if (!res.corrected) {
+                res.unrecoverable = true;
+                return res;
+            }
+        }
+        return res;
+    }
+
+    // Baseline / Standard variant: one shift operation.
+    if (std::abs(distance) > c.maxShiftDistance())
+        rtm_panic("shift distance %d exceeds stripe maximum %d",
+                  distance, c.maxShiftDistance());
+    stripe_.shift(distance);
+    believed_offset_ += distance;
+
+    if (c.variant == PeccVariant::None)
+        return res;
+
+    DecodeResult d = decodeWindow(false);
+    if (d.ok())
+        return res;
+    res.detected = true;
+    res.inferred_error = d.step_error;
+    if (!d.correctable) {
+        res.unrecoverable = true;
+        return res;
+    }
+    int rounds = 0;
+    while (rounds++ < max_correction_rounds) {
+        int corr = -d.step_error;
+        stripe_.shift(corr);
+        ++res.correction_shifts;
+        d = decodeWindow(false);
+        if (d.ok()) {
+            res.corrected = true;
+            return res;
+        }
+        if (!d.correctable) {
+            res.unrecoverable = true;
+            return res;
+        }
+    }
+    res.unrecoverable = true;
+    return res;
+}
+
+ProtectedShiftResult
+ProtectedStripe::seekIndex(int r)
+{
+    int target = layout_.offsetForIndex(r);
+    return shiftBy(target - believed_offset_);
+}
+
+Bit
+ProtectedStripe::readAligned(int segment) const
+{
+    return stripe_.read(layout_.dataPortIndex(segment));
+}
+
+bool
+ProtectedStripe::writeAligned(int segment, Bit value)
+{
+    return stripe_.write(layout_.dataPortIndex(segment), value);
+}
+
+std::optional<int>
+ProtectedStripe::dataSlot(int j) const
+{
+    int slot = layout_.data_base + j + stripe_.trueOffset();
+    if (slot < 0 || slot >= layout_.wire_len)
+        return std::nullopt;
+    return slot;
+}
+
+void
+ProtectedStripe::loadData(const std::vector<Bit> &data)
+{
+    const auto &c = layout_.config;
+    if (static_cast<int>(data.size()) != c.dataDomains())
+        rtm_fatal("loadData size %zu != %d data domains", data.size(),
+                  c.dataDomains());
+    for (int j = 0; j < c.dataDomains(); ++j) {
+        auto slot = dataSlot(j);
+        if (!slot)
+            rtm_fatal("loadData: domain %d is off the wire", j);
+        stripe_.poke(*slot, data[static_cast<size_t>(j)]);
+    }
+}
+
+std::vector<Bit>
+ProtectedStripe::dumpData() const
+{
+    const auto &c = layout_.config;
+    std::vector<Bit> out;
+    out.reserve(static_cast<size_t>(c.dataDomains()));
+    for (int j = 0; j < c.dataDomains(); ++j) {
+        auto slot = dataSlot(j);
+        out.push_back(slot ? stripe_.peek(*slot) : Bit::X);
+    }
+    return out;
+}
+
+} // namespace rtm

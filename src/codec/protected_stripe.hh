@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Functional protected stripe: a RacetrackStripe plus p-ECC mechanism.
+ *
+ * This class provides the *mechanism* of position-error protection:
+ * initialising code domains, shifting, reading the code window,
+ * decoding against the believed offset, and issuing counter-shifts.
+ * Policy (when to check, safe-distance limits, shift sequencing) lives
+ * in the control layer; architecture statistics live in the model and
+ * sim layers.
+ *
+ * The class tracks the controller's *believed* cumulative offset and
+ * never peeks at the stripe's ground truth. Tests compare the two to
+ * validate detection/correction claims.
+ */
+
+#ifndef RTM_CODEC_PROTECTED_STRIPE_HH
+#define RTM_CODEC_PROTECTED_STRIPE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/cyclic.hh"
+#include "codec/layout.hh"
+#include "device/error_model.hh"
+#include "device/stripe.hh"
+#include "util/rng.hh"
+
+namespace rtm
+{
+
+/** Result of a protected shift operation (shift + check [+ correct]). */
+struct ProtectedShiftResult
+{
+    bool detected = false;       //!< p-ECC flagged a position error
+    bool corrected = false;      //!< a counter-shift restored position
+    bool unrecoverable = false;  //!< detected but uncorrectable (DUE)
+    int correction_shifts = 0;   //!< counter-shift operations issued
+    int inferred_error = 0;      //!< signed error the decoder inferred
+};
+
+/**
+ * A racetrack stripe wrapped with its p-ECC mechanism.
+ */
+class ProtectedStripe
+{
+  public:
+    /**
+     * @param config protection configuration
+     * @param model  position-error model for fault injection
+     * @param rng    stripe-local RNG stream
+     */
+    ProtectedStripe(const PeccConfig &config,
+                    const PositionErrorModel *model, Rng rng);
+
+    /** Resolved geometry. */
+    const PeccLayout &layout() const { return layout_; }
+
+    /** Protection configuration. */
+    const PeccConfig &config() const { return layout_.config; }
+
+    /**
+     * Program code domains and clear data to zero, bypassing the
+     * faulty write path (chip-tester style initialisation).
+     */
+    void initializeIdeal();
+
+    /** Believed cumulative offset (steps right of home). */
+    int believedOffset() const { return believed_offset_; }
+
+    /** Ground-truth position error (true - believed); tests only. */
+    int positionError() const;
+
+    /**
+     * Shift by a signed distance with STS and p-ECC checking.
+     * For the Standard variant |distance| may be up to Lseg-1; the
+     * OverheadRegion variant decomposes multi-step requests into
+     * 1-step shift-and-write operations internally.
+     *
+     * Detected correctable errors are fixed by counter-shifts (each
+     * itself checked); detected uncorrectable errors leave the stripe
+     * in an unknown position and set `unrecoverable`.
+     *
+     * @param max_correction_rounds retries before declaring failure
+     */
+    ProtectedShiftResult shiftBy(int distance,
+                                 int max_correction_rounds = 4);
+
+    /**
+     * Move to the offset that aligns segment-local index r under the
+     * data ports (convenience wrapper over shiftBy).
+     */
+    ProtectedShiftResult seekIndex(int r);
+
+    /** Read the data bit of `segment` currently under its port. */
+    Bit readAligned(int segment) const;
+
+    /** Write the data bit of `segment` currently under its port. */
+    bool writeAligned(int segment, Bit value);
+
+    /**
+     * Run a p-ECC check without shifting (re-synchronisation probe).
+     */
+    DecodeResult checkNow() const;
+
+    /** Direct access to the underlying stripe (tests/benches). */
+    RacetrackStripe &stripe() { return stripe_; }
+    const RacetrackStripe &stripe() const { return stripe_; }
+
+    /** Cyclic code in use. */
+    const CyclicCode &code() const { return code_; }
+
+    /** Count of shift operations issued (incl. corrections). */
+    uint64_t shiftOps() const { return stripe_.shiftOps(); }
+
+    /** Load a full data image (poke path, no faults). */
+    void loadData(const std::vector<Bit> &data);
+
+    /** Dump the full data image via ground truth (tests only). */
+    std::vector<Bit> dumpData() const;
+
+  private:
+    PeccLayout layout_;
+    CyclicCode code_;
+    RacetrackStripe stripe_;
+    int believed_offset_ = 0;
+
+    /** Read the (right/active) code window through the ports. */
+    int readWindowPhase(bool left_window) const;
+
+    /** Decode the active window for the current believed offset. */
+    DecodeResult decodeWindow(bool left_window) const;
+
+    /** One raw shift step for the OverheadRegion variant. */
+    void shiftAndWriteStep(int direction);
+
+    /** Re-program end-code domains after a correction (p-ECC-O). */
+    void repairEndCode();
+
+    /** Wire slot of data[j] if it is on the wire at believed offset. */
+    std::optional<int> dataSlot(int j) const;
+};
+
+} // namespace rtm
+
+#endif // RTM_CODEC_PROTECTED_STRIPE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shift-policy selection (paper Sec. 5.2-5.3).
+ *
+ * Three policies map an access request onto a shift sequence:
+ *
+ *  - Unconstrained: always one shift of the full distance (the
+ *    baseline "RM w/o p-ECC" behaviour and the plain p-ECC scheme).
+ *  - WorstCase ("p-ECC-S worst"): a fixed safe distance computed from
+ *    the memory's peak access intensity caps every sub-shift.
+ *  - Adaptive ("p-ECC-S adaptive"): an interval counter measures the
+ *    time since the last shift; the adapter table (Pareto fronts from
+ *    the planner) picks the fastest sequence that is safe at the
+ *    observed run-time intensity.
+ *
+ * The OverheadRegion variant (p-ECC-O) is inherently step-by-step;
+ * its policy decomposes every request into 1-step shifts.
+ */
+
+#ifndef RTM_CONTROL_ADAPTER_HH
+#define RTM_CONTROL_ADAPTER_HH
+
+#include <cstdint>
+
+#include "control/planner.hh"
+
+namespace rtm
+{
+
+/** Shift-policy flavours evaluated in the paper. */
+enum class ShiftPolicy
+{
+    Unconstrained,  //!< one shift per request, any distance
+    StepByStep,     //!< 1-step shifts only (p-ECC-O)
+    WorstCase,      //!< fixed safe distance from peak intensity
+    Adaptive        //!< run-time interval-based selection
+};
+
+/**
+ * Stateful policy engine: owns the interval counter and consults the
+ * planner's Pareto tables.
+ */
+class ShiftAdapter
+{
+  public:
+    /**
+     * @param planner   sequence planner (not owned)
+     * @param policy    policy flavour
+     * @param peak_ops_per_second peak access intensity used by the
+     *        WorstCase policy to fix its safe distance
+     */
+    ShiftAdapter(const ShiftPlanner *planner, ShiftPolicy policy,
+                 double peak_ops_per_second);
+
+    /**
+     * Choose the sequence for a request of `distance` steps issued at
+     * absolute time `now_cycles`. Updates the interval counter.
+     * The returned plan is owned by the planner's tables (except for
+     * trivial single-part plans, which are returned from a scratch
+     * slot valid until the next call).
+     */
+    const SequencePlan &plan(int distance, Cycles now_cycles);
+
+    /** Fixed safe distance of the WorstCase policy. */
+    int worstCaseSafeDistance() const { return worst_case_distance_; }
+
+    /** Policy flavour in effect. */
+    ShiftPolicy policy() const { return policy_; }
+
+    /** Observed interval before the most recent request. */
+    Cycles lastInterval() const { return last_interval_; }
+
+  private:
+    const ShiftPlanner *planner_;
+    ShiftPolicy policy_;
+    int worst_case_distance_;
+    Cycles last_request_ = 0;
+    Cycles last_interval_ = 0;
+    bool first_ = true;
+    SequencePlan scratch_;
+
+    const SequencePlan &fixedPartsPlan(int distance, int part);
+};
+
+} // namespace rtm
+
+#endif // RTM_CONTROL_ADAPTER_HH

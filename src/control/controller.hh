@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Position-error-aware shift controller (paper Sec. 5, Fig. 9).
+ *
+ * The controller binds a protected stripe to a shift policy: access
+ * requests name a segment-local index; the controller computes the
+ * required offset delta, asks the adapter for a safe sequence, issues
+ * the protected shifts, and accounts latency, energy, and reliability
+ * events. It is the functional top of the paper's contribution and
+ * the unit the examples and fault-injection tests drive.
+ */
+
+#ifndef RTM_CONTROL_CONTROLLER_HH
+#define RTM_CONTROL_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "codec/protected_stripe.hh"
+#include "control/adapter.hh"
+#include "control/planner.hh"
+#include "control/sts.hh"
+#include "util/stats.hh"
+
+namespace rtm
+{
+
+/** Per-controller statistics. */
+struct ControllerStats
+{
+    uint64_t accesses = 0;        //!< read/write requests served
+    uint64_t shift_ops = 0;       //!< shift operations issued
+    uint64_t shift_steps = 0;     //!< total steps moved (energy)
+    uint64_t detected_errors = 0; //!< p-ECC detections
+    uint64_t corrected_errors = 0;
+    uint64_t unrecoverable = 0;   //!< DUE events observed
+    uint64_t silent_errors = 0;   //!< ground-truth SDC events
+    Cycles busy_cycles = 0;       //!< cycles spent shifting/checking
+    IntTally distance_histogram;  //!< sub-shift distances issued
+};
+
+/** Result of one access through the controller. */
+struct AccessResult
+{
+    Bit value = Bit::X;        //!< bit read (reads only)
+    Cycles latency = 0;        //!< cycles this access took
+    bool due = false;          //!< unrecoverable position error
+    bool position_ok = true;   //!< ground truth: aligned correctly
+};
+
+/**
+ * Shift controller for one stripe.
+ */
+class ShiftController
+{
+  public:
+    /**
+     * @param config  protection configuration of the stripe
+     * @param model   error model used for fault injection
+     * @param policy  shift policy flavour
+     * @param peak_ops_per_second peak intensity for WorstCase policy
+     * @param rng     controller-local RNG stream
+     * @param mttf_target_s reliability budget for the planner
+     */
+    ShiftController(const PeccConfig &config,
+                    const PositionErrorModel *model,
+                    ShiftPolicy policy, double peak_ops_per_second,
+                    Rng rng,
+                    double mttf_target_s = kDefaultSafeMttfSeconds);
+
+    /** Initialise code and data (ideal chip-test path). */
+    void initialize();
+
+    /**
+     * Read the bit at segment-local index r of `segment` at absolute
+     * time `now_cycles` (drives shifts as needed).
+     */
+    AccessResult read(int segment, int index, Cycles now_cycles);
+
+    /** Write the bit at segment-local index r of `segment`. */
+    AccessResult write(int segment, int index, Bit value,
+                       Cycles now_cycles);
+
+    /** Statistics accumulated so far. */
+    const ControllerStats &stats() const { return stats_; }
+
+    /** The wrapped stripe (inspection). */
+    ProtectedStripe &stripe() { return stripe_; }
+    const ProtectedStripe &stripe() const { return stripe_; }
+
+    /** The planner (inspection/benches). */
+    const ShiftPlanner &planner() const { return planner_; }
+
+    /** The adapter (inspection/benches). */
+    const ShiftAdapter &adapter() const { return adapter_; }
+
+    /** STS timing model in use. */
+    const StsTiming &timing() const { return timing_; }
+
+  private:
+    ProtectedStripe stripe_;
+    StsTiming timing_;
+    ShiftPlanner planner_;
+    ShiftAdapter adapter_;
+    ControllerStats stats_;
+
+    /** Move to the offset serving (segment-local) index r. */
+    AccessResult seek(int index, Cycles now_cycles);
+};
+
+} // namespace rtm
+
+#endif // RTM_CONTROL_CONTROLLER_HH

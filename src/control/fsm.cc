@@ -1,0 +1,141 @@
+#include "fsm.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+const char *
+fsmStateName(FsmState s)
+{
+    switch (s) {
+      case FsmState::Idle: return "IDLE";
+      case FsmState::Stage1: return "STAGE1";
+      case FsmState::Stage2: return "STAGE2";
+      case FsmState::Check: return "CHECK";
+      case FsmState::Correct: return "CORRECT";
+      case FsmState::Done: return "DONE";
+    }
+    return "?";
+}
+
+ShiftFsm::ShiftFsm(const StsTiming &timing, bool has_pecc)
+    : timing_(timing), has_pecc_(has_pecc)
+{
+}
+
+Cycles
+ShiftFsm::stage1Cycles(int steps) const
+{
+    return secondsToCycles(timing_.stage1Seconds(steps),
+                           timing_.clockHz());
+}
+
+Cycles
+ShiftFsm::stage2Cycles() const
+{
+    return secondsToCycles(timing_.stage2Seconds(),
+                           timing_.clockHz());
+}
+
+Cycles
+ShiftFsm::checkCycles() const
+{
+    // Cyclic adder + XOR compare: the 0.34 ns detection of Table 5,
+    // one cycle at 2 GHz.
+    return has_pecc_ ? 1 : 0;
+}
+
+void
+ShiftFsm::enter(FsmState s, Cycles duration)
+{
+    state_ = s;
+    stage_left_ = duration;
+}
+
+void
+ShiftFsm::issue(int steps)
+{
+    if (state_ != FsmState::Idle && state_ != FsmState::Done)
+        rtm_panic("issue() while the FSM is busy (%s)",
+                  fsmStateName(state_));
+    if (steps < 1)
+        rtm_panic("issue(%d): need at least one step", steps);
+    pending_steps_ = steps;
+    elapsed_ = 0;
+    corrections_ = 0;
+    mismatch_ = false;
+    inferred_error_ = 0;
+    enter(FsmState::Stage1, stage1Cycles(steps));
+}
+
+void
+ShiftFsm::setCheckResult(bool mismatch, int inferred_error)
+{
+    mismatch_ = mismatch;
+    inferred_error_ = inferred_error;
+}
+
+FsmState
+ShiftFsm::tick()
+{
+    if (state_ == FsmState::Idle || state_ == FsmState::Done)
+        return state_;
+    ++elapsed_;
+    if (stage_left_ > 0)
+        --stage_left_;
+    if (stage_left_ > 0)
+        return state_;
+
+    // Stage finished this cycle: advance.
+    switch (state_) {
+      case FsmState::Stage1:
+        enter(FsmState::Stage2, stage2Cycles());
+        break;
+      case FsmState::Stage2:
+        if (has_pecc_)
+            enter(FsmState::Check, checkCycles());
+        else
+            state_ = FsmState::Done;
+        break;
+      case FsmState::Check:
+        if (mismatch_ && inferred_error_ != 0) {
+            // Correction micro-op: Table 5's 1.34 ns correction
+            // logic (cyclic-adder update + drive reprogramming,
+            // 3 cycles at 2 GHz) followed by the counter-shift,
+            // itself a full two-stage shift plus re-check.
+            ++corrections_;
+            mismatch_ = false;
+            enter(FsmState::Correct, 3);
+        } else {
+            state_ = FsmState::Done;
+        }
+        break;
+      case FsmState::Correct: {
+        int mag = std::abs(inferred_error_);
+        inferred_error_ = 0;
+        enter(FsmState::Stage1, stage1Cycles(mag));
+        break;
+      }
+      default:
+        rtm_panic("tick() reached %s with no stage",
+                  fsmStateName(state_));
+    }
+    return state_;
+}
+
+Cycles
+ShiftFsm::run(int steps)
+{
+    issue(steps);
+    // Generous bound: a stuck FSM is a bug, not a long operation.
+    for (int guard = 0; guard < 100000; ++guard) {
+        if (tick() == FsmState::Done)
+            return elapsed_;
+    }
+    rtm_panic("FSM failed to retire a %d-step shift", steps);
+}
+
+} // namespace rtm

@@ -1,0 +1,142 @@
+#include "dwmotion.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+DomainWallModel::DomainWallModel(const DeviceParams &params,
+                                 double anisotropy_field)
+    : params_(params), hk_(anisotropy_field), pitch_(params.pitch())
+{
+    if (pitch_ <= 0.0)
+        rtm_fatal("non-positive notch pitch");
+    if (params_.alpha <= 0.0)
+        rtm_fatal("Gilbert damping must be positive");
+}
+
+double
+DomainWallModel::notchOffset(double q) const
+{
+    double k = std::round(q / pitch_);
+    return q - k * pitch_;
+}
+
+bool
+DomainWallModel::inNotchRegion(double q) const
+{
+    return std::abs(notchOffset(q)) <= 0.5 * params_.pinning_width;
+}
+
+double
+DomainWallModel::pinningField(double q) const
+{
+    if (!inNotchRegion(q))
+        return 0.0;
+    return params_.pinning_depth * notchOffset(q) /
+           (params_.saturation_magnetisation *
+            params_.pinning_width);
+}
+
+double
+DomainWallModel::velocity(double q, double u) const
+{
+    double a = params_.alpha;
+    double b = params_.beta;
+    double drive = u * (2.0 + a * b - b / a) / (1.0 + a * a);
+    double pin = params_.gamma * params_.domain_wall_width / a *
+                 pinningField(q);
+    return drive - pin;
+}
+
+double
+DomainWallModel::depinningVelocity() const
+{
+    // The restoring force saturates at the notch edge
+    // (q_loc = d / 2): a drive term beyond it cannot be balanced.
+    double a = params_.alpha;
+    double b = params_.beta;
+    double max_pin = params_.gamma * params_.domain_wall_width / a *
+                     params_.pinning_depth * 0.5 /
+                     params_.saturation_magnetisation;
+    return max_pin * (1.0 + a * a) / (2.0 + a * b - b / a);
+}
+
+double
+DomainWallModel::stepTravelTime(double current_density) const
+{
+    double u = params_.spinVelocity(current_density);
+    if (u <= depinningVelocity())
+        return std::numeric_limits<double>::infinity();
+    // Integrate dt = dq / v(q) over one pitch starting at a notch
+    // centre; 2000 midpoint slices keep the error far below the
+    // process variations the error model cares about.
+    const int slices = 2000;
+    double dq = pitch_ / slices;
+    double t = 0.0;
+    for (int i = 0; i < slices; ++i) {
+        double q = (i + 0.5) * dq;
+        t += dq / velocity(q, u);
+    }
+    return t;
+}
+
+double
+DomainWallModel::adiabaticPsi(double q, double u) const
+{
+    // From dpsi/dt = 0:
+    //   (1/2) Hk sin(2 psi) = -(P(q) + ((b-a)/(g D)) u) / a.
+    double a = params_.alpha;
+    double b = params_.beta;
+    double g = params_.gamma;
+    double d = params_.domain_wall_width;
+    double rhs = -(pinningField(q) + (b - a) / (g * d) * u) /
+                 (0.5 * a * hk_);
+    rhs = std::clamp(rhs, -1.0, 1.0);
+    return 0.5 * std::asin(rhs);
+}
+
+WallState
+DomainWallModel::simulatePulse(const WallState &initial,
+                               double current_density, double pulse_s,
+                               double relax_s, double dt,
+                               std::vector<TrajectoryPoint> *trajectory)
+    const
+{
+    if (dt <= 0.0)
+        rtm_panic("simulatePulse: dt must be positive");
+    WallState st = initial;
+    double u_drive = params_.spinVelocity(current_density);
+    double t_end = pulse_s + relax_s;
+
+    auto rk4_step = [&](double u) {
+        double k1 = velocity(st.q, u);
+        double k2 = velocity(st.q + 0.5 * dt * k1, u);
+        double k3 = velocity(st.q + 0.5 * dt * k2, u);
+        double k4 = velocity(st.q + dt * k3, u);
+        st.q += dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+        st.t += dt;
+        st.psi = adiabaticPsi(st.q, u);
+    };
+
+    while (st.t < t_end - 0.5 * dt) {
+        double u = (st.t < pulse_s) ? u_drive : 0.0;
+        if (trajectory)
+            trajectory->push_back({st.t, st.q, st.psi});
+        rk4_step(u);
+    }
+    if (trajectory)
+        trajectory->push_back({st.t, st.q, st.psi});
+    return st;
+}
+
+int
+DomainWallModel::stepsTravelled(double q_from, double q_to) const
+{
+    return static_cast<int>(std::round((q_to - q_from) / pitch_));
+}
+
+} // namespace rtm

@@ -1,0 +1,303 @@
+#include "error_model.hh"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/prob.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Paper Table 2: combined +/-k out-of-step rates after STS, for shift
+// distances 1..7 on the default 64-domain / 8-segment stripe.
+constexpr double kTable2K1[7] = {
+    4.55e-5, 9.95e-5, 2.07e-4, 3.76e-4, 5.94e-4, 8.43e-4, 1.10e-3,
+};
+constexpr double kTable2K2[7] = {
+    1.37e-21, 1.19e-20, 5.59e-20, 1.80e-19, 4.47e-19, 9.96e-18,
+    7.57e-15,
+};
+// Table 2 lists k >= 3 as "too small"; we budget it at 1e-7 of the
+// k=2 rate so downstream log-space math never sees a hard zero.
+constexpr double kK3Fraction = 1e-7;
+
+// Power-law exponents fitted to Table 2 for distances beyond 7 steps
+// (used by the sensitivity studies with long segments):
+//   P1(N) = P1(1) * N^1.64     P2(N) = P2(1) * N^8.0
+constexpr double kK1Exponent = 1.64;
+constexpr double kK2Exponent = 8.0;
+
+double
+extrapolate(const double *table, double exponent, int distance)
+{
+    double scale = std::pow(static_cast<double>(distance) / 7.0,
+                            exponent);
+    double v = table[6] * scale;
+    return std::min(v, 0.5);
+}
+
+} // anonymous namespace
+
+double
+PositionErrorModel::logProbSuccess(int distance) const
+{
+    // 1 - sum of all error outcomes, computed in log space.
+    double log_err = kNegInf;
+    for (int k = 1; k <= maxStepError(); ++k) {
+        log_err = logSumExp(log_err, logProbStep(distance, k));
+        log_err = logSumExp(log_err, logProbStep(distance, -k));
+    }
+    if (log_err == kNegInf)
+        return 0.0;
+    if (log_err >= 0.0)
+        return kNegInf;
+    return log1mExp(log_err);
+}
+
+double
+PositionErrorModel::logProbAtLeast(int distance, int magnitude) const
+{
+    double acc = kNegInf;
+    for (int k = magnitude; k <= maxStepError(); ++k) {
+        acc = logSumExp(acc, logProbStep(distance, k));
+        acc = logSumExp(acc, logProbStep(distance, -k));
+    }
+    return acc;
+}
+
+double
+PositionErrorModel::logProbStepRaw(int distance, int step_error) const
+{
+    return logProbStep(distance, step_error);
+}
+
+ShiftOutcome
+PositionErrorModel::sample(Rng &rng, int distance, bool sts_enabled)
+    const
+{
+    ShiftOutcome out;
+    double u = rng.uniform();
+    if (sts_enabled) {
+        // Walk the out-of-step outcomes from most likely outward.
+        double acc = 0.0;
+        for (int mag = 1; mag <= maxStepError(); ++mag) {
+            for (int sign : {+1, -1}) {
+                double p = std::exp(logProbStep(distance, sign * mag));
+                acc += p;
+                if (u < acc) {
+                    out.step_error = sign * mag;
+                    return out;
+                }
+            }
+        }
+        return out; // success
+    }
+    // Without STS the raw outcome may also be stop-in-middle, and
+    // the out-of-step share excludes the flat-region mass STS would
+    // otherwise fold in.
+    double acc = 0.0;
+    for (int mag = 1; mag <= maxStepError(); ++mag) {
+        for (int sign : {+1, -1}) {
+            double p =
+                std::exp(logProbStepRaw(distance, sign * mag));
+            acc += p;
+            if (u < acc) {
+                out.step_error = sign * mag;
+                return out;
+            }
+        }
+    }
+    for (int floor_k = -maxStepError(); floor_k < maxStepError();
+         ++floor_k) {
+        double p = std::exp(logProbStopInMiddle(distance, floor_k));
+        acc += p;
+        if (u < acc) {
+            out.step_error = floor_k;
+            out.stop_in_middle = true;
+            return out;
+        }
+    }
+    return out;
+}
+
+PaperCalibratedErrorModel::PaperCalibratedErrorModel(
+    double plus_fraction, double pre_sts_middle_fraction)
+    : plus_fraction_(plus_fraction),
+      middle_fraction_(pre_sts_middle_fraction)
+{
+    if (plus_fraction_ < 0.0 || plus_fraction_ > 1.0)
+        rtm_fatal("plus_fraction must be in [0,1]");
+    if (middle_fraction_ < 0.0 || middle_fraction_ > 1.0)
+        rtm_fatal("pre_sts_middle_fraction must be in [0,1]");
+}
+
+double
+PaperCalibratedErrorModel::stepErrorRate(int distance,
+                                         int magnitude) const
+{
+    if (distance <= 0)
+        return 0.0;
+    switch (magnitude) {
+      case 1:
+        return distance <= 7 ? kTable2K1[distance - 1]
+                             : extrapolate(kTable2K1, kK1Exponent,
+                                           distance);
+      case 2:
+        return distance <= 7 ? kTable2K2[distance - 1]
+                             : extrapolate(kTable2K2, kK2Exponent,
+                                           distance);
+      case 3:
+        return kK3Fraction * stepErrorRate(distance, 2);
+      default:
+        return 0.0;
+    }
+}
+
+double
+PaperCalibratedErrorModel::logProbStep(int distance,
+                                       int step_error) const
+{
+    if (step_error == 0)
+        rtm_panic("logProbStep: step_error must be non-zero");
+    int mag = std::abs(step_error);
+    double rate = stepErrorRate(distance, mag);
+    if (rate <= 0.0)
+        return kNegInf;
+    double frac = step_error > 0 ? plus_fraction_
+                                 : 1.0 - plus_fraction_;
+    if (frac <= 0.0)
+        return kNegInf;
+    return std::log(rate) + std::log(frac);
+}
+
+double
+PaperCalibratedErrorModel::logProbStepRaw(int distance,
+                                          int step_error) const
+{
+    // Before STS only (1 - middle_fraction) of each rate manifests
+    // as a wall pinned in the wrong notch; the rest rests in the
+    // flat region (stop-in-middle).
+    double lp = logProbStep(distance, step_error);
+    if (middle_fraction_ >= 1.0)
+        return -std::numeric_limits<double>::infinity();
+    return lp + std::log(1.0 - middle_fraction_);
+}
+
+double
+PaperCalibratedErrorModel::logProbStopInMiddle(int distance,
+                                               int interval_floor)
+    const
+{
+    // Before STS, a fraction of each +/-k error mass is actually a
+    // wall resting in the adjacent flat region. A positive-direction
+    // STS pushes walls in interval (k, k+1) to step error k + 1, so
+    // the pre-STS interval that feeds +k errors is (k-1, k); for -k
+    // errors it is (-k, -k+1).
+    if (middle_fraction_ <= 0.0)
+        return kNegInf;
+    double rate = 0.0;
+    // interval (interval_floor, interval_floor + 1)
+    int plus_k = interval_floor + 1; // +k error it becomes after STS
+    if (plus_k >= 1 && plus_k <= maxStepError()) {
+        rate += stepErrorRate(distance, plus_k) * plus_fraction_ *
+                middle_fraction_;
+    }
+    int minus_k = -interval_floor; // -k error it becomes after -STS
+    if (minus_k >= 1 && minus_k <= maxStepError()) {
+        rate += stepErrorRate(distance, minus_k) *
+                (1.0 - plus_fraction_) * middle_fraction_;
+    }
+    return rate > 0.0 ? std::log(rate) : kNegInf;
+}
+
+double
+ZeroErrorModel::logProbStep(int, int) const
+{
+    return kNegInf;
+}
+
+double
+ZeroErrorModel::logProbStopInMiddle(int, int) const
+{
+    return kNegInf;
+}
+
+ShiftOutcome
+ZeroErrorModel::sample(Rng &, int, bool) const
+{
+    return ShiftOutcome{};
+}
+
+ScaledErrorModel::ScaledErrorModel(
+    std::shared_ptr<const PositionErrorModel> base, double factor)
+    : base_(std::move(base)), log_factor_(std::log(factor))
+{
+    if (!base_)
+        rtm_fatal("ScaledErrorModel: null base model");
+    if (!(factor > 0.0))
+        rtm_fatal("ScaledErrorModel: factor must be positive");
+}
+
+double
+ScaledErrorModel::logProbStep(int distance, int step_error) const
+{
+    double lp = base_->logProbStep(distance, step_error) + log_factor_;
+    return std::min(lp, std::log(0.5));
+}
+
+double
+ScaledErrorModel::logProbStopInMiddle(int distance,
+                                      int interval_floor) const
+{
+    double lp = base_->logProbStopInMiddle(distance, interval_floor) +
+                log_factor_;
+    return std::min(lp, std::log(0.5));
+}
+
+double
+ScaledErrorModel::logProbStepRaw(int distance, int step_error) const
+{
+    double lp = base_->logProbStepRaw(distance, step_error) +
+                log_factor_;
+    return std::min(lp, std::log(0.5));
+}
+
+int
+ScaledErrorModel::maxStepError() const
+{
+    return base_->maxStepError();
+}
+
+ScriptedErrorModel::ScriptedErrorModel(std::vector<ShiftOutcome> script)
+    : script_(std::move(script))
+{
+}
+
+double
+ScriptedErrorModel::logProbStep(int, int) const
+{
+    return kNegInf;
+}
+
+double
+ScriptedErrorModel::logProbStopInMiddle(int, int) const
+{
+    return kNegInf;
+}
+
+ShiftOutcome
+ScriptedErrorModel::sample(Rng &, int, bool) const
+{
+    if (pos_ < script_.size())
+        return script_[pos_++];
+    return ShiftOutcome{};
+}
+
+} // namespace rtm

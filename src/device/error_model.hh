@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Position-error models for shift operations.
+ *
+ * A shift of N steps can end in one of three ways (paper Sec. 3.1):
+ *  - success: every wall pinned in its target notch;
+ *  - out-of-step (+/-k): walls pinned, but k pitches past/short of the
+ *    target;
+ *  - stop-in-middle: walls left in a flat region, reads are undefined.
+ *
+ * Models expose per-distance log-probabilities for both error classes
+ * and can sample concrete outcomes for fault injection. The default
+ * architecture-level model, PaperCalibratedErrorModel, reproduces the
+ * paper's published Table 2 rates (with power-law extrapolation beyond
+ * 7 steps) and an associated pre-STS stop-in-middle split, mirroring
+ * the paper's methodology of feeding device-model rates into the
+ * system simulator.
+ */
+
+#ifndef RTM_DEVICE_ERROR_MODEL_HH
+#define RTM_DEVICE_ERROR_MODEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace rtm
+{
+
+/** Result of one attempted shift operation. */
+struct ShiftOutcome
+{
+    /** Signed out-of-step error: walls ended this many steps beyond
+     *  (+) or short of (-) the requested distance. */
+    int step_error = 0;
+
+    /** True if walls stopped in a flat region (reads undefined).
+     *  When set, step_error holds the floor of the resting interval:
+     *  the walls sit between step_error and step_error + 1 pitches of
+     *  over/under-shift. */
+    bool stop_in_middle = false;
+
+    /** True iff the shift landed exactly where requested. */
+    bool ok() const { return step_error == 0 && !stop_in_middle; }
+};
+
+/**
+ * Interface: probability model for position errors of a single stripe
+ * shift of a given distance.
+ *
+ * Probabilities are returned as natural logs; impossible outcomes
+ * return -infinity. "after STS" refers to the two-stage sub-threshold
+ * shift of Sec. 4.1 which converts stop-in-middle outcomes into
+ * out-of-step ones.
+ */
+class PositionErrorModel
+{
+  public:
+    virtual ~PositionErrorModel() = default;
+
+    /**
+     * Log-probability that an N-step shift with STS ends with signed
+     * out-of-step error k (k != 0).
+     */
+    virtual double logProbStep(int distance, int step_error) const = 0;
+
+    /**
+     * Log-probability that an N-step shift *without* the STS stage
+     * stops in the flat region between over-shift k and k+1.
+     */
+    virtual double logProbStopInMiddle(int distance,
+                                       int interval_floor) const = 0;
+
+    /**
+     * Log-probability that an N-step shift *without* STS ends pinned
+     * in the wrong notch with signed error k. Post-STS rates fold the
+     * flat-region mass into +1 more step, so the raw out-of-step
+     * share is strictly smaller; the default assumes no difference.
+     */
+    virtual double logProbStepRaw(int distance, int step_error) const;
+
+    /** Log-probability that an N-step shift (with STS) is correct. */
+    double logProbSuccess(int distance) const;
+
+    /**
+     * Log-probability of any out-of-step error of magnitude >= k for
+     * an N-step shift with STS (sum over both signs).
+     */
+    double logProbAtLeast(int distance, int magnitude) const;
+
+    /** Sample one outcome for an N-step shift. */
+    virtual ShiftOutcome sample(Rng &rng, int distance,
+                                bool sts_enabled) const;
+
+    /** Largest |k| this model assigns non-negligible probability. */
+    virtual int maxStepError() const { return 4; }
+};
+
+/**
+ * Paper-calibrated model: Table 2 rates for distances 1..7, power-law
+ * extrapolation beyond, split between + and - errors by a configurable
+ * asymmetry (the paper notes + errors dominate because the drive is
+ * above threshold).
+ */
+class PaperCalibratedErrorModel : public PositionErrorModel
+{
+  public:
+    /**
+     * @param plus_fraction share of each |k| rate assigned to +k
+     * @param pre_sts_middle_fraction share of the raw per-|k| error
+     *        mass that manifests as stop-in-middle before STS
+     */
+    explicit PaperCalibratedErrorModel(
+        double plus_fraction = 0.8,
+        double pre_sts_middle_fraction = 0.85);
+
+    double logProbStep(int distance, int step_error) const override;
+    double logProbStopInMiddle(int distance,
+                               int interval_floor) const override;
+    double logProbStepRaw(int distance,
+                          int step_error) const override;
+    int maxStepError() const override { return 3; }
+
+    /** Combined +/-k rate for an N-step shift (linear domain). */
+    double stepErrorRate(int distance, int magnitude) const;
+
+  private:
+    double plus_fraction_;
+    double middle_fraction_;
+};
+
+/** Error-free model for functional testing. */
+class ZeroErrorModel : public PositionErrorModel
+{
+  public:
+    double logProbStep(int, int) const override;
+    double logProbStopInMiddle(int, int) const override;
+    ShiftOutcome sample(Rng &, int, bool) const override;
+    int maxStepError() const override { return 0; }
+};
+
+/**
+ * Wrapper that scales another model's error rates by a constant factor
+ * (used by ablation benches and accelerated fault-injection tests).
+ */
+class ScaledErrorModel : public PositionErrorModel
+{
+  public:
+    ScaledErrorModel(std::shared_ptr<const PositionErrorModel> base,
+                     double factor);
+
+    double logProbStep(int distance, int step_error) const override;
+    double logProbStopInMiddle(int distance,
+                               int interval_floor) const override;
+    double logProbStepRaw(int distance,
+                          int step_error) const override;
+    int maxStepError() const override;
+
+  private:
+    std::shared_ptr<const PositionErrorModel> base_;
+    double log_factor_;
+};
+
+/**
+ * Deterministic scripted model: pops outcomes from a fixed list
+ * (useful for unit-testing correction logic with exact scenarios).
+ */
+class ScriptedErrorModel : public PositionErrorModel
+{
+  public:
+    /** Outcomes are consumed in order; afterwards shifts succeed. */
+    explicit ScriptedErrorModel(std::vector<ShiftOutcome> script);
+
+    double logProbStep(int, int) const override;
+    double logProbStopInMiddle(int, int) const override;
+    ShiftOutcome sample(Rng &, int, bool) const override;
+    int maxStepError() const override { return 8; }
+
+    /** Outcomes not yet consumed. */
+    size_t remaining() const { return script_.size() - pos_; }
+
+  private:
+    std::vector<ShiftOutcome> script_;
+    mutable size_t pos_ = 0;
+};
+
+} // namespace rtm
+
+#endif // RTM_DEVICE_ERROR_MODEL_HH

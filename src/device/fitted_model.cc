@@ -1,0 +1,138 @@
+#include "fitted_model.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/prob.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+} // anonymous namespace
+
+FittedErrorModel::FittedErrorModel(FittedModelParams params)
+    : params_(params)
+{
+    if (params_.sigma_step <= 0.0)
+        rtm_fatal("FittedErrorModel: sigma_step must be positive");
+    if (params_.resync_rho < 0.0 || params_.resync_rho >= 1.0)
+        rtm_fatal("FittedErrorModel: resync_rho must be in [0,1)");
+}
+
+double
+FittedErrorModel::sigmaAt(int distance) const
+{
+    // AR(1) variance after N steps:
+    //   var(N) = sigma^2 * (1 - rho^N) / (1 - rho) ... using rho as
+    // the per-step variance survival factor.
+    double rho = params_.resync_rho;
+    double n = static_cast<double>(distance);
+    double var = params_.sigma_step * params_.sigma_step *
+                 (1.0 - std::pow(rho, n)) / (1.0 - rho);
+    return std::sqrt(var);
+}
+
+double
+FittedErrorModel::meanAt(int distance) const
+{
+    // Drift saturates with the same AR(1) memory.
+    double rho = params_.resync_rho;
+    double n = static_cast<double>(distance);
+    return params_.drift * (1.0 - std::pow(rho, n)) / (1.0 - rho);
+}
+
+double
+FittedErrorModel::logGaussStep(int distance, int step_error) const
+{
+    // After a positive-direction STS stage, a deviation e lands the
+    // wall at final step error k iff e in (k - 1 + w, k + w], where w
+    // is the notch half width (walls inside notch k stay; walls in the
+    // flat after notch k are pushed into notch k+1).
+    double w = params_.notch_half_width;
+    double mu = meanAt(distance);
+    double sigma = sigmaAt(distance);
+    double k = static_cast<double>(step_error);
+    double hi = (k + w - mu) / sigma;
+    double lo = (k - 1.0 + w - mu) / sigma;
+    // P(lo < Z <= hi) = Q(lo) - Q(hi)
+    return logDiffExp(logNormalTail(lo), logNormalTail(hi));
+}
+
+double
+FittedErrorModel::logSkipStep(int distance, int step_error) const
+{
+    if (std::abs(step_error) < 2)
+        return kNegInf;
+    // A skip (stall) event displaces the wall one whole pitch forward
+    // (backward). A |k|-step error requires |k| - 1 such events plus a
+    // +/-1 Gaussian excursion, or |k| events with a clean core; the
+    // first term dominates at our rates.
+    int events = std::abs(step_error) - 1;
+    double log_event = params_.log_skip_base +
+                       params_.skip_growth *
+                       static_cast<double>(distance - 1);
+    // Backward (stall) events are possible but rarer: reuse the
+    // Gaussian +/-1 asymmetry via the sign of the +/-1 excursion.
+    double lp = static_cast<double>(events) * log_event;
+    int excursion = step_error > 0 ? 1 : -1;
+    lp += logGaussStep(distance, excursion);
+    return lp;
+}
+
+double
+FittedErrorModel::logProbStep(int distance, int step_error) const
+{
+    if (step_error == 0)
+        rtm_panic("logProbStep: step_error must be non-zero");
+    if (distance <= 0)
+        return kNegInf;
+    if (std::abs(step_error) == 1)
+        return logGaussStep(distance, step_error);
+    return logSumExp(logGaussStep(distance, step_error),
+                     logSkipStep(distance, step_error));
+}
+
+double
+FittedErrorModel::logProbStepRaw(int distance, int step_error) const
+{
+    // Pre-STS out-of-step: the deviation must land *inside* the
+    // wrong notch region (k - w, k + w], not merely past it.
+    if (distance <= 0 || step_error == 0)
+        return -std::numeric_limits<double>::infinity();
+    double w = params_.notch_half_width;
+    double mu = meanAt(distance);
+    double sigma = sigmaAt(distance);
+    double k = static_cast<double>(step_error);
+    double lo = (k - w - mu) / sigma;
+    double hi = (k + w - mu) / sigma;
+    double lp = logDiffExp(logNormalTail(lo), logNormalTail(hi));
+    if (std::abs(step_error) >= 2)
+        lp = logSumExp(lp, logSkipStep(distance, step_error));
+    return lp;
+}
+
+double
+FittedErrorModel::logProbStopInMiddle(int distance,
+                                      int interval_floor) const
+{
+    // Without STS, the wall rests wherever the stage-1 pulse leaves
+    // it. Deviation e in the flat interval (k + w, k + 1 - w) is a
+    // stop-in-middle between over-shift k and k+1.
+    if (distance <= 0)
+        return kNegInf;
+    double w = params_.notch_half_width;
+    double mu = meanAt(distance);
+    double sigma = sigmaAt(distance);
+    double k = static_cast<double>(interval_floor);
+    double lo = (k + w - mu) / sigma;
+    double hi = (k + 1.0 - w - mu) / sigma;
+    return logDiffExp(logNormalTail(lo), logNormalTail(hi));
+}
+
+} // namespace rtm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Monte-Carlo position-error extractor (paper Sec. 3.1, Fig. 4).
+ *
+ * Each trial samples a stripe geometry (Table 1 variations), walks a
+ * wall front through N pitches using the Eq. 2 timing model with
+ * per-notch re-synchronisation, and records where the front rests
+ * when the nominal stage-1 pulse ends. Outcomes are classified into
+ * the paper's Fig. 4 bins: exact +/-k out-of-step errors and the
+ * (k, k+1) stop-in-middle intervals. A Gaussian fit of the continuous
+ * deviation yields a FittedErrorModel whose closed-form tails cover
+ * probabilities far below direct sampling reach.
+ */
+
+#ifndef RTM_DEVICE_MONTECARLO_HH
+#define RTM_DEVICE_MONTECARLO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "device/fitted_model.hh"
+#include "device/params.hh"
+#include "device/timing.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace rtm
+{
+
+/** Fig. 4 style outcome bins for one shift distance. */
+struct ErrorPdf
+{
+    int distance = 0;          //!< shift distance in steps
+    uint64_t trials = 0;       //!< Monte-Carlo trials run
+
+    /** counts[k + offset] = exact out-of-step error k (k=0 is ok). */
+    IntTally step_counts;
+
+    /** middle_counts[k] = stop-in-middle in interval (k, k+1). */
+    IntTally middle_counts;
+
+    /** Continuous end-of-pulse deviation statistics (pitches). */
+    RunningStats deviation;
+
+    /** Empirical probability of exact out-of-step error k. */
+    double stepProbability(int k) const;
+
+    /** Empirical probability of stop-in-middle in (k, k+1). */
+    double middleProbability(int k) const;
+};
+
+/**
+ * Monte-Carlo simulator of stage-1 shift pulses.
+ */
+class PositionErrorMonteCarlo
+{
+  public:
+    /**
+     * @param params nominal device parameters
+     * @param seed   RNG seed (trials are deterministic given seed)
+     */
+    explicit PositionErrorMonteCarlo(const DeviceParams &params,
+                                     uint64_t seed = 12345);
+
+    /**
+     * Run trials for a given shift distance.
+     *
+     * @param distance steps per shift (>= 1)
+     * @param trials   number of Monte-Carlo trials
+     * @return per-bin outcome statistics
+     */
+    ErrorPdf run(int distance, uint64_t trials);
+
+    /**
+     * Simulate a single pulse; returns the continuous deviation of
+     * the wall front from its target, in pitches (positive = past).
+     */
+    double simulateDeviation(int distance, Rng &rng) const;
+
+    /**
+     * Fit the AR(1)-Gaussian core of a FittedErrorModel from
+     * Monte-Carlo deviation moments at two distances, keeping the
+     * tail (skip) parameters at their defaults.
+     */
+    FittedErrorModel fitModel(uint64_t trials_per_distance = 200000);
+
+    /** Re-synchronisation factor per notch transit (model input). */
+    double resyncRho() const { return resync_rho_; }
+
+    /** Per-step time jitter, relative to the nominal step time. */
+    double stepJitter() const;
+
+  private:
+    DeviceParams params_;
+    ShiftTiming timing_;
+    Rng rng_;
+    double resync_rho_;
+
+    /** Classify a continuous deviation into Fig. 4 bins. */
+    void classify(double deviation, ErrorPdf &pdf) const;
+};
+
+} // namespace rtm
+
+#endif // RTM_DEVICE_MONTECARLO_HH

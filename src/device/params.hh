@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Racetrack-memory device parameters (paper Table 1) and derived
+ * electrical quantities.
+ *
+ * The nominal values and standard deviations follow Table 1 of the
+ * paper; material constants (damping, non-adiabatic torque, gyromagnetic
+ * ratio, saturation magnetisation) follow the permalloy in-plane model
+ * the paper builds on (Hayashi's 1-D collective-coordinate model).
+ */
+
+#ifndef RTM_DEVICE_PARAMS_HH
+#define RTM_DEVICE_PARAMS_HH
+
+#include "util/rng.hh"
+
+namespace rtm
+{
+
+/**
+ * Nominal device parameters with process/environmental variation.
+ *
+ * All lengths are in metres, the pinning potential depth in J/m^3,
+ * current density in A/m^2, and times in seconds.
+ */
+struct DeviceParams
+{
+    // --- Table 1 nominal values -------------------------------------
+    double domain_wall_width = 5.0e-9;    //!< Delta, m
+    double pinning_depth = 1.2e3;         //!< V, J/m^3 (1.2 J/dm^3)
+    double pinning_width = 45.0e-9;       //!< d, m (notch region)
+    double flat_width = 150.0e-9;         //!< L, m (flat region)
+
+    // --- Table 1 relative standard deviations -----------------------
+    double sigma_wall_width = 0.02;   //!< sigma_Delta / Delta
+    double sigma_depth = 0.02;        //!< sigma_V / V
+    double sigma_width = 0.05;        //!< sigma_d / d
+    double sigma_flat = 0.05;         //!< sigma_L / d (as printed)
+
+    // --- material constants (in-plane permalloy) --------------------
+    // beta < alpha gives forward wall propagation in the
+    // collective-coordinate form of Eq. 1 and keeps the Eq. 2 flat
+    // time finite (it diverges at beta = 2 alpha).
+    double alpha = 0.02;              //!< Gilbert damping
+    double beta = 0.01;               //!< non-adiabatic torque
+    double gamma = 1.76e11;           //!< gyromagnetic ratio, rad/(s T)
+    double saturation_magnetisation = 8.6e5; //!< Ms, A/m
+    double spin_polarisation = 0.5;   //!< P
+
+    // --- drive ------------------------------------------------------
+    /**
+     * Shift current density J. The paper selects J = 2 * J0 where J0
+     * is the threshold density (1.24 A/um^2 total by calculation).
+     */
+    double shift_current_density = 1.24e12; //!< A/m^2
+
+    /** Overdrive ratio J / J0 used by the drive circuit. */
+    double overdrive = 2.0;
+
+    /** One notch-to-notch pitch (flat + notch region), metres. */
+    double pitch() const { return flat_width + pinning_width; }
+
+    /** Fraction of a pitch occupied by the notch region. */
+    double notchFraction() const { return pinning_width / pitch(); }
+
+    /**
+     * Threshold current density J0 below which a pinned wall cannot
+     * leave a notch region (derived from the pinning potential).
+     */
+    double thresholdCurrentDensity() const;
+
+    /**
+     * Spin-drift velocity u for a given current density, m/s.
+     * u = J * P * muB / (e * Ms).
+     */
+    double spinVelocity(double current_density) const;
+
+    /** Spin velocity at the configured shift current. */
+    double driveVelocity() const;
+};
+
+/**
+ * Perpendicular-anisotropy material preset (paper Sec. 3.1 and its
+ * reference [48]): much smaller domains (higher density) but larger
+ * relative process variation, hence higher position-error rates.
+ * The in-plane defaults above are the paper's evaluated material.
+ */
+DeviceParams perpendicularMaterial();
+
+/**
+ * One concrete sample of the varying parameters, drawn around the
+ * nominal DeviceParams. Process variation is per-stripe (fixed for a
+ * device); environmental variation is per-operation. The Monte-Carlo
+ * extractor treats both by resampling per trial, as the paper does.
+ */
+struct SampledParams
+{
+    double wall_width;
+    double pinning_depth;
+    double pinning_width;
+    double flat_width;
+};
+
+/** Draw one variation sample. Values are clamped to stay positive. */
+SampledParams sampleParams(const DeviceParams &nominal, Rng &rng);
+
+} // namespace rtm
+
+#endif // RTM_DEVICE_PARAMS_HH

@@ -1,0 +1,196 @@
+#include "stripe.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+Bit
+invert(Bit b)
+{
+    switch (b) {
+      case Bit::Zero: return Bit::One;
+      case Bit::One: return Bit::Zero;
+      default: return Bit::X;
+    }
+}
+
+char
+bitChar(Bit b)
+{
+    switch (b) {
+      case Bit::Zero: return '0';
+      case Bit::One: return '1';
+      default: return 'x';
+    }
+}
+
+RacetrackStripe::RacetrackStripe(int wire_slots, std::vector<Port> ports,
+                                 const PositionErrorModel *model,
+                                 Rng rng)
+    : wire_(static_cast<size_t>(wire_slots), Bit::X),
+      ports_(std::move(ports)), model_(model), rng_(rng)
+{
+    if (wire_slots <= 0)
+        rtm_fatal("stripe needs at least one domain slot");
+    if (!model_)
+        rtm_fatal("stripe needs an error model (use ZeroErrorModel)");
+    for (const auto &p : ports_) {
+        if (p.wire_slot < 0 || p.wire_slot >= wire_slots) {
+            rtm_fatal("port slot %d outside wire of %d slots",
+                      p.wire_slot, wire_slots);
+        }
+    }
+}
+
+const Port &
+RacetrackStripe::port(int index) const
+{
+    if (index < 0 || index >= portCount())
+        rtm_panic("port index %d out of range", index);
+    return ports_[static_cast<size_t>(index)];
+}
+
+void
+RacetrackStripe::poke(int slot, Bit value)
+{
+    if (slot < 0 || slot >= wireSlots())
+        rtm_panic("poke slot %d out of range", slot);
+    wire_[static_cast<size_t>(slot)] = value;
+}
+
+Bit
+RacetrackStripe::peek(int slot) const
+{
+    if (slot < 0 || slot >= wireSlots())
+        rtm_panic("peek slot %d out of range", slot);
+    return wire_[static_cast<size_t>(slot)];
+}
+
+void
+RacetrackStripe::moveTape(int actual)
+{
+    if (actual == 0)
+        return;
+    int n = wireSlots();
+    if (actual > 0) {
+        int k = std::min(actual, n);
+        // Right shift: slot i receives slot i-k; left end gets X.
+        for (int i = n - 1; i >= k; --i)
+            wire_[i] = wire_[i - k];
+        for (int i = 0; i < k; ++i)
+            wire_[i] = Bit::X;
+    } else {
+        int k = std::min(-actual, n);
+        for (int i = 0; i < n - k; ++i)
+            wire_[i] = wire_[i + k];
+        for (int i = n - k; i < n; ++i)
+            wire_[i] = Bit::X;
+    }
+    true_offset_ += actual;
+    steps_moved_ += static_cast<uint64_t>(std::abs(actual));
+}
+
+ShiftOutcome
+RacetrackStripe::doShift(int distance, bool sts)
+{
+    ++shift_ops_;
+    if (misaligned_) {
+        // Walls between notches: a fresh drive pulse re-enters the
+        // notch lattice; model this as first completing the pending
+        // positive half-step (as STS stage 2 would).
+        applyStsStage2();
+    }
+    if (distance == 0)
+        return ShiftOutcome{};
+    int magnitude = std::abs(distance);
+    int direction = distance > 0 ? 1 : -1;
+    ShiftOutcome out = model_->sample(rng_, magnitude, sts);
+    // The sampled outcome is expressed in the direction of motion.
+    int actual = direction * (magnitude + out.step_error);
+    moveTape(actual);
+    misaligned_ = out.stop_in_middle;
+    return out;
+}
+
+ShiftOutcome
+RacetrackStripe::shift(int distance)
+{
+    return doShift(distance, true);
+}
+
+ShiftOutcome
+RacetrackStripe::shiftRaw(int distance)
+{
+    return doShift(distance, false);
+}
+
+void
+RacetrackStripe::resetTracking()
+{
+    true_offset_ = 0;
+    misaligned_ = false;
+}
+
+void
+RacetrackStripe::applyStsStage2()
+{
+    if (!misaligned_)
+        return;
+    // A positive sub-threshold pulse advances walls out of the flat
+    // region into the next notch: one more step of tape movement.
+    moveTape(1);
+    misaligned_ = false;
+}
+
+Bit
+RacetrackStripe::read(int port_index) const
+{
+    const Port &p = port(port_index);
+    if (misaligned_)
+        return Bit::X;
+    return wire_[static_cast<size_t>(p.wire_slot)];
+}
+
+bool
+RacetrackStripe::write(int port_index, Bit value)
+{
+    const Port &p = port(port_index);
+    if (p.kind != PortKind::ReadWrite)
+        rtm_panic("write through read-only port %d", port_index);
+    if (misaligned_)
+        return false;
+    wire_[static_cast<size_t>(p.wire_slot)] = value;
+    return true;
+}
+
+ShiftOutcome
+RacetrackStripe::shiftAndWrite(Bit entering, bool from_left)
+{
+    // Shift-and-write advances exactly one step; the entering domain
+    // at the tape end is programmed by the end write port while it
+    // passes, so it carries `entering` instead of X.
+    ShiftOutcome out = doShift(from_left ? 1 : -1, true);
+    int n = wireSlots();
+    if (from_left) {
+        // Entering domains occupy the left end; the *last* injected
+        // one (slot actual-1 .. but after an over-shift several X
+        // domains entered; the write port only programmed the final
+        // one passing it, which now sits at slot (actual - 1) for
+        // actual >= 1. For simplicity and pessimism we program slot
+        // 0's neighbour chain: only the domain currently at the end
+        // write port, i.e. slot 0 after a correct 1-step shift.
+        int slot = 0;
+        if (!misaligned_ && slot < n)
+            wire_[static_cast<size_t>(slot)] = entering;
+    } else {
+        int slot = n - 1;
+        if (!misaligned_ && slot >= 0)
+            wire_[static_cast<size_t>(slot)] = entering;
+    }
+    return out;
+}
+
+} // namespace rtm

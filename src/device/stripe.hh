@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Functional model of one racetrack-memory stripe (nanowire).
+ *
+ * The wire is a fixed array of domain slots. Shifting moves every
+ * domain's content along the wire: a right shift by k moves slot i's
+ * value to slot i+k, injects k undefined domains at the left end, and
+ * destroys the k right-most domains (data loss at the wire ends is
+ * physical and is exactly what guard domains protect against).
+ *
+ * Position errors are injected at shift time from a PositionErrorModel:
+ * the *requested* distance and the *actual* distance may differ, and a
+ * stop-in-middle outcome leaves every read undefined until a
+ * re-aligning operation (STS stage 2) completes.
+ *
+ * The stripe itself has no notion of p-ECC or segments; those live in
+ * the codec and control layers, which decide where ports are placed
+ * and what the believed cumulative offset is.
+ */
+
+#ifndef RTM_DEVICE_STRIPE_HH
+#define RTM_DEVICE_STRIPE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "device/error_model.hh"
+#include "util/rng.hh"
+
+namespace rtm
+{
+
+/** Tri-state domain content: 0, 1, or undefined. */
+enum class Bit : uint8_t
+{
+    Zero = 0,
+    One = 1,
+    X = 2 //!< undefined (freshly injected domain or misaligned read)
+};
+
+/** Flip a defined bit; X stays X. */
+Bit invert(Bit b);
+
+/** Convert to char for debugging ('0', '1', 'x'). */
+char bitChar(Bit b);
+
+/** Kinds of access ports along the wire (paper Fig. 2). */
+enum class PortKind : uint8_t
+{
+    ReadOnly,  //!< sense amplifier only
+    ReadWrite  //!< sense + write drivers (2 extra reference domains)
+};
+
+/** One access port attached at a fixed wire slot. */
+struct Port
+{
+    int wire_slot = 0;
+    PortKind kind = PortKind::ReadOnly;
+};
+
+/**
+ * Functional stripe with fault injection.
+ */
+class RacetrackStripe
+{
+  public:
+    /**
+     * @param wire_slots total number of domain slots on the wire
+     * @param ports      access ports (slots must be within the wire)
+     * @param model      position-error model (may be ZeroErrorModel)
+     * @param rng        RNG used for fault injection
+     */
+    RacetrackStripe(int wire_slots, std::vector<Port> ports,
+                    const PositionErrorModel *model, Rng rng);
+
+    /** Number of domain slots on the wire. */
+    int wireSlots() const { return static_cast<int>(wire_.size()); }
+
+    /** Number of attached ports. */
+    int portCount() const { return static_cast<int>(ports_.size()); }
+
+    /** Port descriptor (for layout introspection). */
+    const Port &port(int index) const;
+
+    /** Set a domain's content directly (initialisation only). */
+    void poke(int slot, Bit value);
+
+    /** Inspect a domain's content directly (testing only). */
+    Bit peek(int slot) const;
+
+    /**
+     * Shift the tape by the requested distance with STS enabled.
+     * Positive = right. A position error sampled from the model may
+     * change the actual movement. Returns the injected outcome so
+     * callers (tests, stats) can observe ground truth; production
+     * controllers must *not* branch on it.
+     */
+    ShiftOutcome shift(int distance);
+
+    /**
+     * Shift without the STS stage: outcomes may be stop-in-middle.
+     */
+    ShiftOutcome shiftRaw(int distance);
+
+    /**
+     * Apply a (positive-direction) sub-threshold stage-2 pulse: a
+     * stop-in-middle state resolves by advancing walls to the next
+     * notch; an aligned tape is unaffected.
+     */
+    void applyStsStage2();
+
+    /** Read the domain under a port (X while misaligned). */
+    Bit read(int port_index) const;
+
+    /**
+     * Write through a read/write port. @pre the port is ReadWrite.
+     * Writing while misaligned is rejected (returns false): the
+     * shift-based write cannot land on a wall boundary.
+     */
+    bool write(int port_index, Bit value);
+
+    /**
+     * Shift right by one step and write a bit into the left-most
+     * domain as it enters (the p-ECC-O "shift-and-write", which needs
+     * a write port at the wire end). Subject to fault injection like
+     * any other 1-step shift.
+     */
+    ShiftOutcome shiftAndWrite(Bit entering, bool from_left);
+
+    /** True if the last shift left walls between notches. */
+    bool misaligned() const { return misaligned_; }
+
+    /**
+     * Ground-truth cumulative offset actually applied (steps, right
+     * positive). Controllers track their own believed offset; the
+     * difference is the current position error.
+     */
+    int trueOffset() const { return true_offset_; }
+
+    /**
+     * Reset the ground-truth position bookkeeping to "home".
+     * For use by initialisation paths that rebuild the physical
+     * contents via poke(): after a rebuild the tape *is* at its
+     * home alignment, so the stale offset/misalignment state from
+     * before the rebuild must not survive it.
+     */
+    void resetTracking();
+
+    /** Total shift steps actually moved (for energy accounting). */
+    uint64_t stepsMoved() const { return steps_moved_; }
+
+    /** Number of shift operations attempted. */
+    uint64_t shiftOps() const { return shift_ops_; }
+
+  private:
+    std::vector<Bit> wire_;
+    std::vector<Port> ports_;
+    const PositionErrorModel *model_;
+    Rng rng_;
+    bool misaligned_ = false;
+    int true_offset_ = 0;
+    uint64_t steps_moved_ = 0;
+    uint64_t shift_ops_ = 0;
+
+    /** Move tape content by the actual distance (with data loss). */
+    void moveTape(int actual);
+
+    ShiftOutcome doShift(int distance, bool sts);
+};
+
+} // namespace rtm
+
+#endif // RTM_DEVICE_STRIPE_HH

@@ -1,0 +1,95 @@
+#include "timing.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+ShiftTiming::ShiftTiming(const DeviceParams &params)
+    : params_(params), velocity_(params.driveVelocity())
+{
+    if (velocity_ <= 0.0)
+        rtm_fatal("non-positive drive velocity");
+    SampledParams nominal{params.domain_wall_width,
+                          params.pinning_depth,
+                          params.pinning_width,
+                          params.flat_width};
+    double raw = rawFlatTime(nominal) + rawNotchTime(nominal);
+    if (raw <= 0.0)
+        rtm_fatal("degenerate nominal step time");
+    calibration_ = kStage1PerStepSeconds / raw;
+    nominal_step_time_ = kStage1PerStepSeconds;
+}
+
+double
+ShiftTiming::rawFlatTime(const SampledParams &s) const
+{
+    double two_ab = 2.0 * params_.alpha - params_.beta;
+    if (two_ab == 0.0)
+        rtm_fatal("2*alpha == beta leads to divergent flat time");
+    return params_.alpha * s.flat_width /
+           (std::abs(two_ab) * velocity_);
+}
+
+double
+ShiftTiming::rawNotchTime(const SampledParams &s) const
+{
+    // tau = alpha * Ms * d / (V * Delta * gamma)
+    double tau = params_.alpha * params_.saturation_magnetisation *
+                 s.pinning_width /
+                 (s.pinning_depth * s.wall_width * params_.gamma);
+    // delta_l = u d Ms (2a - b) / (V Delta gamma) - L - d. The paper's
+    // unit conventions can drive the subtraction negative; the physical
+    // requirement is delta_l > 0 (the wall does escape), so we floor
+    // the effective escape length at a small fraction of the notch.
+    double two_ab = std::abs(2.0 * params_.alpha - params_.beta);
+    double delta_l = velocity_ * s.pinning_width *
+                     params_.saturation_magnetisation * two_ab /
+                     (s.pinning_depth * s.wall_width * params_.gamma) -
+                     s.flat_width - s.pinning_width;
+    double floor = 0.05 * s.pinning_width;
+    if (delta_l < floor)
+        delta_l = floor;
+    return tau * std::log1p(s.pinning_width / delta_l);
+}
+
+double
+ShiftTiming::flatTime(const SampledParams &s) const
+{
+    return calibration_ * rawFlatTime(s);
+}
+
+double
+ShiftTiming::notchTime(const SampledParams &s) const
+{
+    return calibration_ * rawNotchTime(s);
+}
+
+double
+ShiftTiming::stepTime(const SampledParams &s) const
+{
+    return flatTime(s) + notchTime(s);
+}
+
+double
+ShiftTiming::pulseWidth(int steps) const
+{
+    if (steps < 0)
+        rtm_panic("pulseWidth(%d): negative distance", steps);
+    return nominal_step_time_ * static_cast<double>(steps);
+}
+
+bool
+ShiftTiming::aboveThreshold(const SampledParams &s,
+                            double current_density) const
+{
+    // Depinning threshold scales linearly with the sampled potential
+    // depth relative to nominal: a deeper notch needs more current.
+    double j0 = params_.thresholdCurrentDensity() *
+                (s.pinning_depth / params_.pinning_depth);
+    return current_density > j0;
+}
+
+} // namespace rtm

@@ -1,0 +1,102 @@
+#include "variation.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/prob.hh"
+
+namespace rtm
+{
+
+StripeVariationModel::StripeVariationModel(double sigma)
+    : sigma_(sigma)
+{
+    if (sigma_ < 0.0)
+        rtm_fatal("variation sigma must be non-negative");
+}
+
+double
+StripeVariationModel::sampleMultiplier(Rng &rng) const
+{
+    return std::exp(sigma_ * rng.gaussian());
+}
+
+double
+StripeVariationModel::meanMultiplier() const
+{
+    return std::exp(0.5 * sigma_ * sigma_);
+}
+
+double
+StripeVariationModel::tailFraction(double threshold) const
+{
+    if (threshold <= 0.0)
+        return 1.0;
+    if (sigma_ == 0.0)
+        return threshold < 1.0 ? 1.0 : 0.0;
+    return normalTail(std::log(threshold) / sigma_);
+}
+
+double
+StripeVariationModel::screenedMeanMultiplier(double threshold) const
+{
+    if (sigma_ == 0.0)
+        return 1.0;
+    double z = std::log(threshold) / sigma_;
+    double keep = 1.0 - normalTail(z);
+    if (keep <= 0.0)
+        return 0.0;
+    // E[m; m <= t] = exp(s^2/2) * Phi(z - s) for lognormal m.
+    double partial =
+        meanMultiplier() * (1.0 - normalTail(z - sigma_));
+    return partial / keep;
+}
+
+std::vector<ScreeningOutcome>
+evaluateScreening(const StripeVariationModel &model,
+                  const std::vector<double> &thresholds)
+{
+    std::vector<ScreeningOutcome> out;
+    double unscreened = model.meanMultiplier();
+    for (double t : thresholds) {
+        ScreeningOutcome o;
+        o.threshold = t;
+        o.disabled_fraction = model.tailFraction(t);
+        o.rate_inflation = model.screenedMeanMultiplier(t);
+        o.mttf_recovery =
+            o.rate_inflation > 0.0 ? unscreened / o.rate_inflation
+                                   : 0.0;
+        out.push_back(o);
+    }
+    return out;
+}
+
+ScreeningOutcome
+sampleScreening(const StripeVariationModel &model, uint64_t stripes,
+                double threshold, Rng &rng)
+{
+    ScreeningOutcome o;
+    o.threshold = threshold;
+    double sum_all = 0.0, sum_kept = 0.0;
+    uint64_t kept = 0;
+    for (uint64_t i = 0; i < stripes; ++i) {
+        double m = model.sampleMultiplier(rng);
+        sum_all += m;
+        if (m <= threshold) {
+            sum_kept += m;
+            ++kept;
+        }
+    }
+    o.disabled_fraction =
+        1.0 - static_cast<double>(kept) /
+                  static_cast<double>(stripes);
+    o.rate_inflation =
+        kept ? sum_kept / static_cast<double>(kept) : 0.0;
+    double unscreened = sum_all / static_cast<double>(stripes);
+    o.mttf_recovery = o.rate_inflation > 0.0
+                          ? unscreened / o.rate_inflation
+                          : 0.0;
+    return o;
+}
+
+} // namespace rtm

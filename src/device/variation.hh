@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-stripe process variation and chip screening.
+ *
+ * Table 1's parameter sigmas lump process (fixed per stripe) and
+ * environmental (per operation) variation; the Monte-Carlo
+ * extractor resamples both per trial, which the paper also does.
+ * This module models the part that matters at chip scale: the
+ * *fixed* per-stripe component makes some stripes permanently worse
+ * than nominal. Because failure rates sum across stripes, a chip's
+ * aggregate error rate exceeds the nominal-stripe prediction by the
+ * mean of the per-stripe multiplier (Jensen's inequality on the
+ * lognormal), and a small tail of outlier stripes dominates.
+ *
+ * The paper's answer, in passing: "such rare malfunction racetrack
+ * stripes can be disabled during chip testing". This module
+ * quantifies that remark - how much screening recovers, and what it
+ * costs in capacity.
+ */
+
+#ifndef RTM_DEVICE_VARIATION_HH
+#define RTM_DEVICE_VARIATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace rtm
+{
+
+/**
+ * Lognormal per-stripe error-rate multiplier model: stripe i's
+ * position-error rates are the nominal rates times
+ * m_i = exp(sigma * Z_i). The *median* stripe is exactly nominal
+ * (device characterisation measures a typical stripe), so the mean
+ * multiplier exp(sigma^2 / 2) > 1 is pure tail inflation.
+ */
+class StripeVariationModel
+{
+  public:
+    /**
+     * @param sigma lognormal shape (0 = no process variation;
+     *        0.5-1.5 spans optimistic to pessimistic etching)
+     */
+    explicit StripeVariationModel(double sigma);
+
+    /** Sample one stripe's rate multiplier. */
+    double sampleMultiplier(Rng &rng) const;
+
+    /** Mean multiplier E[m] (the chip-rate inflation factor). */
+    double meanMultiplier() const;
+
+    /**
+     * Fraction of stripes whose multiplier exceeds `threshold`
+     * (the screening candidates).
+     */
+    double tailFraction(double threshold) const;
+
+    /**
+     * Mean multiplier of the stripes that survive screening at
+     * `threshold` (disabled stripes excluded and the mean taken
+     * over the survivors).
+     */
+    double screenedMeanMultiplier(double threshold) const;
+
+    double sigma() const { return sigma_; }
+
+  private:
+    double sigma_;
+};
+
+/** Aggregate effect of screening on one chip. */
+struct ScreeningOutcome
+{
+    double threshold = 0.0;       //!< disable stripes above this
+    double disabled_fraction = 0; //!< capacity lost to screening
+    double rate_inflation = 1.0;  //!< chip rate vs nominal, after
+    double mttf_recovery = 1.0;   //!< MTTF gain vs unscreened
+};
+
+/**
+ * Evaluate screening at a set of thresholds (analytic, using the
+ * lognormal closed forms).
+ */
+std::vector<ScreeningOutcome>
+evaluateScreening(const StripeVariationModel &model,
+                  const std::vector<double> &thresholds);
+
+/**
+ * Empirical check: sample `stripes` multipliers and compute the
+ * realised chip-rate inflation with and without screening at
+ * `threshold` (used by tests to validate the closed forms).
+ */
+ScreeningOutcome
+sampleScreening(const StripeVariationModel &model, uint64_t stripes,
+                double threshold, Rng &rng);
+
+} // namespace rtm
+
+#endif // RTM_DEVICE_VARIATION_HH

@@ -1,0 +1,162 @@
+#include "cache.hh"
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+double
+CacheStats::missRate() const
+{
+    uint64_t total = accesses();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(misses()) /
+           static_cast<double>(total);
+}
+
+Cache::Cache(uint64_t capacity_bytes, int associativity,
+             int line_bytes)
+    : capacity_(capacity_bytes), ways_(associativity),
+      line_bytes_(line_bytes)
+{
+    if (ways_ < 1)
+        rtm_fatal("cache needs at least one way");
+    if (!isPowerOfTwo(static_cast<uint64_t>(line_bytes_)))
+        rtm_fatal("line size must be a power of two");
+    uint64_t lines = capacity_ / static_cast<uint64_t>(line_bytes_);
+    if (lines == 0 || lines % static_cast<uint64_t>(ways_) != 0)
+        rtm_fatal("capacity %llu not divisible into %d-way sets",
+                  static_cast<unsigned long long>(capacity_), ways_);
+    sets_ = lines / static_cast<uint64_t>(ways_);
+    if (!isPowerOfTwo(sets_))
+        rtm_fatal("set count must be a power of two");
+    lines_.assign(lines, Line{});
+}
+
+uint64_t
+Cache::setOf(Addr addr) const
+{
+    return (addr / static_cast<uint64_t>(line_bytes_)) & (sets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / static_cast<uint64_t>(line_bytes_) / sets_;
+}
+
+Addr
+Cache::lineAddr(Addr tag, uint64_t set) const
+{
+    return (tag * sets_ + set) * static_cast<uint64_t>(line_bytes_);
+}
+
+Cache::Line &
+Cache::line(uint64_t set, int way)
+{
+    return lines_[set * static_cast<uint64_t>(ways_) +
+                  static_cast<uint64_t>(way)];
+}
+
+const Cache::Line &
+Cache::line(uint64_t set, int way) const
+{
+    return lines_[set * static_cast<uint64_t>(ways_) +
+                  static_cast<uint64_t>(way)];
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    uint64_t set = setOf(addr);
+    Addr tag = tagOf(addr);
+    for (int w = 0; w < ways_; ++w) {
+        const Line &l = line(set, w);
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    ++tick_;
+    uint64_t set = setOf(addr);
+    Addr tag = tagOf(addr);
+    CacheAccessResult res;
+
+    if (is_write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    int victim = 0;
+    bool victim_invalid = false;
+    uint64_t oldest = UINT64_MAX;
+    for (int w = 0; w < ways_; ++w) {
+        Line &l = line(set, w);
+        if (l.valid && l.tag == tag) {
+            l.lru = tick_;
+            if (is_write)
+                l.dirty = true;
+            res.hit = true;
+            res.frame_index = set * static_cast<uint64_t>(ways_) +
+                              static_cast<uint64_t>(w);
+            return res;
+        }
+        if (!l.valid) {
+            // Prefer the first invalid way; later invalid ways must
+            // not displace it (fill order matters for the racetrack
+            // frame mapping).
+            if (!victim_invalid) {
+                victim = w;
+                victim_invalid = true;
+            }
+        } else if (!victim_invalid && l.lru < oldest) {
+            victim = w;
+            oldest = l.lru;
+        }
+    }
+
+    // Miss: allocate over the LRU victim.
+    if (is_write)
+        ++stats_.write_misses;
+    else
+        ++stats_.read_misses;
+
+    Line &v = line(set, victim);
+    if (v.valid && v.dirty) {
+        res.writeback = true;
+        res.victim_addr = lineAddr(v.tag, set);
+        ++stats_.writebacks;
+    }
+    v.valid = true;
+    v.dirty = is_write;
+    v.tag = tag;
+    v.lru = tick_;
+    res.frame_index = set * static_cast<uint64_t>(ways_) +
+                      static_cast<uint64_t>(victim);
+    return res;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines_)
+        l = Line{};
+}
+
+} // namespace rtm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Set-associative write-back cache with LRU replacement.
+ *
+ * This is the tag-array substrate of the evaluation's three-level
+ * hierarchy (paper Table 4). It models hits, misses, allocations and
+ * dirty evictions; timing and energy are layered on top by the
+ * hierarchy and LLC models so the same tag logic serves SRAM, STT-RAM
+ * and racetrack configurations.
+ */
+
+#ifndef RTM_MEM_CACHE_HH
+#define RTM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rtm
+{
+
+/** Physical address type. */
+using Addr = uint64_t;
+
+/** Result of a cache lookup+allocate. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false;     //!< a dirty victim was evicted
+    Addr victim_addr = 0;       //!< line address of the victim
+    uint64_t frame_index = 0;   //!< set * assoc + way touched
+};
+
+/** Aggregate counters for one cache. */
+struct CacheStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t read_misses = 0;
+    uint64_t write_misses = 0;
+    uint64_t writebacks = 0;
+
+    uint64_t accesses() const { return reads + writes; }
+    uint64_t misses() const { return read_misses + write_misses; }
+    double missRate() const;
+};
+
+/**
+ * Tag-array model.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param capacity_bytes total data capacity
+     * @param associativity  ways per set
+     * @param line_bytes     line size (64 B in the paper)
+     */
+    Cache(uint64_t capacity_bytes, int associativity,
+          int line_bytes = 64);
+
+    /**
+     * Look up an address; allocate on miss (write-allocate policy).
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Invalidate everything (test support). */
+    void flush();
+
+    /** True if the line holding addr is currently resident. */
+    bool contains(Addr addr) const;
+
+    const CacheStats &stats() const { return stats_; }
+
+    uint64_t sets() const { return sets_; }
+    int ways() const { return ways_; }
+    int lineBytes() const { return line_bytes_; }
+    uint64_t capacityBytes() const { return capacity_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lru = 0; //!< larger = more recently used
+    };
+
+    uint64_t capacity_;
+    int ways_;
+    int line_bytes_;
+    uint64_t sets_;
+    uint64_t tick_ = 0;
+    std::vector<Line> lines_;
+    CacheStats stats_;
+
+    uint64_t setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr lineAddr(Addr tag, uint64_t set) const;
+    Line &line(uint64_t set, int way);
+    const Line &line(uint64_t set, int way) const;
+};
+
+} // namespace rtm
+
+#endif // RTM_MEM_CACHE_HH

@@ -1,0 +1,173 @@
+#include "hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+Hierarchy::Hierarchy(const HierarchyConfig &config,
+                     const PositionErrorModel *model)
+    : config_(config), l1_params_(l1Params()), l2_params_(l2Params()),
+      l3_params_(l3For(config.llc_tech)), dram_(dramParams())
+{
+    if (config_.cores < 1)
+        rtm_fatal("hierarchy needs at least one core");
+    if (config_.capacity_divisor == 0)
+        rtm_fatal("capacity divisor must be >= 1");
+    l1_params_.capacity_bytes /= config_.capacity_divisor;
+    l2_params_.capacity_bytes /= config_.capacity_divisor;
+    l3_params_.capacity_bytes /= config_.capacity_divisor;
+    uint64_t min_bytes =
+        static_cast<uint64_t>(config_.line_bytes) * 16;
+    if (l1_params_.capacity_bytes < min_bytes)
+        rtm_fatal("capacity divisor leaves L1 below %llu bytes",
+                  static_cast<unsigned long long>(min_bytes));
+    for (int c = 0; c < config_.cores; ++c) {
+        l1_.push_back(std::make_unique<Cache>(
+            l1_params_.capacity_bytes, config_.l1_ways,
+            config_.line_bytes));
+    }
+    int clusters = (config_.cores + 1) / 2;
+    for (int cl = 0; cl < clusters; ++cl) {
+        l2_.push_back(std::make_unique<Cache>(
+            l2_params_.capacity_bytes, config_.l2_ways,
+            config_.line_bytes));
+    }
+    l3_ = std::make_unique<Cache>(l3_params_.capacity_bytes,
+                                  config_.llc_ways,
+                                  config_.line_bytes);
+
+    if (config_.llc_tech == MemTech::Racetrack ||
+        config_.llc_tech == MemTech::RacetrackIdeal) {
+        if (!model)
+            rtm_fatal("racetrack LLC needs a position-error model");
+        RmBankConfig bank;
+        bank.line_frames = l3_params_.capacity_bytes /
+                           static_cast<uint64_t>(config_.line_bytes);
+        bank.frames_per_group = config_.frames_per_group;
+        bank.seg_len = config_.seg_len;
+        bank.scheme = config_.scheme;
+        bank.mttf_target_s = config_.mttf_target_s;
+        bank.head_policy = config_.head_policy;
+        bank.model_contention = config_.model_contention;
+        rm_bank_ = std::make_unique<RmBank>(bank, model, l3_params_);
+    }
+}
+
+const Cache &
+Hierarchy::l1(int core) const
+{
+    if (core < 0 || core >= config_.cores)
+        rtm_panic("core %d out of range", core);
+    return *l1_[static_cast<size_t>(core)];
+}
+
+const Cache &
+Hierarchy::l2(int cluster) const
+{
+    if (cluster < 0 ||
+        cluster >= static_cast<int>(l2_.size()))
+        rtm_panic("cluster %d out of range", cluster);
+    return *l2_[static_cast<size_t>(cluster)];
+}
+
+double
+Hierarchy::totalLeakageWatts() const
+{
+    double watts = l1_params_.leakage_watts *
+                   static_cast<double>(config_.cores);
+    watts += l2_params_.leakage_watts *
+             static_cast<double>(l2_.size());
+    watts += l3_params_.leakage_watts;
+    return watts;
+}
+
+HierarchyAccess
+Hierarchy::access(int core, Addr addr, bool is_write, Cycles now)
+{
+    if (core < 0 || core >= config_.cores)
+        rtm_panic("core %d out of range", core);
+    HierarchyAccess out;
+
+    // --- L1 -----------------------------------------------------------
+    Cache &l1c = *l1_[static_cast<size_t>(core)];
+    CacheAccessResult r1 = l1c.access(addr, is_write);
+    out.latency += is_write ? l1_params_.write_latency
+                            : l1_params_.read_latency;
+    out.energy += is_write ? l1_params_.write_energy
+                           : l1_params_.read_energy;
+    if (r1.hit) {
+        out.l1_hit = true;
+        return out;
+    }
+    // A dirty L1 victim writes through to L2 (energy only; the write
+    // happens off the critical path).
+    Cache &l2c = *l2_[static_cast<size_t>(core / 2)];
+    if (r1.writeback) {
+        l2c.access(r1.victim_addr, true);
+        out.energy += l2_params_.write_energy;
+    }
+
+    // --- L2 -----------------------------------------------------------
+    CacheAccessResult r2 = l2c.access(addr, is_write);
+    out.latency += is_write ? l2_params_.write_latency
+                            : l2_params_.read_latency;
+    out.energy += is_write ? l2_params_.write_energy
+                           : l2_params_.read_energy;
+    if (r2.hit) {
+        out.l2_hit = true;
+        return out;
+    }
+
+    // --- L3 -----------------------------------------------------------
+    CacheAccessResult r3 = l3_->access(addr, is_write);
+    out.latency += is_write ? l3_params_.write_latency
+                            : l3_params_.read_latency;
+    out.energy += is_write ? l3_params_.write_energy
+                           : l3_params_.read_energy;
+    if (rm_bank_) {
+        ShiftCost shift =
+            rm_bank_->accessFrame(r3.frame_index, now);
+        if (config_.llc_tech == MemTech::Racetrack) {
+            out.latency += shift.latency;
+            out.shift_cycles = shift.latency;
+            out.energy += shift.energy;
+        }
+        // RacetrackIdeal: shifts tracked but free (Fig. 16 "ideal").
+    }
+    if (r2.writeback) {
+        // L2 victim installs into L3 (off critical path, energy
+        // plus a racetrack shift for its frame if applicable).
+        CacheAccessResult wb = l3_->access(r2.victim_addr, true);
+        out.energy += l3_params_.write_energy;
+        if (rm_bank_) {
+            ShiftCost shift =
+                rm_bank_->accessFrame(wb.frame_index, now);
+            if (config_.llc_tech == MemTech::Racetrack)
+                out.energy += shift.energy;
+        }
+        if (wb.writeback) {
+            ++dram_accesses_;
+            dram_energy_ += dram_.access_energy;
+        }
+    }
+    if (r3.hit) {
+        out.l3_hit = true;
+        return out;
+    }
+
+    // --- DRAM ---------------------------------------------------------
+    out.dram_access = true;
+    ++dram_accesses_;
+    out.latency += dram_.access_latency;
+    out.energy += dram_.access_energy;
+    dram_energy_ += dram_.access_energy;
+    if (r3.writeback) {
+        ++dram_accesses_;
+        dram_energy_ += dram_.access_energy;
+        out.energy += dram_.access_energy;
+    }
+    return out;
+}
+
+} // namespace rtm

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Racetrack LLC shift engine (paper Sec. 6.1 data mapping).
+ *
+ * A 64-byte cache line is bit-interleaved across a group of 512
+ * stripes; each stripe holds 64 data domains split into 8 segments by
+ * default, so one stripe group stores 64 line frames. All stripes of
+ * a group share one shift controller and move in lockstep: serving a
+ * frame means shifting the group so the frame's segment-local index
+ * sits under the access ports.
+ *
+ * The engine tracks per-group head positions, plans shift sequences
+ * through the control layer's adapter policy, and reports per-access
+ * shift latency, energy and reliability decomposition. It deliberately
+ * does not move functional bits: the cache simulator only needs
+ * timing/energy/reliability, and the functional path is already
+ * exercised end-to-end by the codec/control tests.
+ */
+
+#ifndef RTM_MEM_RM_BANK_HH
+#define RTM_MEM_RM_BANK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "control/adapter.hh"
+#include "control/planner.hh"
+#include "control/sts.hh"
+#include "device/error_model.hh"
+#include "model/reliability.hh"
+#include "model/tech.hh"
+#include "util/stats.hh"
+
+namespace rtm
+{
+
+/** Shift cost of serving one frame access. */
+struct ShiftCost
+{
+    Cycles latency = 0;          //!< shift cycles on the access path
+    Cycles stall = 0;            //!< contention wait (in latency)
+    Joules energy = 0.0;         //!< shift + detection energy
+    int total_steps = 0;         //!< steps moved (all sub-shifts)
+    int sub_shifts = 0;          //!< number of shift operations
+};
+
+/** Aggregate shift-engine statistics. */
+struct RmBankStats
+{
+    uint64_t accesses = 0;
+    uint64_t shift_ops = 0;
+    uint64_t shift_steps = 0;
+    Cycles shift_cycles = 0;
+    Joules shift_energy = 0.0;
+    IntTally distance_histogram; //!< requested distances
+    MttfAccumulator reliability;
+};
+
+/**
+ * Head-position management policy: where the group's access heads
+ * rest after serving a request. The paper's intro credits "head
+ * management" techniques [39, 44] with much of racetrack's cache
+ * viability; these are the standard options from that literature.
+ */
+enum class HeadPolicy
+{
+    Stay,       //!< leave heads where the last access put them
+    ReturnHome, //!< drift back to offset 0 when idle
+    Center      //!< drift to the segment midpoint when idle
+};
+
+/** Human-readable head-policy name. */
+const char *headPolicyName(HeadPolicy policy);
+
+/** Configuration of the racetrack LLC shift engine. */
+struct RmBankConfig
+{
+    uint64_t line_frames = 0;  //!< cache line frames to back
+    int frames_per_group = 64; //!< data domains per stripe
+    int seg_len = 8;           //!< Lseg
+    int stripes_per_group = 512;
+    Scheme scheme = Scheme::PeccSAdaptive;
+    double peak_ops_per_second = 83e6; //!< paper's estimate
+    double mttf_target_s = kDefaultSafeMttfSeconds;
+
+    /**
+     * Requests serviced concurrently by interleaved sub-banks.
+     * Paper Sec. 5.3: "if multiple requests are serviced
+     * simultaneously by an interleaving technique, we only need to
+     * increase run-time intensity accordingly" - the adaptive policy
+     * divides the observed interval by this factor.
+     */
+    int interleave_ways = 1;
+
+    /** Head-rest policy applied when a group goes idle. */
+    HeadPolicy head_policy = HeadPolicy::Stay;
+
+    /**
+     * Model per-group occupancy: a request arriving while the
+     * group's previous shift sequence is still draining stalls for
+     * the remainder (adds to the returned latency).
+     */
+    bool model_contention = false;
+};
+
+/**
+ * Timing/energy/reliability model of all stripe groups in an LLC.
+ */
+class RmBank
+{
+  public:
+    /**
+     * @param config geometry + protection scheme
+     * @param model  position-error model (rates)
+     * @param tech   racetrack technology parameters (Table 4)
+     */
+    RmBank(const RmBankConfig &config,
+           const PositionErrorModel *model, const TechParams &tech);
+
+    /**
+     * Serve an access to a line frame at absolute time `now`.
+     * Computes the group's required head movement, plans it under
+     * the scheme's policy, and accumulates cost and reliability.
+     */
+    ShiftCost accessFrame(uint64_t frame_index, Cycles now);
+
+    /** Statistics accumulated so far. */
+    const RmBankStats &stats() const { return stats_; }
+
+    /** Reliability accumulator (mutable: simulator adds time). */
+    MttfAccumulator &reliability() { return stats_.reliability; }
+
+    /** The planner (bench introspection). */
+    const ShiftPlanner &planner() const { return planner_; }
+
+    /** Scheme in effect. */
+    Scheme scheme() const { return config_.scheme; }
+
+    /** Energy of one shift operation of `steps` steps (one group). */
+    Joules shiftOpEnergy(int steps) const;
+
+  private:
+    RmBankConfig config_;
+    const PositionErrorModel *model_;
+    TechParams tech_;
+    StsTiming timing_;
+    ShiftPlanner planner_;
+    ReliabilityModel reliability_model_;
+    ShiftPolicy policy_;
+    int worst_case_distance_;
+
+    /** Per-group head offset (believed == actual for timing). */
+    std::vector<int8_t> head_;
+    /** Per-group cycle until which the group is still shifting
+     *  (contention modelling). */
+    std::vector<Cycles> busy_until_;
+    /** Cycle of each group's previous access (idle-drift policy). */
+    std::vector<Cycles> last_access_;
+    /** Cycle of the previous shift operation anywhere in the bank.
+     *  The paper's adapter (Sec. 5.3) tracks one memory-wide
+     *  interval: "the interval between it and the last shift
+     *  operation"; a single counter and table is also what keeps the
+     *  hardware cost trivial. */
+    Cycles last_shift_;
+
+    RmBankStats stats_;
+
+    uint64_t groupOf(uint64_t frame) const;
+    int indexInGroup(uint64_t frame) const;
+
+    /** Apply the idle head-drift policy before serving at `now`. */
+    void applyHeadPolicy(uint64_t group, Cycles now);
+
+    /** Offset the head drifts to when the group idles. */
+    int restOffset() const;
+};
+
+} // namespace rtm
+
+#endif // RTM_MEM_RM_BANK_HH

@@ -1,0 +1,86 @@
+#include "area.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+double
+cellSizeF2(MemTech tech)
+{
+    switch (tech) {
+      case MemTech::SRAM:
+        return 125.0; // 6T cell incl. wiring
+      case MemTech::STTRAM:
+        return 15.6; // 1T1MTJ
+      case MemTech::Racetrack:
+      case MemTech::RacetrackIdeal:
+        return 3.9; // domains sharing 8 ports per 64-bit stripe
+    }
+    return 0.0;
+}
+
+uint64_t
+isoAreaCapacityBytes(MemTech tech, uint64_t sram_capacity_bytes)
+{
+    double ratio = cellSizeF2(MemTech::SRAM) / cellSizeF2(tech);
+    return static_cast<uint64_t>(
+        static_cast<double>(sram_capacity_bytes) * ratio + 0.5);
+}
+
+AreaModel::AreaModel(AreaModelParams params) : params_(params)
+{
+}
+
+double
+AreaModel::stripeArea(int domains, int read_ports, int rw_ports,
+                      int write_ports) const
+{
+    if (domains <= 0)
+        rtm_panic("stripeArea: need at least one domain");
+    double stripe = params_.f2_per_domain *
+                    static_cast<double>(domains);
+    double transistors =
+        params_.f2_per_read_port * static_cast<double>(read_ports) +
+        params_.f2_per_rw_port * static_cast<double>(rw_ports) +
+        params_.f2_per_write_port * static_cast<double>(write_ports);
+    int total_ports = read_ports + rw_ports + write_ports;
+    double peripheral =
+        params_.f2_peripheral_fixed +
+        params_.f2_peripheral_per_port *
+            static_cast<double>(total_ports);
+    // The stripe is stacked on the transistors: footprint is the
+    // larger of the two layers; peripheral circuitry always adds.
+    return std::max(stripe, transistors) + peripheral;
+}
+
+double
+AreaModel::areaPerDataBit(const PeccConfig &config) const
+{
+    PeccLayout lay = computeLayout(config);
+    // Baseline inventory: data + (Lseg - 1) overhead domains and one
+    // read/write port per segment.
+    int domains = config.dataDomains() + (config.seg_len - 1) +
+                  lay.extraDomains();
+    int rw_ports = config.num_segments;
+    int read_ports = lay.extraReadPorts();
+    int write_ports = lay.extraWritePorts();
+    double area = stripeArea(domains, read_ports, rw_ports,
+                             write_ports);
+    return area / static_cast<double>(config.dataDomains());
+}
+
+double
+AreaModel::areaPerBitWithPorts(int data_bits, int added_read_ports,
+                               int rw_ports) const
+{
+    // Fig. 7 uses a bare 64-bit stripe: data domains plus overhead
+    // equal to one segment's worth per the default mapping.
+    int domains = data_bits + data_bits / 8;
+    double area = stripeArea(domains, added_read_ports, rw_ports);
+    return area / static_cast<double>(data_bits);
+}
+
+} // namespace rtm

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Racetrack-memory area model (paper Sec. 4.2.3, Fig. 7 / Fig. 13).
+ *
+ * A stripe is stacked above its access transistors, so total footprint
+ * is the larger of the domain area and the transistor area, plus a
+ * small per-port peripheral term (sense amps, word-line drivers) that
+ * is never hidden under the stripe. With few ports the stripe
+ * dominates and an extra read port costs little; past the knee every
+ * port pays its full transistor footprint - reproducing the paper's
+ * observation and the shape of Fig. 7.
+ *
+ * Constants are calibrated to the circuit-level model the paper
+ * cites: ~6.8 F^2 per domain of stripe footprint (including wire
+ * pitch), 35 F^2 per read-only port (one access transistor), and
+ * 70 F^2 per read/write port (one extra transistor plus two pinned
+ * reference domains).
+ */
+
+#ifndef RTM_MODEL_AREA_HH
+#define RTM_MODEL_AREA_HH
+
+#include <cstdint>
+
+#include "codec/layout.hh"
+#include "model/tech.hh"
+
+namespace rtm
+{
+
+/**
+ * Effective cell size in F^2 per bit for the iso-area comparison of
+ * Table 4: the paper keeps LLC area constant across technologies,
+ * which with these cell sizes yields the 4 / 32 / 128 MB ladder
+ * (1 : 8 : 32). The racetrack number is the *effective* density
+ * including shared access transistors - raw domain density is
+ * higher still (the paper quotes up to 10x STT-RAM).
+ */
+double cellSizeF2(MemTech tech);
+
+/**
+ * Capacity at iso-area with an SRAM baseline of
+ * `sram_capacity_bytes` (Table 4 uses 4 MB).
+ */
+uint64_t isoAreaCapacityBytes(MemTech tech,
+                              uint64_t sram_capacity_bytes);
+
+/** Technology constants of the stripe area model. */
+struct AreaModelParams
+{
+    double f2_per_domain = 6.8;       //!< stripe footprint per domain
+    double f2_per_read_port = 20.0;   //!< transistor, read-only
+    double f2_per_rw_port = 40.0;     //!< transistor pair + refs
+    double f2_per_write_port = 20.0;  //!< end write driver (p-ECC-O)
+    double f2_peripheral_per_port = 10.0; //!< sense amp / driver
+    double f2_peripheral_fixed = 40.0;    //!< shift driver + control
+};
+
+/**
+ * Stripe area evaluator.
+ */
+class AreaModel
+{
+  public:
+    explicit AreaModel(AreaModelParams params = {});
+
+    /**
+     * Total stripe footprint in F^2 for an explicit inventory.
+     *
+     * @param domains      total domains on the stripe (data + code +
+     *                     overhead + guards)
+     * @param read_ports   read-only ports
+     * @param rw_ports     read/write ports
+     * @param write_ports  write-only end ports (p-ECC-O)
+     */
+    double stripeArea(int domains, int read_ports, int rw_ports,
+                      int write_ports = 0) const;
+
+    /**
+     * Average area per *data* bit (F^2/b) for a protected stripe
+     * configuration - the Fig. 13 metric. Includes the protection's
+     * extra domains and ports from the layout's paper accounting.
+     */
+    double areaPerDataBit(const PeccConfig &config) const;
+
+    /**
+     * Fig. 7 sweep point: a `data_bits`-domain stripe with the given
+     * port counts (before any p-ECC), reporting F^2 per data bit.
+     */
+    double areaPerBitWithPorts(int data_bits, int added_read_ports,
+                               int rw_ports) const;
+
+    const AreaModelParams &params() const { return params_; }
+
+  private:
+    AreaModelParams params_;
+};
+
+} // namespace rtm
+
+#endif // RTM_MODEL_AREA_HH

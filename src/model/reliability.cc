@@ -1,0 +1,156 @@
+#include "reliability.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/prob.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/** Correction strength implied by a scheme. */
+int
+schemeStrength(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+      case Scheme::Sts:
+        return -1; // no code at all
+      case Scheme::SedPecc:
+        return 0;
+      case Scheme::SecdedPecc:
+      case Scheme::PeccO:
+      case Scheme::PeccSWorst:
+      case Scheme::PeccSAdaptive:
+        return 1;
+    }
+    return -1;
+}
+
+} // anonymous namespace
+
+ShiftReliability
+ShiftReliability::none()
+{
+    return ShiftReliability{kNegInf, kNegInf, kNegInf};
+}
+
+ReliabilityModel::ReliabilityModel(const PositionErrorModel *model,
+                                   Scheme scheme)
+    : model_(model), scheme_(scheme)
+{
+    if (!model_)
+        rtm_fatal("reliability model needs an error model");
+    correct_ = schemeStrength(scheme);
+    period_ = correct_ >= 0 ? (1 << (correct_ + 1)) : 0;
+}
+
+ShiftReliability
+ReliabilityModel::shiftOp(int distance) const
+{
+    ShiftReliability r = ShiftReliability::none();
+    if (distance <= 0)
+        return r;
+
+    const int kmax = model_->maxStepError();
+    if (correct_ < 0) {
+        // Unprotected: every position error silently corrupts.
+        r.log_sdc = model_->logProbAtLeast(distance, 1);
+        return r;
+    }
+
+    const int m = correct_;
+    const int t = period_;
+    for (int mag = 1; mag <= kmax; ++mag) {
+        for (int sign : {+1, -1}) {
+            double lp = model_->logProbStep(distance, sign * mag);
+            if (lp == kNegInf)
+                continue;
+            int diff = ((sign * mag) % t + t) % t;
+            if (diff == 0) {
+                // Residue aliases to "no error": silent.
+                r.log_sdc = logSumExp(r.log_sdc, lp);
+            } else if (diff <= m || t - diff <= m) {
+                // Decoder proposes a correction.
+                int inferred = diff <= m ? diff : -(t - diff);
+                if (inferred == sign * mag) {
+                    // Right answer: corrected (counter-shift may
+                    // itself fail; second-order DUE term).
+                    double corr_fail =
+                        model_->logProbAtLeast(mag, m + 1);
+                    r.log_corrected = logSumExp(r.log_corrected, lp);
+                    r.log_due = logSumExp(r.log_due, lp + corr_fail);
+                } else {
+                    // Miscorrection: position silently worsens.
+                    r.log_sdc = logSumExp(r.log_sdc, lp);
+                }
+            } else {
+                // Ambiguous residue (|k| = m+1 alias): detected,
+                // direction unknown -> unrecoverable.
+                r.log_due = logSumExp(r.log_due, lp);
+            }
+        }
+    }
+    return r;
+}
+
+ShiftReliability
+ReliabilityModel::sequence(const std::vector<int> &parts) const
+{
+    ShiftReliability total = ShiftReliability::none();
+    for (int part : parts) {
+        ShiftReliability r = shiftOp(part);
+        total.log_sdc = logSumExp(total.log_sdc, r.log_sdc);
+        total.log_due = logSumExp(total.log_due, r.log_due);
+        total.log_corrected =
+            logSumExp(total.log_corrected, r.log_corrected);
+    }
+    return total;
+}
+
+void
+MttfAccumulator::add(const ShiftReliability &r, double weight)
+{
+    if (r.log_sdc != kNegInf)
+        sdc_events_ += weight * std::exp(r.log_sdc);
+    if (r.log_due != kNegInf)
+        due_events_ += weight * std::exp(r.log_due);
+}
+
+Seconds
+MttfAccumulator::sdcMttf() const
+{
+    if (sdc_events_ <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return seconds_ / sdc_events_;
+}
+
+Seconds
+MttfAccumulator::dueMttf() const
+{
+    if (due_events_ <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return seconds_ / due_events_;
+}
+
+void
+MttfAccumulator::merge(const MttfAccumulator &other)
+{
+    sdc_events_ += other.sdc_events_;
+    due_events_ += other.due_events_;
+    seconds_ += other.seconds_;
+}
+
+Seconds
+steadyStateMttf(double log_fail_per_op, double ops_per_second)
+{
+    return mttfSeconds(log_fail_per_op, ops_per_second);
+}
+
+} // namespace rtm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Matrix runner: sweeps workloads x (technology, scheme) pairs and
+ * normalises results, shared by the Fig. 14/16/17/18 benches and the
+ * example applications.
+ */
+
+#ifndef RTM_SIM_RUNNER_HH
+#define RTM_SIM_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace rtm
+{
+
+/** One LLC configuration of the Fig. 16-18 comparison. */
+struct LlcOption
+{
+    std::string label;
+    MemTech tech = MemTech::SRAM;
+    Scheme scheme = Scheme::Baseline;
+};
+
+/** The paper's standard comparison set (Fig. 16-18 legends). */
+std::vector<LlcOption> standardLlcOptions();
+
+/** The paper's racetrack protection set (Fig. 14 legend). */
+std::vector<LlcOption> racetrackSchemeOptions();
+
+/** Results for one workload across every option. */
+struct WorkloadMatrixRow
+{
+    WorkloadProfile profile;
+    std::vector<SimResult> results; //!< one per option, same order
+};
+
+/**
+ * Shrink a workload's working set by the hierarchy capacity divisor
+ * (see HierarchyConfig::capacity_divisor), keeping every other
+ * characteristic intact.
+ */
+WorkloadProfile scaledProfile(WorkloadProfile profile,
+                              uint64_t divisor);
+
+/**
+ * Run every workload against every option.
+ *
+ * @param options  LLC options to sweep
+ * @param model    position-error model (racetrack options)
+ * @param requests memory requests per run
+ * @param warmup   warmup requests per run
+ * @param capacity_divisor uniform hierarchy/working-set shrink
+ */
+std::vector<WorkloadMatrixRow>
+runMatrix(const std::vector<LlcOption> &options,
+          const PositionErrorModel *model, uint64_t requests,
+          uint64_t warmup = 20000, uint64_t capacity_divisor = 1);
+
+/** Geometric mean over positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace rtm
+
+#endif // RTM_SIM_RUNNER_HH

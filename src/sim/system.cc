@@ -1,0 +1,149 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+double
+SimResult::ipc() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(instructions) /
+           static_cast<double>(cycles);
+}
+
+namespace
+{
+
+/**
+ * Core simulation loop shared by the synthetic and trace-replay
+ * front-ends: `next` yields the request stream.
+ */
+template <typename NextFn>
+SimResult
+runSim(const std::string &name, const SimConfig &config,
+       const PositionErrorModel *model, NextFn &&next)
+{
+    Hierarchy hierarchy(config.hierarchy, model);
+
+    // Per-core local time; the simulator interleaves requests
+    // round-robin and advances each core independently, then takes
+    // the max as wall-clock (barrier at the end, like a parallel
+    // phase).
+    std::vector<Cycles> core_time(
+        static_cast<size_t>(config.hierarchy.cores), 0);
+
+    SimResult res;
+    res.workload = name;
+    res.llc_tech = config.hierarchy.llc_tech;
+    res.scheme = config.hierarchy.scheme;
+
+    // Warmup: touch caches without accounting.
+    for (uint64_t i = 0; i < config.warmup_requests; ++i) {
+        MemRequest req = next();
+        auto c = static_cast<size_t>(req.core);
+        core_time[c] += req.gap_instructions;
+        HierarchyAccess acc = hierarchy.access(
+            req.core, req.addr, req.is_write, core_time[c]);
+        core_time[c] += acc.latency;
+    }
+
+    // Snapshot counters after warmup so deltas are measured.
+    uint64_t warm_l3_acc = hierarchy.l3().stats().accesses();
+    uint64_t warm_l3_miss = hierarchy.l3().stats().misses();
+    uint64_t warm_dram = hierarchy.dramAccesses();
+    Joules warm_dram_energy = hierarchy.dramEnergy();
+    RmBankStats warm_rm;
+    if (hierarchy.rmBank())
+        warm_rm = hierarchy.rmBank()->stats();
+    std::vector<Cycles> start_time = core_time;
+
+    Joules dynamic_energy = 0.0;
+    for (uint64_t i = 0; i < config.mem_requests; ++i) {
+        MemRequest req = next();
+        auto c = static_cast<size_t>(req.core);
+        core_time[c] += req.gap_instructions;
+        res.instructions += req.gap_instructions + 1;
+        ++res.mem_ops;
+        HierarchyAccess acc = hierarchy.access(
+            req.core, req.addr, req.is_write, core_time[c]);
+        core_time[c] += acc.latency;
+        dynamic_energy += acc.energy;
+    }
+
+    Cycles max_elapsed = 0;
+    for (size_t c = 0; c < core_time.size(); ++c)
+        max_elapsed = std::max(max_elapsed,
+                               core_time[c] - start_time[c]);
+    res.cycles = max_elapsed;
+    res.seconds = cyclesToSeconds(res.cycles);
+
+    res.cache_dynamic_energy = dynamic_energy;
+    res.dram_energy = hierarchy.dramEnergy() - warm_dram_energy;
+    res.leakage_energy = hierarchy.totalLeakageWatts() * res.seconds;
+
+    res.llc_accesses = hierarchy.l3().stats().accesses() -
+                       warm_l3_acc;
+    res.llc_misses = hierarchy.l3().stats().misses() - warm_l3_miss;
+    (void)warm_dram;
+
+    if (const RmBank *bank = hierarchy.rmBank()) {
+        const RmBankStats &s = bank->stats();
+        res.shift_ops = s.shift_ops - warm_rm.shift_ops;
+        res.shift_steps = s.shift_steps - warm_rm.shift_steps;
+        res.shift_cycles = s.shift_cycles - warm_rm.shift_cycles;
+        res.llc_shift_energy = s.shift_energy - warm_rm.shift_energy;
+
+        // Reliability: expected events accumulated during the
+        // measured phase over the measured time span.
+        MttfAccumulator rel = s.reliability;
+        MttfAccumulator warm_rel = warm_rm.reliability;
+        double sdc = rel.expectedSdc() - warm_rel.expectedSdc();
+        double due = rel.expectedDue() - warm_rel.expectedDue();
+        res.sdc_mttf = sdc > 0.0
+                           ? res.seconds / sdc
+                           : std::numeric_limits<double>::infinity();
+        res.due_mttf = due > 0.0
+                           ? res.seconds / due
+                           : std::numeric_limits<double>::infinity();
+    } else {
+        res.sdc_mttf = std::numeric_limits<double>::infinity();
+        res.due_mttf = std::numeric_limits<double>::infinity();
+    }
+    return res;
+}
+
+} // anonymous namespace
+
+SimResult
+simulate(const WorkloadProfile &profile, const SimConfig &config,
+         const PositionErrorModel *model)
+{
+    WorkloadGenerator gen(profile, config.hierarchy.cores,
+                          config.seed);
+    return runSim(profile.name, config, model,
+                  [&gen] { return gen.next(); });
+}
+
+SimResult
+simulateTrace(const std::string &name,
+              const std::vector<MemRequest> &requests,
+              const SimConfig &config,
+              const PositionErrorModel *model)
+{
+    if (requests.empty())
+        rtm_fatal("simulateTrace: empty trace");
+    size_t pos = 0;
+    auto next = [&requests, &pos] {
+        MemRequest r = requests[pos];
+        pos = (pos + 1) % requests.size();
+        return r;
+    };
+    return runSim(name, config, model, next);
+}
+
+} // namespace rtm

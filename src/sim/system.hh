@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Trace-driven system simulator (paper Sec. 6.1).
+ *
+ * Four in-order single-issue 2 GHz cores execute synthetic workload
+ * streams: non-memory instructions retire one per cycle, memory
+ * operations block their core for the hierarchy latency. The cores
+ * advance loosely in lockstep (round-robin request interleave), which
+ * captures what the evaluation needs: LLC access intensity, shift
+ * distance/interval distributions, end-to-end execution time, and
+ * energy.
+ *
+ * Outputs per run: execution time, per-level energy, shift statistics
+ * and the reliability accumulators that Figs. 10-12 read.
+ */
+
+#ifndef RTM_SIM_SYSTEM_HH
+#define RTM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "device/error_model.hh"
+#include "mem/hierarchy.hh"
+#include "model/reliability.hh"
+#include "trace/workload.hh"
+#include "util/units.hh"
+
+namespace rtm
+{
+
+/** Result of one simulated workload run. */
+struct SimResult
+{
+    std::string workload;
+    MemTech llc_tech = MemTech::SRAM;
+    Scheme scheme = Scheme::Baseline;
+
+    uint64_t instructions = 0;
+    uint64_t mem_ops = 0;
+    Cycles cycles = 0;
+    Seconds seconds = 0.0;
+
+    // Energy breakdown (joules).
+    Joules cache_dynamic_energy = 0.0; //!< all cache levels + shifts
+    Joules llc_shift_energy = 0.0;
+    Joules dram_energy = 0.0;
+    Joules leakage_energy = 0.0;
+
+    // LLC behaviour.
+    uint64_t llc_accesses = 0;
+    uint64_t llc_misses = 0;
+    uint64_t shift_ops = 0;
+    uint64_t shift_steps = 0;
+    Cycles shift_cycles = 0;
+
+    // Reliability (racetrack only; +inf otherwise).
+    Seconds sdc_mttf = 0.0;
+    Seconds due_mttf = 0.0;
+
+    /** Total energy including leakage and DRAM. */
+    Joules totalEnergy() const
+    {
+        return cache_dynamic_energy + dram_energy + leakage_energy;
+    }
+
+    /** Instructions per cycle across all cores. */
+    double ipc() const;
+};
+
+/** One simulation configuration. */
+struct SimConfig
+{
+    HierarchyConfig hierarchy;
+    uint64_t mem_requests = 200000; //!< requests to simulate
+    uint64_t warmup_requests = 20000;
+    uint64_t seed = 42;
+};
+
+/**
+ * Run one workload through one configuration.
+ *
+ * @param profile workload profile
+ * @param config  simulation configuration
+ * @param model   position-error model for racetrack LLCs (ignored
+ *                otherwise; must outlive the call)
+ */
+SimResult simulate(const WorkloadProfile &profile,
+                   const SimConfig &config,
+                   const PositionErrorModel *model);
+
+/**
+ * Run a recorded trace through one configuration (the trace loops
+ * if it is shorter than config.mem_requests). The warmup phase is
+ * also served from the trace.
+ *
+ * @param name     label recorded in the result
+ * @param requests the trace (must be non-empty)
+ */
+SimResult simulateTrace(const std::string &name,
+                        const std::vector<MemRequest> &requests,
+                        const SimConfig &config,
+                        const PositionErrorModel *model);
+
+} // namespace rtm
+
+#endif // RTM_SIM_SYSTEM_HH

@@ -1,0 +1,114 @@
+#include "trace_file.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+std::vector<MemRequest>
+parseTrace(const std::string &text)
+{
+    std::vector<MemRequest> out;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments.
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        // Skip blank lines.
+        bool blank = true;
+        for (char c : line)
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        if (blank)
+            continue;
+
+        std::istringstream fields(line);
+        MemRequest req;
+        std::string addr_str, rw;
+        long core;
+        if (!(fields >> core >> addr_str >> rw))
+            rtm_fatal("trace line %d: expected '<core> <addr> "
+                      "<R|W> [gap]'",
+                      line_no);
+        if (core < 0)
+            rtm_fatal("trace line %d: negative core id", line_no);
+        req.core = static_cast<int>(core);
+        try {
+            req.addr = std::stoull(addr_str, nullptr, 0);
+        } catch (...) {
+            rtm_fatal("trace line %d: bad address '%s'", line_no,
+                      addr_str.c_str());
+        }
+        if (rw == "R" || rw == "r")
+            req.is_write = false;
+        else if (rw == "W" || rw == "w")
+            req.is_write = true;
+        else
+            rtm_fatal("trace line %d: access type must be R or W, "
+                      "got '%s'",
+                      line_no, rw.c_str());
+        long gap = 0;
+        if (fields >> gap) {
+            if (gap < 0)
+                rtm_fatal("trace line %d: negative gap", line_no);
+            req.gap_instructions = static_cast<uint32_t>(gap);
+        }
+        out.push_back(req);
+    }
+    return out;
+}
+
+std::vector<MemRequest>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        rtm_fatal("cannot open trace file '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return parseTrace(buf.str());
+}
+
+std::string
+formatTrace(const std::vector<MemRequest> &requests)
+{
+    std::string out = "# core addr rw gap\n";
+    char line[96];
+    for (const auto &r : requests) {
+        std::snprintf(line, sizeof(line), "%d 0x%llx %c %u\n",
+                      r.core,
+                      static_cast<unsigned long long>(r.addr),
+                      r.is_write ? 'W' : 'R', r.gap_instructions);
+        out += line;
+    }
+    return out;
+}
+
+TraceReplay::TraceReplay(std::vector<MemRequest> requests)
+    : requests_(std::move(requests))
+{
+    if (requests_.empty())
+        rtm_fatal("trace replay needs at least one request");
+}
+
+MemRequest
+TraceReplay::next()
+{
+    MemRequest r = requests_[pos_];
+    if (++pos_ == requests_.size()) {
+        pos_ = 0;
+        ++wraps_;
+    }
+    return r;
+}
+
+} // namespace rtm

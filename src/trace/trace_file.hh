@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Text trace-file support: lets downstream users replay real memory
+ * traces through the simulator instead of the synthetic generators.
+ *
+ * Format: one request per line,
+ *
+ *     <core> <hex-or-dec address> <R|W> [gap]
+ *
+ * where `gap` is the number of non-memory instructions preceding the
+ * request (default 0). '#' starts a comment; blank lines are
+ * ignored. Example:
+ *
+ *     # core addr  rw gap
+ *     0 0x1a2b40 R 12
+ *     1 0x40       W 3
+ */
+
+#ifndef RTM_TRACE_TRACE_FILE_HH
+#define RTM_TRACE_TRACE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace rtm
+{
+
+/**
+ * Parse a trace from a string buffer (used by tests and by
+ * loadTraceFile). Malformed lines are fatal with a line number.
+ */
+std::vector<MemRequest> parseTrace(const std::string &text);
+
+/** Load a trace file from disk (fatal if unreadable). */
+std::vector<MemRequest> loadTraceFile(const std::string &path);
+
+/**
+ * Serialise requests into the text format (round-trips through
+ * parseTrace).
+ */
+std::string formatTrace(const std::vector<MemRequest> &requests);
+
+/**
+ * Replay adapter with the WorkloadGenerator interface shape: hands
+ * out requests in order and loops back to the start when exhausted
+ * (so a short trace can drive an arbitrarily long simulation).
+ */
+class TraceReplay
+{
+  public:
+    explicit TraceReplay(std::vector<MemRequest> requests);
+
+    /** Next request (wraps around at the end). */
+    MemRequest next();
+
+    /** Number of distinct requests in the trace. */
+    size_t size() const { return requests_.size(); }
+
+    /** How many times the trace has wrapped. */
+    uint64_t wraps() const { return wraps_; }
+
+  private:
+    std::vector<MemRequest> requests_;
+    size_t pos_ = 0;
+    uint64_t wraps_ = 0;
+};
+
+} // namespace rtm
+
+#endif // RTM_TRACE_TRACE_FILE_HH

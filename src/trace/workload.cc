@@ -1,0 +1,150 @@
+#include "workload.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+constexpr uint64_t kMiB = 1ull << 20;
+constexpr int kLineBytes = 64;
+
+WorkloadProfile
+make(const std::string &name, uint64_t ws, double hot_frac,
+     double hot_ratio, double seq, double wr, double gap,
+     bool sensitive)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.working_set_bytes = ws;
+    p.hot_fraction = hot_frac;
+    p.hot_set_ratio = hot_ratio;
+    p.sequential_prob = seq;
+    p.write_ratio = wr;
+    p.mean_gap = gap;
+    p.capacity_sensitive = sensitive;
+    return p;
+}
+
+} // anonymous namespace
+
+std::vector<WorkloadProfile>
+parsecProfiles()
+{
+    // Working sets are chosen relative to the LLC options: sensitive
+    // workloads live between 4 MB (SRAM) and 128 MB (racetrack) so
+    // larger LLCs cut their miss rates; insensitive ones fit in 4 MB
+    // or stream far past 128 MB.
+    return {
+        // --- capacity sensitive ------------------------------------
+        make("canneal", 96 * kMiB, 0.55, 0.05, 0.15, 0.25, 4.0, true),
+        make("ferret", 48 * kMiB, 0.70, 0.10, 0.40, 0.30, 3.5, true),
+        make("streamcluster", 64 * kMiB, 0.60, 0.08, 0.80, 0.20, 2.5,
+             true),
+        make("dedup", 40 * kMiB, 0.65, 0.10, 0.55, 0.40, 3.0, true),
+        make("facesim", 72 * kMiB, 0.70, 0.12, 0.60, 0.35, 3.5, true),
+        make("x264", 24 * kMiB, 0.75, 0.15, 0.65, 0.30, 3.0, true),
+        // --- capacity insensitive ----------------------------------
+        make("blackscholes", 2 * kMiB, 0.90, 0.20, 0.70, 0.20, 5.0,
+             false),
+        make("bodytrack", 3 * kMiB, 0.85, 0.20, 0.55, 0.30, 4.0,
+             false),
+        make("swaptions", 1 * kMiB, 0.90, 0.25, 0.60, 0.25, 5.0,
+             false),
+        make("fluidanimate", 3 * kMiB, 0.80, 0.20, 0.60, 0.35, 3.5,
+             false),
+        make("freqmine", 2 * kMiB, 0.85, 0.20, 0.50, 0.30, 4.0,
+             false),
+        make("vips", 3 * kMiB, 0.80, 0.20, 0.70, 0.35, 3.0, false),
+    };
+}
+
+WorkloadProfile
+parsecProfile(const std::string &name)
+{
+    for (const auto &p : parsecProfiles())
+        if (p.name == name)
+            return p;
+    rtm_fatal("unknown workload profile '%s'", name.c_str());
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadProfile &profile,
+                                     int cores, uint64_t seed)
+    : profile_(profile), cores_(cores), rng_(seed),
+      run_addr_(static_cast<size_t>(cores), 0),
+      run_left_(static_cast<size_t>(cores), 0)
+{
+    if (cores_ < 1)
+        rtm_fatal("workload needs at least one core");
+    if (profile_.working_set_bytes < kLineBytes * 16ull)
+        rtm_fatal("working set too small");
+}
+
+Addr
+WorkloadGenerator::pickLine(int core)
+{
+    uint64_t lines = profile_.working_set_bytes / kLineBytes;
+    // 3/4 of the working set is core-private, 1/4 shared.
+    uint64_t private_lines = lines * 3 / 4 /
+                             static_cast<uint64_t>(cores_);
+    uint64_t shared_lines = lines - private_lines *
+                            static_cast<uint64_t>(cores_);
+    bool shared = rng_.bernoulli(0.25) && shared_lines > 0;
+    uint64_t region_base =
+        shared ? private_lines * static_cast<uint64_t>(cores_)
+               : private_lines * static_cast<uint64_t>(core);
+    uint64_t region_lines = shared ? shared_lines : private_lines;
+    if (region_lines == 0) {
+        region_base = 0;
+        region_lines = lines;
+    }
+
+    // Hot-set bias: a small fraction of the region absorbs most
+    // accesses (temporal locality).
+    uint64_t hot_lines = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(region_lines) *
+               profile_.hot_set_ratio));
+    uint64_t idx;
+    if (rng_.bernoulli(profile_.hot_fraction))
+        idx = rng_.uniformInt(hot_lines);
+    else
+        idx = rng_.uniformInt(region_lines);
+    return (region_base + idx) * kLineBytes;
+}
+
+MemRequest
+WorkloadGenerator::next()
+{
+    int core = next_core_;
+    next_core_ = (next_core_ + 1) % cores_;
+
+    MemRequest req;
+    req.core = core;
+    req.is_write = rng_.bernoulli(profile_.write_ratio);
+    // Geometric gap with the configured mean.
+    double u = rng_.uniform();
+    double gap = -profile_.mean_gap * std::log(1.0 - u);
+    req.gap_instructions =
+        static_cast<uint32_t>(std::min(gap, 1000.0));
+
+    auto c = static_cast<size_t>(core);
+    if (run_left_[c] > 0 &&
+        rng_.bernoulli(profile_.sequential_prob)) {
+        run_addr_[c] += kLineBytes;
+        if (run_addr_[c] >= profile_.working_set_bytes)
+            run_addr_[c] = 0;
+        --run_left_[c];
+    } else {
+        run_addr_[c] = pickLine(core);
+        run_left_[c] = static_cast<int>(rng_.uniformInt(16)) + 1;
+    }
+    req.addr = run_addr_[c];
+    return req;
+}
+
+} // namespace rtm

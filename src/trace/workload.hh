@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synthetic memory-access workload generators.
+ *
+ * The paper evaluates on PARSEC. Without the original traces we
+ * generate synthetic access streams whose first-order properties
+ * drive the results that matter here: working-set size relative to
+ * the LLC options (4 MB SRAM / 32 MB STT-RAM / 128 MB racetrack),
+ * spatial locality (sequential runs vs random lines), read/write mix,
+ * and memory-operation density. Each PARSEC benchmark is represented
+ * by a parameter profile calibrated so it lands on the paper's side
+ * of the capacity-sensitive / capacity-insensitive divide (Fig. 16).
+ *
+ * Substitution documented in DESIGN.md.
+ */
+
+#ifndef RTM_TRACE_WORKLOAD_HH
+#define RTM_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "util/rng.hh"
+
+namespace rtm
+{
+
+/** One memory request of a trace. */
+struct MemRequest
+{
+    int core = 0;
+    Addr addr = 0;
+    bool is_write = false;
+    /** Non-memory instructions executed before this request. */
+    uint32_t gap_instructions = 0;
+};
+
+/** Parameters of one synthetic workload. */
+struct WorkloadProfile
+{
+    std::string name;
+    uint64_t working_set_bytes = 1ull << 20;
+    /** Fraction of accesses hitting the hot subset of the set. */
+    double hot_fraction = 0.8;
+    /** Size of the hot subset relative to the working set. */
+    double hot_set_ratio = 0.1;
+    /** Probability the next access continues a sequential run. */
+    double sequential_prob = 0.5;
+    /** Fraction of requests that are writes. */
+    double write_ratio = 0.3;
+    /** Mean non-memory instructions between memory operations. */
+    double mean_gap = 3.0;
+    /** True if the paper classes it capacity sensitive (Fig. 16). */
+    bool capacity_sensitive = false;
+};
+
+/** Profiles for the PARSEC benchmarks used in the paper's figures. */
+std::vector<WorkloadProfile> parsecProfiles();
+
+/** Look up one profile by name (fatal if unknown). */
+WorkloadProfile parsecProfile(const std::string &name);
+
+/**
+ * Stream generator for one profile across `cores` cores.
+ *
+ * Each core owns a private region of the working set plus a shared
+ * region, mimicking PARSEC's mostly-partitioned parallel phases.
+ */
+class WorkloadGenerator
+{
+  public:
+    WorkloadGenerator(const WorkloadProfile &profile, int cores,
+                      uint64_t seed);
+
+    /** Produce the next request (round-robin across cores). */
+    MemRequest next();
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    WorkloadProfile profile_;
+    int cores_;
+    Rng rng_;
+    int next_core_ = 0;
+    std::vector<Addr> run_addr_;   //!< per-core sequential cursor
+    std::vector<int> run_left_;    //!< lines left in current run
+
+    Addr pickLine(int core);
+};
+
+} // namespace rtm
+
+#endif // RTM_TRACE_WORKLOAD_HH

@@ -1,0 +1,131 @@
+#include "prob.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+constexpr double kLogSqrt2Pi = 0.9189385332046727; // log(sqrt(2*pi))
+
+} // anonymous namespace
+
+double
+logNormalPdf(double x)
+{
+    return -0.5 * x * x - kLogSqrt2Pi;
+}
+
+double
+logNormalTail(double x)
+{
+    if (std::isnan(x))
+        rtm_panic("logNormalTail(nan)");
+    if (x < -37.0)
+        return 0.0; // Q(x) ~= 1
+    if (x <= 26.0) {
+        // erfc stays well inside the normal range here.
+        double q = 0.5 * std::erfc(x / std::sqrt(2.0));
+        if (q > 0.0)
+            return std::log(q);
+    }
+    // Asymptotic expansion: Q(x) ~ phi(x)/x * (1 - 1/x^2 + 3/x^4 - ...)
+    double inv_x2 = 1.0 / (x * x);
+    double series = 1.0 - inv_x2 * (1.0 - 3.0 * inv_x2 *
+                    (1.0 - 5.0 * inv_x2));
+    return logNormalPdf(x) - std::log(x) + std::log(series);
+}
+
+double
+normalTail(double x)
+{
+    return std::exp(logNormalTail(x));
+}
+
+double
+logSumExp(double a, double b)
+{
+    if (a == -std::numeric_limits<double>::infinity())
+        return b;
+    if (b == -std::numeric_limits<double>::infinity())
+        return a;
+    double hi = std::max(a, b);
+    double lo = std::min(a, b);
+    return hi + std::log1p(std::exp(lo - hi));
+}
+
+double
+logDiffExp(double a, double b)
+{
+    if (b == -std::numeric_limits<double>::infinity())
+        return a;
+    if (a < b)
+        rtm_panic("logDiffExp requires a >= b (a=%g b=%g)", a, b);
+    if (a == b)
+        return -std::numeric_limits<double>::infinity();
+    return a + std::log1p(-std::exp(b - a));
+}
+
+double
+log1mExp(double a)
+{
+    if (a > 0.0)
+        rtm_panic("log1mExp requires a <= 0 (a=%g)", a);
+    if (a == 0.0)
+        return -std::numeric_limits<double>::infinity();
+    // Split at log(0.5) to keep precision in both regimes.
+    if (a > -0.6931471805599453)
+        return std::log(-std::expm1(a));
+    return std::log1p(-std::exp(a));
+}
+
+double
+logAnyOf(double lp, double n)
+{
+    if (n <= 0.0)
+        return -std::numeric_limits<double>::infinity();
+    if (lp >= 0.0)
+        return 0.0; // certain event
+    // log P(any) = log(1 - (1-p)^n); (1-p)^n in log space is
+    // n * log1p(-p) = n * log1mExp(lp).
+    double log_none = n * log1mExp(lp);
+    if (log_none == -std::numeric_limits<double>::infinity())
+        return 0.0;
+    return log1mExp(log_none);
+}
+
+double
+mttfSeconds(double log_fail_prob, double events_per_second)
+{
+    if (events_per_second <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (log_fail_prob == -std::numeric_limits<double>::infinity())
+        return std::numeric_limits<double>::infinity();
+    // MTTF = 1 / (p * rate); computed in log space first.
+    double log_mttf = -log_fail_prob - std::log(events_per_second);
+    if (log_mttf > 700.0)
+        return std::numeric_limits<double>::infinity();
+    return std::exp(log_mttf);
+}
+
+double
+fitToMttfSeconds(double fit)
+{
+    if (fit <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1e9 * 3600.0 / fit;
+}
+
+double
+mttfSecondsToFit(double mttf_s)
+{
+    if (!(mttf_s > 0.0))
+        return std::numeric_limits<double>::infinity();
+    return 1e9 * 3600.0 / mttf_s;
+}
+
+} // namespace rtm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small xoshiro256** generator is used instead of std::mt19937 to keep
+ * streams compact, fast, and bit-identical across standard library
+ * implementations (std::normal_distribution is not portable between
+ * libstdc++ and libc++, which would make golden tests flaky).
+ */
+
+#ifndef RTM_UTIL_RNG_HH
+#define RTM_UTIL_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace rtm
+{
+
+/**
+ * xoshiro256** PRNG with explicit seeding and portable distributions.
+ *
+ * All derived sampling (uniform doubles, Gaussians) is implemented here
+ * so that a given seed produces the same sequence on every platform.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed expanded through SplitMix64. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /**
+     * Standard normal sample via Box-Muller.
+     *
+     * Box-Muller is chosen over the ziggurat for portability: it only
+     * relies on log/cos/sin, which are correctly rounded enough across
+     * libm implementations for reproducible simulation streams.
+     */
+    double gaussian();
+
+    /** Normal sample with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** True with probability p (clamped to [0, 1]). */
+    bool bernoulli(double p);
+
+    /** Fork an independent stream (seeded from this stream). */
+    Rng fork();
+
+  private:
+    std::array<uint64_t, 4> state_;
+    double cached_gauss_ = 0.0;
+    bool has_cached_gauss_ = false;
+};
+
+} // namespace rtm
+
+#endif // RTM_UTIL_RNG_HH

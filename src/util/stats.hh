@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Lightweight running statistics and histogram helpers shared by the
+ * device Monte-Carlo, the cache simulator, and the benchmark harnesses.
+ */
+
+#ifndef RTM_UTIL_STATS_HH
+#define RTM_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rtm
+{
+
+/**
+ * Welford running mean / variance accumulator.
+ *
+ * Numerically stable for long accumulations (billions of samples) and
+ * mergeable, so Monte-Carlo shards can be combined.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Number of samples added. */
+    uint64_t count() const { return count_; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 if fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (+inf if empty). */
+    double min() const { return min_; }
+
+    /** Largest sample seen (-inf if empty). */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width binned histogram over [lo, hi) with under/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first regular bin
+     * @param hi upper edge of the last regular bin
+     * @param bins number of regular bins (> 0)
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Record one sample. */
+    void add(double x, uint64_t weight = 1);
+
+    /** Number of regular bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** Count in regular bin i. */
+    uint64_t count(size_t i) const;
+
+    /** Count of samples below lo. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Count of samples at or above hi. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Total samples recorded (including out-of-range). */
+    uint64_t total() const { return total_; }
+
+    /** Lower edge of bin i. */
+    double binLo(size_t i) const;
+
+    /** Upper edge of bin i. */
+    double binHi(size_t i) const;
+
+    /** Fraction of in-range mass falling into bin i. */
+    double density(size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Sparse integer tally, used e.g. to count shift operations by
+ * distance or p-ECC outcomes by step error.
+ */
+class IntTally
+{
+  public:
+    /** Add weight to key k. */
+    void add(int64_t k, uint64_t weight = 1);
+
+    /** Count at key k (0 if never added). */
+    uint64_t count(int64_t k) const;
+
+    /** Total weight across all keys. */
+    uint64_t total() const { return total_; }
+
+    /** Weighted mean of keys (0 if empty). */
+    double mean() const;
+
+    /** All (key, count) pairs in increasing key order. */
+    const std::map<int64_t, uint64_t> &entries() const { return map_; }
+
+  private:
+    std::map<int64_t, uint64_t> map_;
+    uint64_t total_ = 0;
+};
+
+} // namespace rtm
+
+#endif // RTM_UTIL_STATS_HH

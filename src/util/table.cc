@@ -1,0 +1,89 @@
+#include "table.hh"
+
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace rtm
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        rtm_panic("TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size()) {
+        rtm_panic("TextTable row width %zu != header width %zu",
+                  row.size(), header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(total, '-') + '\n';
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    std::string s = str();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string
+TextTable::num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+std::string
+TextTable::fixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::integer(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+} // namespace rtm

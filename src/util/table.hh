@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Console table formatter used by benchmark harnesses to print the
+ * rows/series of the paper's tables and figures in a uniform layout.
+ */
+
+#ifndef RTM_UTIL_TABLE_HH
+#define RTM_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rtm
+{
+
+/**
+ * A simple right-padded text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"distance", "k=1", "k=2"});
+ *   t.addRow({"1", "4.55e-05", "1.37e-21"});
+ *   t.print(stdout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with a header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table to the given stream. */
+    void print(std::FILE *out) const;
+
+    /** Render the table into a string. */
+    std::string str() const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Helper: format a double with %.4g. */
+    static std::string num(double v);
+
+    /** Helper: format a double with fixed precision. */
+    static std::string fixed(double v, int precision);
+
+    /** Helper: format an integer. */
+    static std::string integer(long long v);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rtm
+
+#endif // RTM_UTIL_TABLE_HH

@@ -1,0 +1,51 @@
+#include "units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "prob.hh"
+
+namespace rtm
+{
+
+Cycles
+secondsToCycles(Seconds s, double clock_hz)
+{
+    if (s <= 0.0)
+        return 0;
+    return static_cast<Cycles>(std::ceil(s * clock_hz - 1e-9));
+}
+
+Seconds
+cyclesToSeconds(Cycles c, double clock_hz)
+{
+    return static_cast<double>(c) / clock_hz;
+}
+
+const char *
+formatDuration(double seconds, char *buf, int buf_len)
+{
+    if (std::isinf(seconds)) {
+        std::snprintf(buf, buf_len, "inf");
+    } else if (seconds < 1e-6) {
+        std::snprintf(buf, buf_len, "%.3g ns", seconds * 1e9);
+    } else if (seconds < 1e-3) {
+        std::snprintf(buf, buf_len, "%.3g us", seconds * 1e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buf, buf_len, "%.3g ms", seconds * 1e3);
+    } else if (seconds < 60.0) {
+        std::snprintf(buf, buf_len, "%.3g s", seconds);
+    } else if (seconds < 3600.0) {
+        std::snprintf(buf, buf_len, "%.3g min", seconds / 60.0);
+    } else if (seconds < 86400.0) {
+        std::snprintf(buf, buf_len, "%.3g hours", seconds / 3600.0);
+    } else if (seconds < kSecondsPerYear) {
+        std::snprintf(buf, buf_len, "%.3g days", seconds / 86400.0);
+    } else {
+        std::snprintf(buf, buf_len, "%.3g years",
+                      seconds / kSecondsPerYear);
+    }
+    return buf;
+}
+
+} // namespace rtm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit-carrying scalar helpers and common physical constants.
+ *
+ * The simulator measures time in cycles of a 2 GHz clock (the paper's
+ * system clock, Table 4) and keeps device physics in SI units. These
+ * helpers centralise the conversions so no module hard-codes 0.5 ns.
+ */
+
+#ifndef RTM_UTIL_UNITS_HH
+#define RTM_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace rtm
+{
+
+/** Simulated clock cycles (2 GHz unless overridden). */
+using Cycles = uint64_t;
+
+/** Simulated time in seconds. */
+using Seconds = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Default core/cache clock from Table 4 of the paper. */
+constexpr double kDefaultClockHz = 2.0e9;
+
+/** Period of the default clock in seconds (0.5 ns). */
+constexpr double kDefaultCyclePeriodS = 1.0 / kDefaultClockHz;
+
+/** Convert seconds to whole cycles, rounding up (latency semantics). */
+Cycles secondsToCycles(Seconds s, double clock_hz = kDefaultClockHz);
+
+/** Convert a cycle count to seconds. */
+Seconds cyclesToSeconds(Cycles c, double clock_hz = kDefaultClockHz);
+
+/** Nanoseconds to seconds. */
+constexpr Seconds
+ns(double v)
+{
+    return v * 1e-9;
+}
+
+/** Picojoules to joules. */
+constexpr Joules
+pJ(double v)
+{
+    return v * 1e-12;
+}
+
+/** Nanojoules to joules. */
+constexpr Joules
+nJ(double v)
+{
+    return v * 1e-9;
+}
+
+/** Milliwatts to watts. */
+constexpr double
+mW(double v)
+{
+    return v * 1e-3;
+}
+
+/**
+ * Pretty-print a duration with an adaptive unit (ns .. years).
+ * Used by the MTTF benches to print values like "69 years".
+ */
+const char *formatDuration(double seconds, char *buf, int buf_len);
+
+} // namespace rtm
+
+#endif // RTM_UTIL_UNITS_HH

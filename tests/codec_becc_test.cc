@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the bit-error SECDED codec and the Sec. 3.2
+ * position-error failure analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/becc.hh"
+#include "util/rng.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(Hamming, CleanRoundTrip)
+{
+    HammingSecded code;
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t data = rng.next();
+        uint8_t check = code.encode(data);
+        BeccDecode d = code.decode(data, check);
+        EXPECT_EQ(d.status, BeccDecode::Status::Clean);
+        EXPECT_EQ(d.data, data);
+    }
+}
+
+TEST(Hamming, EverySingleDataBitFlipCorrected)
+{
+    HammingSecded code;
+    Rng rng(2);
+    uint64_t data = rng.next();
+    uint8_t check = code.encode(data);
+    for (int bit = 0; bit < 64; ++bit) {
+        uint64_t corrupted = data ^ (1ull << bit);
+        BeccDecode d = code.decode(corrupted, check);
+        EXPECT_EQ(d.status, BeccDecode::Status::Corrected) << bit;
+        EXPECT_EQ(d.data, data) << bit;
+        EXPECT_EQ(d.flipped_bit, bit);
+    }
+}
+
+TEST(Hamming, CheckBitFlipsCorrectedWithoutTouchingData)
+{
+    HammingSecded code;
+    uint64_t data = 0xdeadbeefcafef00dull;
+    uint8_t check = code.encode(data);
+    for (int bit = 0; bit < 8; ++bit) {
+        uint8_t corrupted =
+            static_cast<uint8_t>(check ^ (1u << bit));
+        BeccDecode d = code.decode(data, corrupted);
+        EXPECT_EQ(d.status, BeccDecode::Status::Corrected) << bit;
+        EXPECT_EQ(d.data, data) << bit;
+    }
+}
+
+TEST(Hamming, DoubleBitFlipsDetected)
+{
+    HammingSecded code;
+    Rng rng(3);
+    uint64_t data = rng.next();
+    uint8_t check = code.encode(data);
+    for (int trial = 0; trial < 500; ++trial) {
+        int a = static_cast<int>(rng.uniformInt(64));
+        int b = static_cast<int>(rng.uniformInt(64));
+        if (a == b)
+            continue;
+        uint64_t corrupted = data ^ (1ull << a) ^ (1ull << b);
+        BeccDecode d = code.decode(corrupted, check);
+        EXPECT_EQ(d.status, BeccDecode::Status::DetectedDouble)
+            << a << "," << b;
+    }
+}
+
+TEST(Hamming, CommonModePositionErrorPassesSilently)
+{
+    // Sec. 3.2, case 1: when every stripe slips together, the ports
+    // read a *different stored codeword* - data and check bits of
+    // the neighbouring line position - which is internally
+    // consistent. b-ECC sees a clean syndrome and silently returns
+    // the wrong line.
+    HammingSecded code;
+    Rng rng(4);
+    uint64_t line_a = rng.next();
+    uint64_t line_b = rng.next(); // the neighbour all ports now see
+    uint8_t check_b = code.encode(line_b);
+    BeccDecode d = code.decode(line_b, check_b);
+    EXPECT_EQ(d.status, BeccDecode::Status::Clean);
+    EXPECT_NE(d.data, line_a); // silently wrong
+}
+
+TEST(Hamming, SingleStripeSlipOnlyHalfVisible)
+{
+    // Sec. 3.2, case 2: one slipped stripe replaces one bit column
+    // with the neighbouring position's bit. Over random data the
+    // replacement equals the correct bit half the time - invisible.
+    HammingSecded code;
+    Rng rng(5);
+    int invisible = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        uint64_t data = rng.next();
+        uint8_t check = code.encode(data);
+        int column = static_cast<int>(rng.uniformInt(64));
+        bool neighbour_bit = rng.bernoulli(0.5);
+        uint64_t read = (data & ~(1ull << column)) |
+                        (static_cast<uint64_t>(neighbour_bit)
+                         << column);
+        BeccDecode d = code.decode(read, check);
+        if (d.status == BeccDecode::Status::Clean)
+            ++invisible;
+        else
+            EXPECT_EQ(d.status, BeccDecode::Status::Corrected);
+    }
+    EXPECT_NEAR(static_cast<double>(invisible) / n, 0.5, 0.03);
+}
+
+TEST(Hamming, AccumulatedSlipsDefeatTheCode)
+{
+    // Two slipped stripes with visible (differing) bits: b-ECC can
+    // at best detect, and with three it may silently miscorrect.
+    HammingSecded code;
+    uint64_t data = 0x0123456789abcdefull;
+    uint8_t check = code.encode(data);
+    uint64_t two = data ^ (1ull << 3) ^ (1ull << 40);
+    EXPECT_EQ(code.decode(two, check).status,
+              BeccDecode::Status::DetectedDouble);
+    uint64_t three = two ^ (1ull << 17);
+    BeccDecode d = code.decode(three, check);
+    // Three flips look like one: "corrected" into a wrong word.
+    EXPECT_EQ(d.status, BeccDecode::Status::Corrected);
+    EXPECT_NE(d.data, data);
+}
+
+TEST(BeccAnalysis, RefreshSecondErrorMatchesPaper)
+{
+    // Paper: "For an 8-bit racetrack memory stripe, the possibility
+    // is about 0.17".
+    BeccAnalysis a;
+    EXPECT_NEAR(a.refreshSecondErrorProbability(), 0.17, 0.02);
+}
+
+TEST(BeccAnalysis, RefreshIsThousandsOfShifts)
+{
+    BeccAnalysis a;
+    EXPECT_GT(a.refreshShiftOps(), 10000u);
+}
+
+TEST(BeccAnalysis, MttfNearPaperAnchor)
+{
+    // Paper: "the MTTF after using b-ECC is 20ms".
+    BeccAnalysis a;
+    double mttf = a.mttfSeconds(13e6);
+    EXPECT_GT(mttf, 5e-3);
+    EXPECT_LT(mttf, 80e-3);
+}
+
+TEST(BeccAnalysis, MttfScalesInverselyWithIntensity)
+{
+    BeccAnalysis a;
+    EXPECT_NEAR(a.mttfSeconds(1e6) / a.mttfSeconds(2e6), 2.0,
+                1e-9);
+}
+
+} // namespace
+} // namespace rtm

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the de Bruijn cyclic position code and its decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/cyclic.hh"
+
+namespace rtm
+{
+namespace
+{
+
+std::vector<Bit>
+windowAt(const CyclicCode &code, int64_t phase)
+{
+    std::vector<Bit> bits;
+    for (int i = 0; i < code.window(); ++i)
+        bits.push_back(code.bitAt(phase + i));
+    return bits;
+}
+
+TEST(CyclicCode, SedPatternAlternates)
+{
+    CyclicCode code(1);
+    EXPECT_EQ(code.period(), 2);
+    // The SED code is the alternating pattern of the paper's Fig. 5.
+    EXPECT_NE(code.bitAt(0), code.bitAt(1));
+    EXPECT_EQ(code.bitAt(0), code.bitAt(2));
+    EXPECT_EQ(code.bitAt(-1), code.bitAt(1));
+}
+
+TEST(CyclicCode, SecdedPeriodFour)
+{
+    CyclicCode code(2);
+    EXPECT_EQ(code.period(), 4);
+    // Every 2-bit window must be unique across one period.
+    std::set<int> phases;
+    for (int p = 0; p < 4; ++p) {
+        int got = code.phaseOf(windowAt(code, p));
+        EXPECT_GE(got, 0);
+        phases.insert(got);
+    }
+    EXPECT_EQ(phases.size(), 4u);
+}
+
+class CyclicWindowUniqueness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CyclicWindowUniqueness, AllWindowsDecodeToTheirPhase)
+{
+    CyclicCode code(GetParam());
+    for (int p = 0; p < code.period(); ++p)
+        EXPECT_EQ(code.phaseOf(windowAt(code, p)), p) << "phase " << p;
+}
+
+TEST_P(CyclicWindowUniqueness, NegativeIndicesWrap)
+{
+    CyclicCode code(GetParam());
+    for (int p = 0; p < code.period(); ++p) {
+        EXPECT_EQ(code.bitAt(p - 3LL * code.period()), code.bitAt(p));
+        EXPECT_EQ(code.bitAt(p + 5LL * code.period()), code.bitAt(p));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, CyclicWindowUniqueness,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(CyclicCode, PhaseOfRejectsUndefinedBits)
+{
+    CyclicCode code(2);
+    std::vector<Bit> bits = windowAt(code, 0);
+    bits[1] = Bit::X;
+    EXPECT_EQ(code.phaseOf(bits), -1);
+}
+
+TEST(CyclicCode, PhaseOfRejectsWrongLength)
+{
+    CyclicCode code(2);
+    std::vector<Bit> bits = {Bit::One};
+    EXPECT_EQ(code.phaseOf(bits), -1);
+}
+
+TEST(CyclicCode, DecodeCleanWindow)
+{
+    CyclicCode code(2);
+    DecodeResult r = code.decode(3, 3, 1);
+    EXPECT_TRUE(r.valid);
+    EXPECT_FALSE(r.detected);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(CyclicCode, DecodeUnreadableWindowIsDetectedUncorrectable)
+{
+    CyclicCode code(2);
+    DecodeResult r = code.decode(-1, 0, 1);
+    EXPECT_FALSE(r.valid);
+    EXPECT_TRUE(r.detected);
+    EXPECT_FALSE(r.correctable);
+}
+
+/**
+ * Sweep every (true error, believed offset) combination within the
+ * decodable range and check the residue arithmetic end-to-end: the
+ * phase observed with error e must decode back to e for |e| <= m and
+ * be flagged uncorrectable for |e| = m + 1.
+ */
+class CyclicDecodeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CyclicDecodeSweep, ResidueRecoversError)
+{
+    auto [window_bits, error] = GetParam();
+    CyclicCode code(window_bits);
+    int m = window_bits - 1;
+    int t = code.period();
+    for (int offset = 0; offset < 3 * t; ++offset) {
+        // Window phase moves opposite to the offset: base - offset.
+        int base = 100 * t; // arbitrary positive base
+        int expected = (base - offset) % t;
+        int observed = (base - offset - error) % t;
+        observed = (observed % t + t) % t;
+        DecodeResult r = code.decode(observed, expected, m);
+        ASSERT_TRUE(r.valid);
+        // The code only sees the error modulo its period: residues
+        // within +/-m decode to a (possibly wrong) correction, the
+        // m+1 alias is detected-uncorrectable, residue 0 is silent.
+        int diff = ((error % t) + t) % t;
+        if (diff == 0) {
+            EXPECT_FALSE(r.detected) << "error " << error;
+            if (error == 0) {
+                EXPECT_TRUE(r.ok());
+            }
+        } else if (diff <= m) {
+            EXPECT_TRUE(r.detected);
+            ASSERT_TRUE(r.correctable);
+            EXPECT_EQ(r.step_error, diff);
+            if (std::abs(error) <= m) {
+                EXPECT_EQ(r.step_error, error);
+            }
+        } else if (t - diff <= m) {
+            EXPECT_TRUE(r.detected);
+            ASSERT_TRUE(r.correctable);
+            EXPECT_EQ(r.step_error, -(t - diff));
+            if (std::abs(error) <= m) {
+                EXPECT_EQ(r.step_error, error);
+            }
+        } else {
+            EXPECT_TRUE(r.detected);
+            EXPECT_FALSE(r.correctable);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CyclicDecodeSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(-3, -2, -1, 0, 1, 2, 3)));
+
+TEST(CyclicCode, AliasingBeyondDetectionIsSilent)
+{
+    // An error of exactly the period decodes as "no error": this is
+    // the SDC channel the reliability model charges for.
+    CyclicCode code(2);
+    int t = code.period();
+    DecodeResult r = code.decode((8 - t) % t, 8 % t, 1);
+    EXPECT_TRUE(r.valid);
+    EXPECT_FALSE(r.detected);
+}
+
+TEST(CyclicCode, MiscorrectionBeyondStrength)
+{
+    // A +3 error with SECDED (T = 4) has residue 3 == -1 mod 4, so
+    // the decoder proposes -1: a miscorrection, not a detection of 3.
+    CyclicCode code(2);
+    int base = 40;
+    int offset = 0;
+    int expected = (base - offset) % 4;
+    int observed = (base - offset - 3 % 4 + 8) % 4;
+    DecodeResult r = code.decode(observed, expected, 1);
+    ASSERT_TRUE(r.valid);
+    EXPECT_TRUE(r.detected);
+    ASSERT_TRUE(r.correctable);
+    EXPECT_EQ(r.step_error, -1);
+}
+
+} // namespace
+} // namespace rtm

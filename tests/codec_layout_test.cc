@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the p-ECC stripe geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/layout.hh"
+
+namespace rtm
+{
+namespace
+{
+
+PeccConfig
+cfg(int segments, int lseg, int m, PeccVariant variant)
+{
+    PeccConfig c;
+    c.num_segments = segments;
+    c.seg_len = lseg;
+    c.correct = m;
+    c.variant = variant;
+    return c;
+}
+
+TEST(Layout, PaperSecdedExampleCodeLength)
+{
+    // Sec. 4.2.2: two 4-bit segments, m = 1 -> 9 code domains
+    // ("Lseg + 5").
+    PeccLayout lay =
+        computeLayout(cfg(2, 4, 1, PeccVariant::Standard));
+    EXPECT_EQ(lay.code_len, 9);
+}
+
+TEST(Layout, PaperSedExtraDomains)
+{
+    // Sec. 4.2.1: Lseg = 4 SED adds five code domains.
+    PeccLayout lay =
+        computeLayout(cfg(2, 4, 0, PeccVariant::Standard));
+    EXPECT_EQ(lay.extraDomains(), 5);
+    EXPECT_EQ(lay.extraReadPorts(), 1);
+}
+
+TEST(Layout, PaperSecdedOverheadAccounting)
+{
+    // Default config (8x8, m=1): paper Table 5 reports 17.6% cell
+    // overhead; the analytic accounting gives Lseg + 4m - 1 extra
+    // domains = 11 -> 17.2%.
+    PeccLayout lay =
+        computeLayout(cfg(8, 8, 1, PeccVariant::Standard));
+    EXPECT_EQ(lay.extraDomains(), 11);
+    EXPECT_NEAR(lay.storageOverhead(), 0.172, 0.005);
+    EXPECT_EQ(lay.extraReadPorts(), 2);
+    EXPECT_EQ(lay.extraWritePorts(), 0);
+}
+
+TEST(Layout, PeccOOverheadIndependentOfSegmentLength)
+{
+    for (int lseg : {4, 8, 16, 32, 64}) {
+        PeccLayout lay = computeLayout(
+            cfg(2, lseg, 1, PeccVariant::OverheadRegion));
+        EXPECT_EQ(lay.extraDomains(), 8) << "Lseg " << lseg;
+        EXPECT_EQ(lay.extraReadPorts(), 3);
+        EXPECT_EQ(lay.extraWritePorts(), 2);
+    }
+}
+
+TEST(Layout, PeccOWinsAtLargeSegments)
+{
+    // Fig. 13's crossover: p-ECC-O's constant overhead beats the
+    // Standard variant once segments get long.
+    auto std16 = computeLayout(cfg(2, 16, 1, PeccVariant::Standard));
+    auto ovr16 =
+        computeLayout(cfg(2, 16, 1, PeccVariant::OverheadRegion));
+    EXPECT_GT(std16.extraDomains(), ovr16.extraDomains());
+    auto std64 = computeLayout(cfg(2, 64, 1, PeccVariant::Standard));
+    auto ovr64 =
+        computeLayout(cfg(2, 64, 1, PeccVariant::OverheadRegion));
+    EXPECT_GT(std64.extraDomains(), 4 * ovr64.extraDomains());
+}
+
+TEST(Layout, BaselineHasNoProtectionCosts)
+{
+    PeccLayout lay = computeLayout(cfg(8, 8, 1, PeccVariant::None));
+    EXPECT_EQ(lay.extraDomains(), 0);
+    EXPECT_EQ(lay.extraReadPorts(), 0);
+    EXPECT_EQ(lay.extraWritePorts(), 0);
+    EXPECT_TRUE(lay.window_slots.empty());
+}
+
+TEST(Layout, OffsetForIndexCoversSegment)
+{
+    PeccLayout lay =
+        computeLayout(cfg(8, 8, 1, PeccVariant::Standard));
+    std::set<int> offsets;
+    for (int r = 0; r < 8; ++r) {
+        int o = lay.offsetForIndex(r);
+        EXPECT_GE(o, 0);
+        EXPECT_LT(o, 8);
+        offsets.insert(o);
+    }
+    EXPECT_EQ(offsets.size(), 8u);
+    // Home position (offset 0) reads the last index.
+    EXPECT_EQ(lay.offsetForIndex(7), 0);
+}
+
+class LayoutGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int,
+                                                 PeccVariant>>
+{
+};
+
+TEST_P(LayoutGeometry, PortsAndRegionsStayOnTheWire)
+{
+    auto [segments, lseg, m, variant] = GetParam();
+    if (variant == PeccVariant::Standard && m >= lseg - 1)
+        GTEST_SKIP() << "m too large for this segment length";
+    PeccLayout lay = computeLayout(cfg(segments, lseg, m, variant));
+
+    EXPECT_GT(lay.wire_len, 0);
+    for (int slot : lay.data_port_slots) {
+        EXPECT_GE(slot, 0);
+        EXPECT_LT(slot, lay.wire_len);
+    }
+    for (int slot : lay.window_slots) {
+        EXPECT_GE(slot, 0);
+        EXPECT_LT(slot, lay.wire_len);
+    }
+    for (int slot : lay.left_window_slots) {
+        EXPECT_GE(slot, 0);
+        EXPECT_LT(slot, lay.wire_len);
+    }
+    // Data region fits including worst-case excursions; the
+    // unprotected baseline reserves no error margin by design (data
+    // loss is exactly its failure mode).
+    int omax_err = variant == PeccVariant::None
+                       ? (lseg - 1)
+                       : (lseg - 1) + (m + 1);
+    EXPECT_GE(lay.data_base, 0);
+    EXPECT_LE(lay.data_base + segments * lseg + omax_err,
+              lay.wire_len);
+}
+
+TEST_P(LayoutGeometry, DataPortsAlignWithSegments)
+{
+    auto [segments, lseg, m, variant] = GetParam();
+    if (variant == PeccVariant::Standard && m >= lseg - 1)
+        GTEST_SKIP() << "m too large for this segment length";
+    PeccLayout lay = computeLayout(cfg(segments, lseg, m, variant));
+    ASSERT_EQ(static_cast<int>(lay.data_port_slots.size()), segments);
+    for (int s = 0; s < segments; ++s) {
+        // Port s sits over the last domain of segment s at home.
+        EXPECT_EQ(lay.data_port_slots[static_cast<size_t>(s)],
+                  lay.data_base + s * lseg + (lseg - 1));
+    }
+}
+
+TEST_P(LayoutGeometry, WindowNeverReadsDataSlots)
+{
+    auto [segments, lseg, m, variant] = GetParam();
+    if (variant == PeccVariant::Standard && m >= lseg - 1)
+        GTEST_SKIP() << "m too large for this segment length";
+    if (variant == PeccVariant::None)
+        GTEST_SKIP() << "baseline has no window";
+    PeccLayout lay = computeLayout(cfg(segments, lseg, m, variant));
+    int data_lo = lay.data_base;
+    int data_hi = lay.data_base + segments * lseg; // exclusive
+    for (int o = -(m + 1); o <= (lseg - 1) + (m + 1); ++o) {
+        for (int slot : lay.window_slots) {
+            int tape_idx = slot - o;
+            EXPECT_TRUE(tape_idx < data_lo || tape_idx >= data_hi)
+                << "offset " << o << " slot " << slot;
+        }
+        for (int slot : lay.left_window_slots) {
+            int tape_idx = slot - o;
+            EXPECT_TRUE(tape_idx < data_lo || tape_idx >= data_hi)
+                << "offset " << o << " slot " << slot;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutGeometry,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 8),
+        ::testing::Values(4, 8, 16),
+        ::testing::Values(0, 1, 2),
+        ::testing::Values(PeccVariant::None, PeccVariant::Standard,
+                          PeccVariant::OverheadRegion)));
+
+} // namespace
+} // namespace rtm

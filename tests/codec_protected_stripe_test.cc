@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Functional and property tests for the protected stripe: data
+ * integrity under injected position errors, detection/correction
+ * semantics for every supported variant, and ground-truth/believed
+ * offset reconciliation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "codec/protected_stripe.hh"
+#include "device/error_model.hh"
+
+namespace rtm
+{
+namespace
+{
+
+PeccConfig
+cfg(int segments, int lseg, int m, PeccVariant variant)
+{
+    PeccConfig c;
+    c.num_segments = segments;
+    c.seg_len = lseg;
+    c.correct = m;
+    c.variant = variant;
+    return c;
+}
+
+std::vector<Bit>
+patternData(int n)
+{
+    std::vector<Bit> data;
+    for (int i = 0; i < n; ++i)
+        data.push_back((i * 7 + 3) % 3 == 0 ? Bit::One : Bit::Zero);
+    return data;
+}
+
+TEST(ProtectedStripe, CleanShiftsKeepAlignment)
+{
+    ZeroErrorModel model;
+    ProtectedStripe ps(cfg(2, 8, 1, PeccVariant::Standard), &model,
+                       Rng(1));
+    ps.initializeIdeal();
+    for (int r = 0; r < 8; ++r) {
+        auto res = ps.seekIndex(r);
+        EXPECT_FALSE(res.detected);
+        EXPECT_EQ(ps.positionError(), 0);
+        EXPECT_TRUE(ps.checkNow().ok());
+    }
+}
+
+TEST(ProtectedStripe, DataSurvivesFullSweep)
+{
+    ZeroErrorModel model;
+    PeccConfig c = cfg(4, 8, 1, PeccVariant::Standard);
+    ProtectedStripe ps(c, &model, Rng(2));
+    ps.initializeIdeal();
+    auto data = patternData(c.dataDomains());
+    ps.loadData(data);
+    // Visit every index, then return home; data must be intact.
+    for (int r = 0; r < 8; ++r)
+        ps.seekIndex(r);
+    ps.seekIndex(7); // home (offset 0)
+    EXPECT_EQ(ps.dumpData(), data);
+}
+
+TEST(ProtectedStripe, ReadAlignedSeesLoadedBits)
+{
+    ZeroErrorModel model;
+    PeccConfig c = cfg(2, 4, 1, PeccVariant::Standard);
+    ProtectedStripe ps(c, &model, Rng(3));
+    ps.initializeIdeal();
+    std::vector<Bit> data(static_cast<size_t>(c.dataDomains()),
+                          Bit::Zero);
+    data[5] = Bit::One; // segment 1, local index 1
+    ps.loadData(data);
+    ps.seekIndex(1);
+    EXPECT_EQ(ps.readAligned(1), Bit::One);
+    EXPECT_EQ(ps.readAligned(0), Bit::Zero);
+}
+
+TEST(ProtectedStripe, WriteAlignedRoundTrips)
+{
+    ZeroErrorModel model;
+    PeccConfig c = cfg(2, 4, 1, PeccVariant::Standard);
+    ProtectedStripe ps(c, &model, Rng(4));
+    ps.initializeIdeal();
+    ps.seekIndex(2);
+    EXPECT_TRUE(ps.writeAligned(0, Bit::One));
+    EXPECT_EQ(ps.readAligned(0), Bit::One);
+    ps.seekIndex(0);
+    ps.seekIndex(2);
+    EXPECT_EQ(ps.readAligned(0), Bit::One);
+}
+
+TEST(ProtectedStripe, SecdedDetectsAndCorrectsPlusOne)
+{
+    auto model = std::make_unique<ScriptedErrorModel>(
+        std::vector<ShiftOutcome>{{+1, false}});
+    ProtectedStripe ps(cfg(2, 8, 1, PeccVariant::Standard),
+                       model.get(), Rng(5));
+    ps.initializeIdeal();
+    auto res = ps.shiftBy(3);
+    EXPECT_TRUE(res.detected);
+    EXPECT_TRUE(res.corrected);
+    EXPECT_FALSE(res.unrecoverable);
+    EXPECT_EQ(res.inferred_error, +1);
+    EXPECT_EQ(ps.positionError(), 0);
+}
+
+TEST(ProtectedStripe, SecdedDetectsAndCorrectsMinusOne)
+{
+    auto model = std::make_unique<ScriptedErrorModel>(
+        std::vector<ShiftOutcome>{{-1, false}});
+    ProtectedStripe ps(cfg(2, 8, 1, PeccVariant::Standard),
+                       model.get(), Rng(6));
+    ps.initializeIdeal();
+    auto res = ps.shiftBy(4);
+    EXPECT_TRUE(res.detected);
+    EXPECT_TRUE(res.corrected);
+    EXPECT_EQ(res.inferred_error, -1);
+    EXPECT_EQ(ps.positionError(), 0);
+}
+
+TEST(ProtectedStripe, SecdedFlagsDoubleStepAsUnrecoverable)
+{
+    auto model = std::make_unique<ScriptedErrorModel>(
+        std::vector<ShiftOutcome>{{+2, false}});
+    ProtectedStripe ps(cfg(2, 8, 1, PeccVariant::Standard),
+                       model.get(), Rng(7));
+    ps.initializeIdeal();
+    auto res = ps.shiftBy(3);
+    EXPECT_TRUE(res.detected);
+    EXPECT_FALSE(res.corrected);
+    EXPECT_TRUE(res.unrecoverable);
+}
+
+TEST(ProtectedStripe, SedDetectsButCannotCorrect)
+{
+    auto model = std::make_unique<ScriptedErrorModel>(
+        std::vector<ShiftOutcome>{{+1, false}});
+    ProtectedStripe ps(cfg(2, 8, 0, PeccVariant::Standard),
+                       model.get(), Rng(8));
+    ps.initializeIdeal();
+    auto res = ps.shiftBy(2);
+    EXPECT_TRUE(res.detected);
+    EXPECT_FALSE(res.corrected);
+    EXPECT_TRUE(res.unrecoverable);
+}
+
+TEST(ProtectedStripe, SedMissesEvenErrors)
+{
+    // A +/-2 error aliases to a clean SED window: the silent channel.
+    auto model = std::make_unique<ScriptedErrorModel>(
+        std::vector<ShiftOutcome>{{+2, false}});
+    ProtectedStripe ps(cfg(2, 8, 0, PeccVariant::Standard),
+                       model.get(), Rng(9));
+    ps.initializeIdeal();
+    auto res = ps.shiftBy(2);
+    EXPECT_FALSE(res.detected);
+    EXPECT_NE(ps.positionError(), 0); // silently misaligned
+}
+
+TEST(ProtectedStripe, CorrectionShiftErrorIsRetried)
+{
+    // First shift over-shoots; the correction itself over-shoots
+    // again; a second correction round must fix it.
+    auto model = std::make_unique<ScriptedErrorModel>(
+        std::vector<ShiftOutcome>{{+1, false}, {+1, false}});
+    ProtectedStripe ps(cfg(2, 8, 1, PeccVariant::Standard),
+                       model.get(), Rng(10));
+    ps.initializeIdeal();
+    auto res = ps.shiftBy(3);
+    EXPECT_TRUE(res.detected);
+    EXPECT_TRUE(res.corrected);
+    EXPECT_EQ(ps.positionError(), 0);
+    EXPECT_GE(res.correction_shifts, 2);
+}
+
+TEST(ProtectedStripe, StopInMiddleResolvedByNextOperation)
+{
+    auto model = std::make_unique<ScriptedErrorModel>(
+        std::vector<ShiftOutcome>{{0, true}});
+    ProtectedStripe ps(cfg(2, 8, 1, PeccVariant::Standard),
+                       model.get(), Rng(11));
+    ps.initializeIdeal();
+    auto res = ps.shiftBy(2);
+    // The walls rest between notches; window bits read X -> detected.
+    EXPECT_TRUE(res.detected);
+}
+
+TEST(PeccO, StepByStepCleanOperation)
+{
+    ZeroErrorModel model;
+    PeccConfig c = cfg(2, 8, 1, PeccVariant::OverheadRegion);
+    ProtectedStripe ps(c, &model, Rng(12));
+    ps.initializeIdeal();
+    auto data = patternData(c.dataDomains());
+    ps.loadData(data);
+    for (int r = 0; r < 8; ++r) {
+        auto res = ps.seekIndex(r);
+        EXPECT_FALSE(res.detected) << "index " << r;
+        EXPECT_EQ(ps.positionError(), 0);
+    }
+    ps.seekIndex(7);
+    EXPECT_EQ(ps.dumpData(), data);
+}
+
+TEST(PeccO, DetectsAndCorrectsInjectedError)
+{
+    auto model = std::make_unique<ScriptedErrorModel>(
+        std::vector<ShiftOutcome>{{+1, false}});
+    ProtectedStripe ps(cfg(2, 8, 1, PeccVariant::OverheadRegion),
+                       model.get(), Rng(13));
+    ps.initializeIdeal();
+    auto res = ps.shiftBy(1);
+    EXPECT_TRUE(res.detected);
+    EXPECT_TRUE(res.corrected);
+    EXPECT_EQ(ps.positionError(), 0);
+    // The stripe must remain usable afterwards.
+    for (int r = 0; r < 8; ++r) {
+        auto r2 = ps.seekIndex(r);
+        EXPECT_FALSE(r2.unrecoverable);
+        EXPECT_EQ(ps.positionError(), 0);
+    }
+}
+
+/**
+ * Property: under a high injected +/-1 error rate, a SECDED stripe
+ * never ends an operation misaligned without flagging it. A detected
+ * unrecoverable outcome (DUE) is permitted - it can legitimately
+ * happen when a correction shift itself errs repeatedly - but it
+ * must be rare and, crucially, never silent: every op that does not
+ * raise the DUE flag must leave the stripe perfectly aligned.
+ */
+class FaultInjectionSweep
+    : public ::testing::TestWithParam<std::tuple<PeccVariant,
+                                                 uint64_t>>
+{
+};
+
+TEST_P(FaultInjectionSweep, CorrectableErrorsNeverGoSilent)
+{
+    auto [variant, seed] = GetParam();
+    // Scale the paper's +/-1 rate up to ~3% so a 3000-op run sees
+    // ~100 injected errors; +/-2 stays negligible, so every injected
+    // error is correctable in isolation (multi-error correction
+    // episodes can still surface as DUE).
+    auto base = std::make_shared<PaperCalibratedErrorModel>();
+    ScaledErrorModel model(base, 300.0);
+    PeccConfig c = cfg(2, 8, 1, variant);
+    ProtectedStripe ps(c, &model, Rng(seed));
+    ps.initializeIdeal();
+    auto data = patternData(c.dataDomains());
+    ps.loadData(data);
+
+    Rng dice(seed ^ 0xabcdef);
+    uint64_t detections = 0;
+    uint64_t due_events = 0;
+    for (int i = 0; i < 3000; ++i) {
+        int r = static_cast<int>(dice.uniformInt(8));
+        auto res = ps.seekIndex(r);
+        if (res.detected)
+            ++detections;
+        if (res.unrecoverable) {
+            // DUE: the architecture rebuilds the stripe from a clean
+            // copy (the cache line is refetched); model that here.
+            ++due_events;
+            ps.initializeIdeal();
+            ps.loadData(data);
+            continue;
+        }
+        ASSERT_EQ(ps.positionError(), 0) << "op " << i;
+    }
+    EXPECT_GT(detections, 0u);
+    // DUE stays second-order: a handful out of ~100 detections.
+    EXPECT_LE(due_events, 5u);
+    // Data image intact after the whole run.
+    ps.seekIndex(7);
+    EXPECT_EQ(ps.dumpData(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, FaultInjectionSweep,
+    ::testing::Combine(::testing::Values(PeccVariant::Standard,
+                                         PeccVariant::OverheadRegion),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+TEST(ProtectedStripe, BaselineSilentlyCorrupts)
+{
+    auto model = std::make_unique<ScriptedErrorModel>(
+        std::vector<ShiftOutcome>{{+1, false}});
+    ProtectedStripe ps(cfg(2, 8, 1, PeccVariant::None), model.get(),
+                       Rng(14));
+    ps.initializeIdeal();
+    auto res = ps.shiftBy(3);
+    EXPECT_FALSE(res.detected);
+    EXPECT_NE(ps.positionError(), 0);
+}
+
+} // namespace
+} // namespace rtm

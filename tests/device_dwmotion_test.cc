@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the 1-D domain-wall motion ODE model: notch pinning,
+ * above-threshold propagation, and the sub-threshold behaviour STS
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/dwmotion.hh"
+
+namespace rtm
+{
+namespace
+{
+
+constexpr double kDt = 1e-12;
+
+TEST(DomainWall, GeometryHelpers)
+{
+    DeviceParams p;
+    DomainWallModel m(p);
+    EXPECT_DOUBLE_EQ(m.pitch(), p.pitch());
+    EXPECT_TRUE(m.inNotchRegion(0.0));
+    EXPECT_TRUE(m.inNotchRegion(0.49 * p.pinning_width));
+    EXPECT_FALSE(m.inNotchRegion(0.51 * p.pinning_width));
+    EXPECT_TRUE(m.inNotchRegion(m.pitch()));
+    EXPECT_NEAR(m.notchOffset(m.pitch() + 1e-9), 1e-9, 1e-15);
+    EXPECT_NEAR(m.notchOffset(-1e-9), -1e-9, 1e-15);
+}
+
+TEST(DomainWall, StaysPinnedWithoutDrive)
+{
+    DeviceParams p;
+    DomainWallModel m(p);
+    WallState st;
+    WallState end = m.simulatePulse(st, 0.0, 1e-9, 1e-9, kDt);
+    EXPECT_EQ(m.stepsTravelled(st.q, end.q), 0);
+    EXPECT_TRUE(m.inNotchRegion(end.q));
+}
+
+TEST(DomainWall, AboveThresholdDriveMovesTheWall)
+{
+    DeviceParams p;
+    DomainWallModel m(p);
+    WallState st;
+    // Strong drive for several nominal step times.
+    WallState end = m.simulatePulse(st, p.shift_current_density,
+                                    8e-9, 2e-9, kDt);
+    EXPECT_GT(end.q, 0.25 * m.pitch());
+}
+
+TEST(DomainWall, MotionFollowsCurrentDirection)
+{
+    DeviceParams p;
+    DomainWallModel m(p);
+    WallState st;
+    WallState fwd = m.simulatePulse(st, p.shift_current_density,
+                                    4e-9, 0.0, kDt);
+    WallState bwd = m.simulatePulse(st, -p.shift_current_density,
+                                    4e-9, 0.0, kDt);
+    EXPECT_GT(fwd.q, st.q);
+    EXPECT_LT(bwd.q, st.q);
+}
+
+TEST(DomainWall, SubThresholdDriveCannotEscapeNotch)
+{
+    // The STS principle: a drive below J0 cannot pull a pinned wall
+    // out of its notch region.
+    DeviceParams p;
+    DomainWallModel m(p);
+    WallState st; // pinned at notch centre
+    double j_sub = 0.3 * p.thresholdCurrentDensity();
+    WallState end = m.simulatePulse(st, j_sub, 5e-9, 2e-9, kDt);
+    EXPECT_EQ(m.stepsTravelled(st.q, end.q), 0);
+}
+
+TEST(DomainWall, SubThresholdDriveCrossesFlatRegion)
+{
+    // A wall resting in the flat region (stop-in-middle) is pushed
+    // forward by the same sub-threshold drive.
+    DeviceParams p;
+    DomainWallModel m(p);
+    WallState st;
+    st.q = 0.5 * m.pitch(); // middle of the flat region
+    double j_sub = 0.3 * p.thresholdCurrentDensity();
+    WallState end = m.simulatePulse(st, j_sub, 3e-9, 0.0, kDt);
+    EXPECT_GT(end.q, st.q + 0.05 * m.pitch());
+}
+
+TEST(DomainWall, TrajectoryIsRecordedAndMonotonicInTime)
+{
+    DeviceParams p;
+    DomainWallModel m(p);
+    WallState st;
+    std::vector<TrajectoryPoint> traj;
+    m.simulatePulse(st, p.shift_current_density, 1e-9, 0.5e-9, kDt,
+                    &traj);
+    ASSERT_GT(traj.size(), 10u);
+    for (size_t i = 1; i < traj.size(); ++i)
+        EXPECT_GT(traj[i].t, traj[i - 1].t);
+    EXPECT_NEAR(traj.back().t, 1.5e-9, 2 * kDt);
+}
+
+TEST(DomainWall, StepsTravelledRounds)
+{
+    DeviceParams p;
+    DomainWallModel m(p);
+    EXPECT_EQ(m.stepsTravelled(0.0, 1.02 * m.pitch()), 1);
+    EXPECT_EQ(m.stepsTravelled(0.0, -2.98 * m.pitch()), -3);
+    EXPECT_EQ(m.stepsTravelled(0.0, 0.4 * m.pitch()), 0);
+}
+
+} // namespace
+} // namespace rtm

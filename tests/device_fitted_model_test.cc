@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the closed-form fitted error model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/fitted_model.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(FittedModel, SigmaGrowsSubSqrt)
+{
+    FittedErrorModel m;
+    double s1 = m.sigmaAt(1);
+    double s4 = m.sigmaAt(4);
+    double s7 = m.sigmaAt(7);
+    EXPECT_GT(s4, s1);
+    EXPECT_GT(s7, s4);
+    // The notch re-synchronisation keeps growth below sqrt(N).
+    EXPECT_LT(s7 / s1, std::sqrt(7.0));
+}
+
+TEST(FittedModel, SigmaSaturates)
+{
+    FittedErrorModel m;
+    // AR(1): sigma approaches a fixed point as N grows.
+    EXPECT_NEAR(m.sigmaAt(50), m.sigmaAt(100), 1e-9);
+}
+
+TEST(FittedModel, PlusOneRateNearPaperAnchor)
+{
+    // Default parameters are calibrated against Table 2: the 1-step
+    // +/-1 rate should land within a factor ~3 of 4.55e-5, and the
+    // 7-step rate within a factor ~3 of 1.1e-3.
+    FittedErrorModel m;
+    double p1 = std::exp(m.logProbStep(1, 1)) +
+                std::exp(m.logProbStep(1, -1));
+    EXPECT_GT(p1, 4.55e-5 / 3.0);
+    EXPECT_LT(p1, 4.55e-5 * 3.0);
+    double p7 = std::exp(m.logProbStep(7, 1)) +
+                std::exp(m.logProbStep(7, -1));
+    EXPECT_GT(p7, 1.1e-3 / 3.0);
+    EXPECT_LT(p7, 1.1e-3 * 3.0);
+}
+
+TEST(FittedModel, RatesGrowWithDistance)
+{
+    FittedErrorModel m;
+    for (int d = 1; d < 7; ++d) {
+        EXPECT_LT(m.logProbStep(d, 1), m.logProbStep(d + 1, 1))
+            << "d=" << d;
+    }
+}
+
+TEST(FittedModel, OverShiftDominatesUnderShift)
+{
+    FittedErrorModel m;
+    for (int d : {1, 4, 7})
+        EXPECT_GT(m.logProbStep(d, 1), m.logProbStep(d, -1));
+}
+
+TEST(FittedModel, DoubleStepsAreManyOrdersRarer)
+{
+    FittedErrorModel m;
+    for (int d : {1, 4, 7}) {
+        double gap = m.logProbStep(d, 1) - m.logProbStep(d, 2);
+        EXPECT_GT(gap, std::log(1e8)) << "d=" << d;
+    }
+}
+
+TEST(FittedModel, SkipTailGrowsFastWithDistance)
+{
+    FittedErrorModel m;
+    // Table 2's k=2 rates span ~6 orders of magnitude from 1-step to
+    // 7-step; the skip mechanism must reproduce that steep growth.
+    double growth = m.logProbStep(7, 2) - m.logProbStep(1, 2);
+    EXPECT_GT(growth, std::log(1e4));
+}
+
+TEST(FittedModel, StsConvertsMiddleMassIntoPlusOne)
+{
+    // Without STS most of the error mass rests in the wide flat
+    // region (stop-in-middle); the post-STS +1 rate is that mass
+    // plus the tiny sliver that landed directly in the next notch.
+    // So stop-in-middle accounts for essentially all of the +1 rate
+    // and never exceeds it.
+    FittedErrorModel m;
+    double mid = std::exp(m.logProbStopInMiddle(4, 0));
+    double oos = std::exp(m.logProbStep(4, 1));
+    EXPECT_LE(mid, oos);
+    EXPECT_GT(mid, 0.99 * oos);
+}
+
+TEST(FittedModel, SamplingAgreesWithAnalyticRates)
+{
+    FittedModelParams p;
+    p.sigma_step = 0.08; // inflate so sampling converges
+    FittedErrorModel m(p);
+    Rng rng(3);
+    const int n = 400000;
+    int errs = 0;
+    for (int i = 0; i < n; ++i)
+        errs += !m.sample(rng, 1, true).ok();
+    double analytic = std::exp(m.logProbAtLeast(1, 1));
+    double sampled = static_cast<double>(errs) / n;
+    EXPECT_NEAR(sampled, analytic, 4.0 * std::sqrt(analytic / n));
+}
+
+TEST(FittedModel, RejectsBadParameters)
+{
+    FittedModelParams p;
+    p.sigma_step = 0.0;
+    EXPECT_EXIT(FittedErrorModel{p},
+                ::testing::ExitedWithCode(1), "sigma_step");
+    FittedModelParams q;
+    q.resync_rho = 1.0;
+    EXPECT_EXIT(FittedErrorModel{q},
+                ::testing::ExitedWithCode(1), "resync_rho");
+}
+
+} // namespace
+} // namespace rtm

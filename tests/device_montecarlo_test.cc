@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the Monte-Carlo position-error extractor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/montecarlo.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(MonteCarlo, StepJitterIsSmallAndPositive)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p);
+    double j = mc.stepJitter();
+    EXPECT_GT(j, 0.001);
+    EXPECT_LT(j, 0.2);
+}
+
+TEST(MonteCarlo, ResyncRhoInRange)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p);
+    EXPECT_GT(mc.resyncRho(), 0.0);
+    EXPECT_LT(mc.resyncRho(), 1.0);
+}
+
+TEST(MonteCarlo, MostTrialsSucceed)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p, 1);
+    ErrorPdf pdf = mc.run(1, 20000);
+    EXPECT_EQ(pdf.trials, 20000u);
+    EXPECT_GT(pdf.stepProbability(0), 0.99);
+}
+
+TEST(MonteCarlo, DeviationMomentsGrowWithDistance)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p, 2);
+    ErrorPdf d1 = mc.run(1, 20000);
+    ErrorPdf d7 = mc.run(7, 20000);
+    EXPECT_GT(d7.deviation.stddev(), d1.deviation.stddev());
+    // Sub-sqrt growth thanks to notch re-synchronisation.
+    EXPECT_LT(d7.deviation.stddev() / d1.deviation.stddev(),
+              std::sqrt(7.0));
+}
+
+TEST(MonteCarlo, OverdriveBiasesDeviationPositive)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p, 3);
+    ErrorPdf pdf = mc.run(4, 20000);
+    EXPECT_GT(pdf.deviation.mean(), 0.0);
+}
+
+TEST(MonteCarlo, ClassificationPartitionsTrials)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p, 4);
+    ErrorPdf pdf = mc.run(7, 10000);
+    uint64_t steps = 0, mids = 0;
+    for (const auto &[k, c] : pdf.step_counts.entries())
+        steps += c;
+    for (const auto &[k, c] : pdf.middle_counts.entries())
+        mids += c;
+    EXPECT_EQ(steps + mids, pdf.trials);
+}
+
+TEST(MonteCarlo, FittedModelReflectsMeasuredMoments)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p, 5);
+    FittedErrorModel fit = mc.fitModel(50000);
+    // The fitted sigma_step must be close to the direct 1-step
+    // deviation spread.
+    PositionErrorMonteCarlo mc2(p, 6);
+    ErrorPdf d1 = mc2.run(1, 50000);
+    EXPECT_NEAR(fit.params().sigma_step, d1.deviation.stddev(),
+                0.1 * d1.deviation.stddev());
+    EXPECT_GT(fit.params().resync_rho, 0.0);
+    EXPECT_LT(fit.params().resync_rho, 1.0);
+    EXPECT_NEAR(fit.params().notch_half_width,
+                0.5 * 45.0 / 195.0, 1e-6);
+}
+
+TEST(MonteCarlo, DeterministicGivenSeed)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo a(p, 77), b(p, 77);
+    ErrorPdf pa = a.run(3, 5000);
+    ErrorPdf pb = b.run(3, 5000);
+    EXPECT_DOUBLE_EQ(pa.deviation.mean(), pb.deviation.mean());
+    EXPECT_EQ(pa.step_counts.entries(), pb.step_counts.entries());
+}
+
+} // namespace
+} // namespace rtm

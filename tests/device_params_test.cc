@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for device parameters and variation sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/params.hh"
+#include "util/stats.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(DeviceParams, Table1Defaults)
+{
+    DeviceParams p;
+    EXPECT_DOUBLE_EQ(p.domain_wall_width, 5e-9);
+    EXPECT_DOUBLE_EQ(p.pinning_width, 45e-9);
+    EXPECT_DOUBLE_EQ(p.flat_width, 150e-9);
+    EXPECT_DOUBLE_EQ(p.shift_current_density, 1.24e12);
+}
+
+TEST(DeviceParams, PitchAndNotchFraction)
+{
+    DeviceParams p;
+    EXPECT_DOUBLE_EQ(p.pitch(), 195e-9);
+    EXPECT_NEAR(p.notchFraction(), 45.0 / 195.0, 1e-12);
+}
+
+TEST(DeviceParams, ThresholdIsHalfOfDriveAtDefaultOverdrive)
+{
+    DeviceParams p;
+    EXPECT_DOUBLE_EQ(p.thresholdCurrentDensity(),
+                     p.shift_current_density / 2.0);
+    p.overdrive = 4.0;
+    EXPECT_DOUBLE_EQ(p.thresholdCurrentDensity(),
+                     p.shift_current_density / 4.0);
+}
+
+TEST(DeviceParams, SpinVelocityScalesWithCurrent)
+{
+    DeviceParams p;
+    double u1 = p.spinVelocity(1e12);
+    double u2 = p.spinVelocity(2e12);
+    EXPECT_GT(u1, 0.0);
+    EXPECT_NEAR(u2 / u1, 2.0, 1e-12);
+    // Magnitude sanity: tens of m/s for ~1 A/um^2 in permalloy.
+    EXPECT_GT(u1, 5.0);
+    EXPECT_LT(u1, 500.0);
+}
+
+TEST(SampleParams, MomentsMatchTable1Sigmas)
+{
+    DeviceParams nominal;
+    Rng rng(99);
+    RunningStats wall, depth, width, flat;
+    for (int i = 0; i < 50000; ++i) {
+        SampledParams s = sampleParams(nominal, rng);
+        wall.add(s.wall_width);
+        depth.add(s.pinning_depth);
+        width.add(s.pinning_width);
+        flat.add(s.flat_width);
+    }
+    EXPECT_NEAR(wall.mean(), nominal.domain_wall_width,
+                0.01 * nominal.domain_wall_width);
+    EXPECT_NEAR(wall.stddev(), 0.02 * nominal.domain_wall_width,
+                0.002 * nominal.domain_wall_width);
+    EXPECT_NEAR(depth.stddev(), 0.02 * nominal.pinning_depth,
+                0.002 * nominal.pinning_depth);
+    EXPECT_NEAR(width.stddev(), 0.05 * nominal.pinning_width,
+                0.005 * nominal.pinning_width);
+    // Table 1 as printed: sigma_L = 0.05 * dbar.
+    EXPECT_NEAR(flat.stddev(), 0.05 * nominal.pinning_width,
+                0.005 * nominal.pinning_width);
+}
+
+TEST(SampleParams, AlwaysPositive)
+{
+    DeviceParams nominal;
+    nominal.sigma_depth = 3.0; // pathological variation
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        SampledParams s = sampleParams(nominal, rng);
+        EXPECT_GT(s.pinning_depth, 0.0);
+        EXPECT_GT(s.wall_width, 0.0);
+    }
+}
+
+} // namespace
+} // namespace rtm

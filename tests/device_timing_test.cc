@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the Eq. 2 shift-timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/timing.hh"
+
+namespace rtm
+{
+namespace
+{
+
+SampledParams
+nominalOf(const DeviceParams &p)
+{
+    return {p.domain_wall_width, p.pinning_depth, p.pinning_width,
+            p.flat_width};
+}
+
+TEST(ShiftTiming, CalibratedToPaperStepTime)
+{
+    DeviceParams p;
+    ShiftTiming t(p);
+    // The nominal step time must equal the paper's 0.4 ns stage-1
+    // constant by construction.
+    EXPECT_NEAR(t.stepTime(nominalOf(p)), kStage1PerStepSeconds,
+                1e-15);
+    EXPECT_NEAR(t.nominalStepTime(), 0.4e-9, 1e-15);
+}
+
+TEST(ShiftTiming, PulseWidthIsLinearInDistance)
+{
+    DeviceParams p;
+    ShiftTiming t(p);
+    EXPECT_NEAR(t.pulseWidth(7), 7 * 0.4e-9, 1e-15);
+    EXPECT_DOUBLE_EQ(t.pulseWidth(0), 0.0);
+}
+
+TEST(ShiftTiming, WiderFlatRegionTakesLonger)
+{
+    DeviceParams p;
+    ShiftTiming t(p);
+    SampledParams s = nominalOf(p);
+    double base = t.flatTime(s);
+    s.flat_width *= 1.1;
+    EXPECT_GT(t.flatTime(s), base);
+    // Flat time is exactly linear in L (Eq. 2).
+    EXPECT_NEAR(t.flatTime(s) / base, 1.1, 1e-9);
+}
+
+TEST(ShiftTiming, NotchTimeFollowsEq2Sensitivities)
+{
+    // Eq. 2 as printed has tau = alpha*Ms*d/(V*Delta*gamma): the
+    // notch transit *shortens* as the potential deepens (the escape
+    // length shrinks faster than the time constant grows) and
+    // lengthens with a wider notch. We implement the paper's formula
+    // faithfully and pin both sensitivities here.
+    DeviceParams p;
+    ShiftTiming t(p);
+    SampledParams s = nominalOf(p);
+    double base = t.notchTime(s);
+    s.pinning_depth *= 1.2;
+    EXPECT_LT(t.notchTime(s), base);
+
+    SampledParams wide = nominalOf(p);
+    wide.pinning_width *= 1.2;
+    EXPECT_GT(t.notchTime(wide), base);
+}
+
+TEST(ShiftTiming, StepTimeIsFlatPlusNotch)
+{
+    DeviceParams p;
+    ShiftTiming t(p);
+    SampledParams s = nominalOf(p);
+    EXPECT_DOUBLE_EQ(t.stepTime(s),
+                     t.flatTime(s) + t.notchTime(s));
+}
+
+TEST(ShiftTiming, ThresholdComparesDriveToPinning)
+{
+    DeviceParams p;
+    ShiftTiming t(p);
+    SampledParams s = nominalOf(p);
+    // At 2*J0 the nominal notch is comfortably above threshold.
+    EXPECT_TRUE(t.aboveThreshold(s, p.shift_current_density));
+    // Just below J0, the wall cannot escape.
+    EXPECT_FALSE(t.aboveThreshold(
+        s, 0.99 * p.thresholdCurrentDensity()));
+    // A much deeper notch raises the threshold past the drive.
+    s.pinning_depth = p.pinning_depth * 2.5;
+    EXPECT_FALSE(t.aboveThreshold(s, p.shift_current_density));
+}
+
+TEST(ShiftTiming, VariationMovesTimingBothWays)
+{
+    DeviceParams p;
+    ShiftTiming t(p);
+    SampledParams lo = nominalOf(p), hi = nominalOf(p);
+    lo.flat_width *= 0.9;
+    hi.flat_width *= 1.1;
+    double nom = t.stepTime(nominalOf(p));
+    EXPECT_LT(t.stepTime(lo), nom);
+    EXPECT_GT(t.stepTime(hi), nom);
+}
+
+} // namespace
+} // namespace rtm

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for per-stripe process variation and chip screening.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/variation.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(Variation, MedianIsNominal)
+{
+    StripeVariationModel m(0.8);
+    Rng rng(1);
+    int below = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        below += m.sampleMultiplier(rng) < 1.0;
+    EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(Variation, MeanMultiplierIsLognormalMean)
+{
+    for (double sigma : {0.0, 0.5, 1.0, 1.5}) {
+        StripeVariationModel m(sigma);
+        EXPECT_NEAR(m.meanMultiplier(),
+                    std::exp(0.5 * sigma * sigma), 1e-12);
+    }
+}
+
+TEST(Variation, SampledMeanMatchesClosedForm)
+{
+    StripeVariationModel m(1.0);
+    Rng rng(2);
+    double sum = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+        sum += m.sampleMultiplier(rng);
+    EXPECT_NEAR(sum / n, m.meanMultiplier(),
+                0.03 * m.meanMultiplier());
+}
+
+TEST(Variation, TailFractionClosedForm)
+{
+    StripeVariationModel m(1.0);
+    // P(m > e) with sigma 1 is Q(1) ~ 0.1587.
+    EXPECT_NEAR(m.tailFraction(std::exp(1.0)), 0.1587, 1e-3);
+    EXPECT_NEAR(m.tailFraction(1.0), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(m.tailFraction(0.0), 1.0);
+}
+
+TEST(Variation, ZeroSigmaDegenerates)
+{
+    StripeVariationModel m(0.0);
+    EXPECT_DOUBLE_EQ(m.meanMultiplier(), 1.0);
+    EXPECT_DOUBLE_EQ(m.tailFraction(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.tailFraction(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(m.screenedMeanMultiplier(2.0), 1.0);
+    Rng rng(3);
+    EXPECT_DOUBLE_EQ(m.sampleMultiplier(rng), 1.0);
+}
+
+TEST(Variation, ScreeningShrinksTheMean)
+{
+    StripeVariationModel m(1.2);
+    double unscreened = m.meanMultiplier();
+    double screened = m.screenedMeanMultiplier(10.0);
+    EXPECT_LT(screened, unscreened);
+    EXPECT_GT(screened, 0.0);
+    // Tighter screening shrinks it further.
+    EXPECT_LT(m.screenedMeanMultiplier(3.0), screened);
+}
+
+TEST(Variation, EvaluateScreeningMonotonics)
+{
+    StripeVariationModel m(1.0);
+    auto outcomes = evaluateScreening(m, {100.0, 10.0, 3.0, 1.5});
+    for (size_t i = 1; i < outcomes.size(); ++i) {
+        // Tighter thresholds disable more and recover more MTTF.
+        EXPECT_GE(outcomes[i].disabled_fraction,
+                  outcomes[i - 1].disabled_fraction);
+        EXPECT_GE(outcomes[i].mttf_recovery,
+                  outcomes[i - 1].mttf_recovery);
+    }
+    // Loose screening costs almost nothing in capacity.
+    EXPECT_LT(outcomes[0].disabled_fraction, 1e-4);
+}
+
+TEST(Variation, SampledScreeningMatchesClosedForm)
+{
+    StripeVariationModel m(1.0);
+    Rng rng(7);
+    ScreeningOutcome sampled =
+        sampleScreening(m, 300000, 5.0, rng);
+    auto analytic = evaluateScreening(m, {5.0}).front();
+    EXPECT_NEAR(sampled.disabled_fraction,
+                analytic.disabled_fraction,
+                0.1 * analytic.disabled_fraction + 1e-4);
+    EXPECT_NEAR(sampled.rate_inflation, analytic.rate_inflation,
+                0.05 * analytic.rate_inflation);
+    EXPECT_NEAR(sampled.mttf_recovery, analytic.mttf_recovery,
+                0.15 * analytic.mttf_recovery);
+}
+
+TEST(VariationDeathTest, NegativeSigmaIsFatal)
+{
+    EXPECT_EXIT(StripeVariationModel(-0.1),
+                ::testing::ExitedWithCode(1), "non-negative");
+}
+
+} // namespace
+} // namespace rtm

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Cross-module integration tests: initialisation -> controller ->
+ * fault injection -> reliability accounting, plus end-to-end checks
+ * that tie device rates, planner tables, and simulator outputs to
+ * each other.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "codec/init.hh"
+#include "control/controller.hh"
+#include "device/montecarlo.hh"
+#include "model/reliability.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "util/prob.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(Integration, InitialiseThenOperateUnderFaults)
+{
+    // Full life cycle on one stripe: program-and-test init on the
+    // faulty path, then thousands of accesses with injected errors;
+    // data written early must be read back intact at the end.
+    auto base = std::make_shared<PaperCalibratedErrorModel>();
+    ScaledErrorModel model(base, 100.0);
+    PeccConfig cfg;
+    cfg.num_segments = 4;
+    cfg.seg_len = 8;
+    cfg.correct = 1;
+    cfg.variant = PeccVariant::Standard;
+
+    ProtectedStripe ps(cfg, &model, Rng(1));
+    InitResult init = PeccInitializer(1).run(ps);
+    ASSERT_TRUE(init.success);
+
+    // Write a known pattern through the real access path.
+    for (int idx = 0; idx < 8; ++idx) {
+        auto res = ps.seekIndex(idx);
+        ASSERT_FALSE(res.unrecoverable);
+        for (int seg = 0; seg < 4; ++seg)
+            ps.writeAligned(seg, (idx + seg) % 2 ? Bit::One
+                                                 : Bit::Zero);
+    }
+    // Churn.
+    Rng dice(7);
+    for (int i = 0; i < 2000; ++i) {
+        auto res = ps.seekIndex(static_cast<int>(dice.uniformInt(8)));
+        ASSERT_FALSE(res.unrecoverable) << i;
+        ASSERT_EQ(ps.positionError(), 0) << i;
+    }
+    // Read the pattern back.
+    for (int idx = 0; idx < 8; ++idx) {
+        ps.seekIndex(idx);
+        for (int seg = 0; seg < 4; ++seg) {
+            EXPECT_EQ(ps.readAligned(seg),
+                      (idx + seg) % 2 ? Bit::One : Bit::Zero)
+                << "idx " << idx << " seg " << seg;
+        }
+    }
+}
+
+TEST(Integration, MonteCarloFitFeedsPlannerSensibly)
+{
+    // Device physics -> fitted model -> planner: the pipeline the
+    // paper's methodology describes. The fitted model's safe
+    // distances must react to intensity like the calibrated one.
+    DeviceParams params;
+    PositionErrorMonteCarlo mc(params, 9);
+    FittedErrorModel fitted = mc.fitModel(50000);
+    StsTiming timing(kDefaultClockHz, 0.4e-9, 1.0e-9, 0.34e-9);
+    ShiftPlanner planner(&fitted, timing, 1, 7);
+    int d_hot = planner.safeDistance(1e9);
+    int d_cold = planner.safeDistance(1e3);
+    EXPECT_LE(d_hot, d_cold);
+    EXPECT_GE(d_hot, 1);
+    EXPECT_LE(d_cold, 7);
+}
+
+TEST(Integration, ControllerStatsMatchReliabilityModel)
+{
+    // Run a controller functionally with a scaled model; the ratio
+    // of detected errors to operations must approach the analytic
+    // per-op detection rate from the reliability model.
+    // Scale chosen to keep even the 7-step signed rates below the
+    // model's 0.5 probability cap, so analytic expectations stay
+    // exact.
+    auto base = std::make_shared<PaperCalibratedErrorModel>();
+    const double scale = 300.0;
+    ScaledErrorModel model(base, scale);
+    PeccConfig cfg;
+    cfg.num_segments = 2;
+    cfg.seg_len = 8;
+    cfg.correct = 1;
+    cfg.variant = PeccVariant::Standard;
+    ShiftController ctl(cfg, &model, ShiftPolicy::Unconstrained,
+                        83e6, Rng(3));
+    ctl.initialize();
+
+    Rng dice(11);
+    Cycles t = 0;
+    const int ops = 20000;
+    for (int i = 0; i < ops; ++i) {
+        ctl.read(0, static_cast<int>(dice.uniformInt(8)), t);
+        t += 10000;
+    }
+    const ControllerStats &s = ctl.stats();
+    ASSERT_GT(s.shift_ops, 0u);
+
+    // Expected detection rate: weighted by the realised distance
+    // histogram.
+    double expected = 0.0;
+    for (const auto &[dist, count] : s.distance_histogram.entries()) {
+        double p = std::exp(base->logProbAtLeast(
+                       static_cast<int>(dist), 1)) * scale;
+        expected += p * static_cast<double>(count);
+    }
+    double observed = static_cast<double>(s.detected_errors);
+    EXPECT_NEAR(observed, expected,
+                5.0 * std::sqrt(expected) + 1.0);
+    EXPECT_EQ(s.silent_errors, 0u);
+}
+
+TEST(Integration, SimulatorMttfTracksAnalyticRates)
+{
+    // The simulator's DUE MTTF for the unconstrained SECDED scheme
+    // must equal time / (512 * sum p2(d_i)) over its own shift
+    // distance histogram - tying sim accounting to model math.
+    PaperCalibratedErrorModel model;
+    SimConfig cfg;
+    cfg.hierarchy.llc_tech = MemTech::Racetrack;
+    cfg.hierarchy.scheme = Scheme::SecdedPecc;
+    cfg.hierarchy.capacity_divisor = 32;
+    cfg.mem_requests = 20000;
+    cfg.warmup_requests = 0;
+    SimResult r = simulate(
+        scaledProfile(parsecProfile("ferret"), 32), cfg, &model);
+    ASSERT_GT(r.shift_ops, 0u);
+    EXPECT_GT(r.due_mttf, 0.0);
+    EXPECT_FALSE(std::isinf(r.due_mttf));
+    // Scale: unconstrained one-shot shifts put the per-op DUE at
+    // the Table 2 k=2 column (up to 7.6e-15 per stripe); hours-scale
+    // MTTF, far above the microsecond baseline but far below the
+    // safe-distance schemes.
+    EXPECT_GT(r.due_mttf, 1e4);
+}
+
+TEST(Integration, EndToEndSchemeTradeoffTriangle)
+{
+    // One workload, three schemes: the three-way trade among
+    // reliability, performance and energy the paper's Sec. 6
+    // explores. Adaptive must dominate p-ECC-O on latency and
+    // energy while both meet the 10-year DUE bar.
+    PaperCalibratedErrorModel model;
+    auto run = [&](Scheme s) {
+        SimConfig cfg;
+        cfg.hierarchy.llc_tech = MemTech::Racetrack;
+        cfg.hierarchy.scheme = s;
+        cfg.hierarchy.capacity_divisor = 32;
+        cfg.mem_requests = 30000;
+        cfg.warmup_requests = 3000;
+        return simulate(scaledProfile(parsecProfile("x264"), 32),
+                        cfg, &model);
+    };
+    SimResult adaptive = run(Scheme::PeccSAdaptive);
+    SimResult pecc_o = run(Scheme::PeccO);
+    EXPECT_LE(adaptive.shift_cycles, pecc_o.shift_cycles);
+    EXPECT_LE(adaptive.llc_shift_energy, pecc_o.llc_shift_energy);
+    EXPECT_GT(adaptive.due_mttf, 10.0 * kSecondsPerYear);
+    EXPECT_GT(pecc_o.due_mttf, 10.0 * kSecondsPerYear);
+}
+
+} // namespace
+} // namespace rtm

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the racetrack LLC shift engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/rm_bank.hh"
+
+namespace rtm
+{
+namespace
+{
+
+class RmBankFixture : public ::testing::Test
+{
+  protected:
+    PaperCalibratedErrorModel model_;
+
+    RmBank
+    makeBank(Scheme scheme, uint64_t frames = 256)
+    {
+        RmBankConfig cfg;
+        cfg.line_frames = frames;
+        cfg.scheme = scheme;
+        return RmBank(cfg, &model_, racetrackL3());
+    }
+};
+
+TEST_F(RmBankFixture, HomePositionFrameIsFree)
+{
+    RmBank bank = makeBank(Scheme::PeccSAdaptive);
+    // Frame 7 maps to segment-local index 7 -> offset 0 (home).
+    ShiftCost c = bank.accessFrame(7, 0);
+    EXPECT_EQ(c.latency, 0u);
+    EXPECT_EQ(c.total_steps, 0);
+}
+
+TEST_F(RmBankFixture, DistanceMatchesIndexDelta)
+{
+    RmBank bank = makeBank(Scheme::PeccSAdaptive);
+    // Frame 0 -> local index 0 -> offset 7: 7 steps from home.
+    ShiftCost c = bank.accessFrame(0, 0);
+    EXPECT_EQ(c.total_steps, 7);
+    // Then frame 3 (offset 4): 3 more steps.
+    ShiftCost c2 = bank.accessFrame(3, 1000000);
+    EXPECT_EQ(c2.total_steps, 3);
+}
+
+TEST_F(RmBankFixture, GroupsHaveIndependentHeads)
+{
+    RmBank bank = makeBank(Scheme::PeccSAdaptive);
+    bank.accessFrame(0, 0); // group 0 now at offset 7
+    // Frame 64 is group 1: still at home, so index 0 costs 7 again.
+    ShiftCost c = bank.accessFrame(64, 10);
+    EXPECT_EQ(c.total_steps, 7);
+}
+
+TEST_F(RmBankFixture, PeccODecomposesIntoSteps)
+{
+    RmBank bank = makeBank(Scheme::PeccO);
+    ShiftCost c = bank.accessFrame(0, 0);
+    EXPECT_EQ(c.sub_shifts, 7);
+    EXPECT_EQ(c.total_steps, 7);
+    // 7 x 4-cycle 1-step shifts vs one 9-cycle 7-step shift.
+    EXPECT_EQ(c.latency, 28u);
+}
+
+TEST_F(RmBankFixture, UnconstrainedOneShot)
+{
+    RmBank bank = makeBank(Scheme::SecdedPecc);
+    ShiftCost c = bank.accessFrame(0, 0);
+    EXPECT_EQ(c.sub_shifts, 1);
+    EXPECT_EQ(c.latency, 9u);
+}
+
+TEST_F(RmBankFixture, WorstCaseCapsAtSafeDistance)
+{
+    RmBank bank = makeBank(Scheme::PeccSWorst);
+    ShiftCost c = bank.accessFrame(0, 0);
+    // Safe distance 3 at the default 83M ops/s: {3,3,1}.
+    EXPECT_EQ(c.sub_shifts, 3);
+}
+
+TEST_F(RmBankFixture, AdaptiveUsesIdlePeriods)
+{
+    RmBank bank = makeBank(Scheme::PeccSAdaptive);
+    bank.accessFrame(0, 0);
+    // Hot re-access: decomposed.
+    ShiftCost hot = bank.accessFrame(7, 5);
+    EXPECT_GT(hot.sub_shifts, 1);
+    // Cold re-access after a long idle gap: one-shot.
+    ShiftCost cold = bank.accessFrame(0, 100000000);
+    EXPECT_EQ(cold.sub_shifts, 1);
+}
+
+TEST_F(RmBankFixture, LatencyOrderingAcrossSchemes)
+{
+    // Fig. 14: baseline <= adaptive <= worst <= p-ECC-O in total
+    // shift latency for a mixed access pattern.
+    auto run = [&](Scheme s) {
+        RmBank bank = makeBank(s);
+        Cycles t = 0;
+        uint64_t frame = 1;
+        for (int i = 0; i < 200; ++i) {
+            bank.accessFrame(frame % 64, t);
+            frame = frame * 29 + 7;
+            t += 40; // hot stream
+        }
+        return bank.stats().shift_cycles;
+    };
+    Cycles base = run(Scheme::Baseline);
+    Cycles adaptive = run(Scheme::PeccSAdaptive);
+    Cycles worst = run(Scheme::PeccSWorst);
+    Cycles pecc_o = run(Scheme::PeccO);
+    EXPECT_LE(base, adaptive);
+    EXPECT_LE(adaptive, worst);
+    EXPECT_LE(worst, pecc_o);
+    // p-ECC-O is roughly 2x the baseline (paper: "about 2x").
+    EXPECT_GT(static_cast<double>(pecc_o) / base, 1.5);
+    EXPECT_LT(static_cast<double>(pecc_o) / base, 4.0);
+}
+
+TEST_F(RmBankFixture, ReliabilityAccumulates)
+{
+    RmBank bank = makeBank(Scheme::SecdedPecc);
+    bank.accessFrame(0, 0);
+    EXPECT_GT(bank.stats().reliability.expectedDue(), 0.0);
+    // One 7-step op over 512 stripes: expected DUE ~ 512 * p2(7).
+    EXPECT_NEAR(bank.stats().reliability.expectedDue(),
+                512.0 * 7.57e-15, 1e-2 * 512.0 * 7.57e-15);
+}
+
+TEST_F(RmBankFixture, SchemesRankByDueRate)
+{
+    // Fig. 11 ordering on identical access patterns.
+    auto due = [&](Scheme s) {
+        RmBank bank = makeBank(s);
+        Cycles t = 0;
+        for (int i = 0; i < 100; ++i) {
+            bank.accessFrame((i * 13) % 64, t);
+            t += 50;
+        }
+        return bank.stats().reliability.expectedDue();
+    };
+    double sed = due(Scheme::SedPecc);
+    double secded = due(Scheme::SecdedPecc);
+    double worst = due(Scheme::PeccSWorst);
+    double pecc_o = due(Scheme::PeccO);
+    EXPECT_GT(sed, secded);
+    EXPECT_GT(secded, worst);
+    EXPECT_GE(worst, pecc_o);
+}
+
+TEST_F(RmBankFixture, EnergySplitsStageOneStageTwo)
+{
+    RmBank bank = makeBank(Scheme::Baseline);
+    // 1-step op must cost the full Table 4 per-step energy.
+    EXPECT_NEAR(bank.shiftOpEnergy(1), nJ(1.331), 1e-15);
+    // A 7-step op amortises stage 2: less than 7x the 1-step cost.
+    EXPECT_LT(bank.shiftOpEnergy(7), 7.0 * bank.shiftOpEnergy(1));
+    EXPECT_GT(bank.shiftOpEnergy(7), 4.0 * bank.shiftOpEnergy(1));
+}
+
+TEST_F(RmBankFixture, ProtectedSchemesPayDetectionEnergy)
+{
+    RmBank base = makeBank(Scheme::Baseline);
+    RmBank pecc = makeBank(Scheme::SecdedPecc);
+    EXPECT_GT(pecc.shiftOpEnergy(1), base.shiftOpEnergy(1));
+}
+
+TEST_F(RmBankFixture, StatsTrackTotals)
+{
+    RmBank bank = makeBank(Scheme::PeccSAdaptive);
+    bank.accessFrame(0, 0);
+    bank.accessFrame(7, 1000);
+    const RmBankStats &s = bank.stats();
+    EXPECT_EQ(s.accesses, 2u);
+    EXPECT_GT(s.shift_steps, 0u);
+    EXPECT_GT(s.shift_energy, 0.0);
+    EXPECT_GT(s.distance_histogram.total(), 0u);
+}
+
+} // namespace
+} // namespace rtm

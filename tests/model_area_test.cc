@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the stripe area model (Fig. 7 / Fig. 13 inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/area.hh"
+
+namespace rtm
+{
+namespace
+{
+
+PeccConfig
+cfg(int segments, int lseg, int m, PeccVariant variant)
+{
+    PeccConfig c;
+    c.num_segments = segments;
+    c.seg_len = lseg;
+    c.correct = m;
+    c.variant = variant;
+    return c;
+}
+
+TEST(AreaModel, BareStripeInFig7Band)
+{
+    // Fig. 7 plots ~8-16 F^2/bit for a 64-bit stripe across port
+    // counts; the model must live in that band.
+    AreaModel area;
+    double lo = area.areaPerBitWithPorts(64, 1, 0);
+    double hi = area.areaPerBitWithPorts(64, 20, 8);
+    EXPECT_GT(lo, 6.0);
+    EXPECT_LT(lo, 11.0);
+    EXPECT_GT(hi, 11.0);
+    EXPECT_LT(hi, 20.0);
+}
+
+TEST(AreaModel, MoreReadPortsNeverShrinkArea)
+{
+    AreaModel area;
+    for (int rw : {0, 2, 4, 6, 8}) {
+        double prev = 0.0;
+        for (int r = 1; r <= 20; ++r) {
+            double a = area.areaPerBitWithPorts(64, r, rw);
+            EXPECT_GE(a, prev) << "r=" << r << " rw=" << rw;
+            prev = a;
+        }
+    }
+}
+
+TEST(AreaModel, FirstPortsAreCheapPastPortsCostFull)
+{
+    // The paper's observation: with few ports the stripe hides the
+    // transistors, so the marginal port cost is small (peripheral
+    // only); with many ports each added port pays its transistor.
+    AreaModel area;
+    double d1 = area.areaPerBitWithPorts(64, 2, 0) -
+                area.areaPerBitWithPorts(64, 1, 0);
+    double d2 = area.areaPerBitWithPorts(64, 20, 8) -
+                area.areaPerBitWithPorts(64, 19, 8);
+    EXPECT_LT(d1, d2);
+}
+
+TEST(AreaModel, RwPortsCostMoreThanReadPorts)
+{
+    AreaModel area;
+    // Past the transistor knee, swapping a read port for a R/W port
+    // increases area.
+    double r_only = area.stripeArea(64, 20, 0);
+    double rw = area.stripeArea(64, 12, 8);
+    EXPECT_GT(rw, r_only);
+}
+
+TEST(AreaModel, ProtectedOverheadNearPaperTable5)
+{
+    // Table 5: ~17.6% cell overhead for p-ECC, ~15.7% for p-ECC-O
+    // on the default 8x8 stripe. Shape check: both within a few
+    // points, p-ECC-O no larger than p-ECC.
+    AreaModel area;
+    double base = area.areaPerDataBit(
+        cfg(8, 8, 1, PeccVariant::None));
+    double pecc = area.areaPerDataBit(
+        cfg(8, 8, 1, PeccVariant::Standard));
+    double pecc_o = area.areaPerDataBit(
+        cfg(8, 8, 1, PeccVariant::OverheadRegion));
+    EXPECT_GT(pecc, base);
+    EXPECT_GT(pecc_o, base);
+    EXPECT_LE(pecc_o, pecc * 1.02);
+    EXPECT_NEAR((pecc - base) / base, 0.18, 0.10);
+}
+
+TEST(AreaModel, Fig13CrossoverAtLongSegments)
+{
+    // For long segments the Standard code region grows with Lseg
+    // while p-ECC-O stays constant: p-ECC-O must win clearly at
+    // Lseg = 32 and 64.
+    AreaModel area;
+    for (int lseg : {32, 64}) {
+        double pecc = area.areaPerDataBit(
+            cfg(2, lseg, 1, PeccVariant::Standard));
+        double pecc_o = area.areaPerDataBit(
+            cfg(2, lseg, 1, PeccVariant::OverheadRegion));
+        EXPECT_LT(pecc_o, pecc) << "Lseg " << lseg;
+    }
+}
+
+TEST(AreaModel, ShortSegmentsOverheadTrivial)
+{
+    // Fig. 13: for Lseg < 8 the protection overhead is small.
+    AreaModel area;
+    double base = area.areaPerDataBit(
+        cfg(16, 2, 1, PeccVariant::None));
+    double pecc = area.areaPerDataBit(
+        cfg(16, 2, 1, PeccVariant::OverheadRegion));
+    EXPECT_LT((pecc - base) / base, 0.30);
+}
+
+TEST(AreaModelDeathTest, RejectsZeroDomains)
+{
+    AreaModel area;
+    EXPECT_DEATH(area.stripeArea(0, 1, 1), "domain");
+}
+
+} // namespace
+} // namespace rtm

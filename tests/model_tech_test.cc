@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the technology parameter tables (paper Tables 4/5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/tech.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(Tech, Table4Capacities)
+{
+    EXPECT_EQ(sramL3().capacity_bytes, 4ull << 20);
+    EXPECT_EQ(sttramL3().capacity_bytes, 32ull << 20);
+    EXPECT_EQ(racetrackL3().capacity_bytes, 128ull << 20);
+    // The whole point of racetrack: ~32x SRAM capacity at iso-area.
+    EXPECT_EQ(racetrackL3().capacity_bytes,
+              32 * sramL3().capacity_bytes);
+}
+
+TEST(Tech, Table4Latencies)
+{
+    EXPECT_EQ(sramL3().read_latency, 24u);
+    EXPECT_EQ(sramL3().write_latency, 22u);
+    EXPECT_EQ(sttramL3().read_latency, 27u);
+    EXPECT_EQ(sttramL3().write_latency, 41u);
+    EXPECT_EQ(racetrackL3().read_latency, 24u);
+    EXPECT_EQ(racetrackL3().write_latency, 24u);
+    EXPECT_EQ(racetrackL3().shift_latency_per_step, 4u);
+}
+
+TEST(Tech, Table4Energies)
+{
+    EXPECT_DOUBLE_EQ(racetrackL3().shift_energy_per_step, nJ(1.331));
+    EXPECT_DOUBLE_EQ(sttramL3().write_energy, nJ(2.093));
+    // STT-RAM writes cost more than reads; SRAM leakage dominates
+    // all other technologies.
+    EXPECT_GT(sttramL3().write_energy, sttramL3().read_energy);
+    EXPECT_GT(sramL3().leakage_watts, sttramL3().leakage_watts);
+    EXPECT_GT(sramL3().leakage_watts, racetrackL3().leakage_watts);
+}
+
+TEST(Tech, IdealRacetrackDropsShiftCostsOnly)
+{
+    TechParams rm = racetrackL3();
+    TechParams ideal = racetrackIdealL3();
+    EXPECT_EQ(ideal.shift_latency_per_step, 0u);
+    EXPECT_DOUBLE_EQ(ideal.shift_energy_per_step, 0.0);
+    EXPECT_EQ(ideal.read_latency, rm.read_latency);
+    EXPECT_EQ(ideal.capacity_bytes, rm.capacity_bytes);
+}
+
+TEST(Tech, L3ForDispatch)
+{
+    EXPECT_EQ(l3For(MemTech::SRAM).tech, MemTech::SRAM);
+    EXPECT_EQ(l3For(MemTech::STTRAM).tech, MemTech::STTRAM);
+    EXPECT_EQ(l3For(MemTech::Racetrack).tech, MemTech::Racetrack);
+    EXPECT_EQ(l3For(MemTech::RacetrackIdeal).tech,
+              MemTech::RacetrackIdeal);
+}
+
+TEST(Tech, UpperLevelsAndDram)
+{
+    EXPECT_EQ(l1Params().read_latency, 1u);
+    EXPECT_EQ(l2Params().read_latency, 7u);
+    EXPECT_EQ(dramParams().access_latency, 100u);
+    EXPECT_DOUBLE_EQ(dramParams().access_energy, nJ(38.10));
+}
+
+TEST(Tech, Names)
+{
+    EXPECT_STREQ(memTechName(MemTech::SRAM), "SRAM");
+    EXPECT_STREQ(memTechName(MemTech::Racetrack), "RM");
+    EXPECT_STREQ(schemeName(Scheme::PeccSAdaptive),
+                 "p-ECC-S adaptive");
+    EXPECT_STREQ(schemeName(Scheme::PeccO), "SECDED p-ECC-O");
+}
+
+TEST(Tech, Table5Overheads)
+{
+    ProtectionOverheads pecc = overheadsFor(Scheme::SecdedPecc);
+    EXPECT_DOUBLE_EQ(pecc.detect_time, ns(0.34));
+    EXPECT_DOUBLE_EQ(pecc.detect_energy, pJ(3.73));
+    EXPECT_DOUBLE_EQ(pecc.correct_time, ns(1.34));
+    EXPECT_DOUBLE_EQ(pecc.cell_area_overhead, 0.176);
+
+    ProtectionOverheads o = overheadsFor(Scheme::PeccO);
+    EXPECT_DOUBLE_EQ(o.cell_area_overhead, 0.157);
+    EXPECT_GT(o.correct_energy, pecc.correct_energy);
+
+    ProtectionOverheads adaptive =
+        overheadsFor(Scheme::PeccSAdaptive);
+    // The adaptive controller is roughly twice the plain one.
+    EXPECT_NEAR(adaptive.controller_area_um2 /
+                    overheadsFor(Scheme::PeccSWorst)
+                        .controller_area_um2,
+                2.0, 0.1);
+    EXPECT_DOUBLE_EQ(overheadsFor(Scheme::Baseline).detect_energy,
+                     0.0);
+}
+
+} // namespace
+} // namespace rtm

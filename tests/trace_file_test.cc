@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the text trace-file reader and replay adapter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_file.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(TraceParse, BasicLines)
+{
+    auto reqs = parseTrace("0 0x40 R 3\n"
+                           "1 128 W\n");
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].core, 0);
+    EXPECT_EQ(reqs[0].addr, 0x40u);
+    EXPECT_FALSE(reqs[0].is_write);
+    EXPECT_EQ(reqs[0].gap_instructions, 3u);
+    EXPECT_EQ(reqs[1].core, 1);
+    EXPECT_EQ(reqs[1].addr, 128u);
+    EXPECT_TRUE(reqs[1].is_write);
+    EXPECT_EQ(reqs[1].gap_instructions, 0u);
+}
+
+TEST(TraceParse, CommentsAndBlanksIgnored)
+{
+    auto reqs = parseTrace("# header comment\n"
+                           "\n"
+                           "   \n"
+                           "0 0x10 r 1  # trailing comment\n"
+                           "# another\n");
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].addr, 0x10u);
+}
+
+TEST(TraceParse, LowercaseAccessTypes)
+{
+    auto reqs = parseTrace("2 0x100 w 5\n3 0x200 r\n");
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_TRUE(reqs[0].is_write);
+    EXPECT_FALSE(reqs[1].is_write);
+}
+
+TEST(TraceParseDeathTest, RejectsMalformedLines)
+{
+    EXPECT_EXIT(parseTrace("0 0x40\n"),
+                ::testing::ExitedWithCode(1), "expected");
+    EXPECT_EXIT(parseTrace("0 0x40 X\n"),
+                ::testing::ExitedWithCode(1), "R or W");
+    EXPECT_EXIT(parseTrace("0 zz R\n"),
+                ::testing::ExitedWithCode(1), "bad address");
+    EXPECT_EXIT(parseTrace("-1 0x40 R\n"),
+                ::testing::ExitedWithCode(1), "negative core");
+    EXPECT_EXIT(parseTrace("0 0x40 R -2\n"),
+                ::testing::ExitedWithCode(1), "negative gap");
+}
+
+TEST(TraceParse, ErrorsNameTheLine)
+{
+    EXPECT_EXIT(parseTrace("0 0x40 R\n0 0x80 Q\n"),
+                ::testing::ExitedWithCode(1), "line 2");
+}
+
+TEST(TraceFormat, RoundTrips)
+{
+    std::vector<MemRequest> reqs = {
+        {0, 0x1a2b40, false, 12},
+        {3, 0x40, true, 0},
+    };
+    auto parsed = parseTrace(formatTrace(reqs));
+    ASSERT_EQ(parsed.size(), reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(parsed[i].core, reqs[i].core);
+        EXPECT_EQ(parsed[i].addr, reqs[i].addr);
+        EXPECT_EQ(parsed[i].is_write, reqs[i].is_write);
+        EXPECT_EQ(parsed[i].gap_instructions,
+                  reqs[i].gap_instructions);
+    }
+}
+
+TEST(TraceReplay, LoopsAndCountsWraps)
+{
+    TraceReplay replay(parseTrace("0 0x40 R\n0 0x80 W\n"));
+    EXPECT_EQ(replay.size(), 2u);
+    EXPECT_EQ(replay.next().addr, 0x40u);
+    EXPECT_EQ(replay.next().addr, 0x80u);
+    EXPECT_EQ(replay.wraps(), 1u);
+    EXPECT_EQ(replay.next().addr, 0x40u);
+    EXPECT_EQ(replay.wraps(), 1u);
+    replay.next();
+    EXPECT_EQ(replay.wraps(), 2u);
+}
+
+TEST(TraceReplayDeathTest, RejectsEmptyTrace)
+{
+    EXPECT_EXIT(TraceReplay(std::vector<MemRequest>{}),
+                ::testing::ExitedWithCode(1), "at least one");
+}
+
+TEST(TraceFile, LoadsFromDisk)
+{
+    std::string path = "/tmp/rtm_trace_test.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("0 0x40 R 1\n1 0x80 W 2\n", f);
+    std::fclose(f);
+    auto reqs = loadTraceFile(path);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[1].core, 1);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadTraceFile("/nonexistent/rtm.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace rtm

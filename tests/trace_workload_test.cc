@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workload.hh"
+#include "util/stats.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(Profiles, AllTwelvePaperWorkloadsPresent)
+{
+    auto profiles = parsecProfiles();
+    EXPECT_EQ(profiles.size(), 12u);
+    std::set<std::string> names;
+    for (const auto &p : profiles)
+        names.insert(p.name);
+    for (const char *n :
+         {"blackscholes", "bodytrack", "canneal", "dedup", "facesim",
+          "ferret", "fluidanimate", "freqmine", "streamcluster",
+          "swaptions", "vips", "x264"}) {
+        EXPECT_TRUE(names.count(n)) << n;
+    }
+}
+
+TEST(Profiles, CapacityDivideMatchesLlcSizes)
+{
+    // Sensitive workloads: between the 4 MB SRAM and 128 MB
+    // racetrack LLCs. Insensitive: fit in 4 MB.
+    for (const auto &p : parsecProfiles()) {
+        if (p.capacity_sensitive) {
+            EXPECT_GT(p.working_set_bytes, 4ull << 20) << p.name;
+            EXPECT_LT(p.working_set_bytes, 128ull << 20) << p.name;
+        } else {
+            EXPECT_LE(p.working_set_bytes, 4ull << 20) << p.name;
+        }
+    }
+}
+
+TEST(Profiles, SixSensitiveSixInsensitive)
+{
+    int sensitive = 0;
+    for (const auto &p : parsecProfiles())
+        sensitive += p.capacity_sensitive;
+    EXPECT_EQ(sensitive, 6);
+}
+
+TEST(Profiles, LookupByName)
+{
+    WorkloadProfile p = parsecProfile("canneal");
+    EXPECT_EQ(p.name, "canneal");
+    EXPECT_TRUE(p.capacity_sensitive);
+    EXPECT_EXIT(parsecProfile("nonexistent"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Generator, RoundRobinCores)
+{
+    WorkloadGenerator gen(parsecProfile("blackscholes"), 4, 1);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(gen.next().core, i % 4);
+}
+
+TEST(Generator, AddressesStayInWorkingSet)
+{
+    WorkloadProfile p = parsecProfile("ferret");
+    WorkloadGenerator gen(p, 4, 2);
+    for (int i = 0; i < 20000; ++i) {
+        MemRequest r = gen.next();
+        EXPECT_LT(r.addr, p.working_set_bytes);
+    }
+}
+
+TEST(Generator, WriteRatioMatchesProfile)
+{
+    WorkloadProfile p = parsecProfile("dedup");
+    WorkloadGenerator gen(p, 4, 3);
+    int writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        writes += gen.next().is_write;
+    EXPECT_NEAR(static_cast<double>(writes) / n, p.write_ratio,
+                0.02);
+}
+
+TEST(Generator, GapMeanMatchesProfile)
+{
+    WorkloadProfile p = parsecProfile("blackscholes");
+    WorkloadGenerator gen(p, 4, 4);
+    RunningStats gaps;
+    for (int i = 0; i < 50000; ++i)
+        gaps.add(gen.next().gap_instructions);
+    // Geometric-ish gap with the configured mean (floor truncation
+    // biases slightly low).
+    EXPECT_NEAR(gaps.mean(), p.mean_gap, 0.8);
+}
+
+TEST(Generator, SequentialRunsExist)
+{
+    WorkloadProfile p = parsecProfile("streamcluster");
+    WorkloadGenerator gen(p, 1, 5);
+    int sequential = 0;
+    const int n = 20000;
+    Addr prev = 0;
+    for (int i = 0; i < n; ++i) {
+        MemRequest r = gen.next();
+        if (i > 0 && r.addr == prev + 64)
+            ++sequential;
+        prev = r.addr;
+    }
+    // streamcluster is highly streaming: most accesses continue a
+    // sequential run.
+    EXPECT_GT(static_cast<double>(sequential) / n, 0.5);
+}
+
+TEST(Generator, HotSetConcentratesAccesses)
+{
+    WorkloadProfile p = parsecProfile("canneal");
+    p.sequential_prob = 0.0; // isolate the hot-set effect
+    WorkloadGenerator gen(p, 1, 6);
+    IntTally lines;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        lines.add(static_cast<int64_t>(gen.next().addr / 64));
+    // The top-decile of the working set absorbs most accesses.
+    uint64_t hot_boundary =
+        static_cast<uint64_t>(p.working_set_bytes / 64 *
+                              p.hot_set_ratio);
+    uint64_t hot_hits = 0;
+    for (const auto &[line, count] : lines.entries())
+        if (static_cast<uint64_t>(line) % (p.working_set_bytes / 64 /
+            4 * 3) < hot_boundary)
+            hot_hits += count;
+    EXPECT_GT(static_cast<double>(hot_hits) / n, 0.3);
+}
+
+TEST(Generator, DeterministicGivenSeed)
+{
+    WorkloadGenerator a(parsecProfile("vips"), 4, 42);
+    WorkloadGenerator b(parsecProfile("vips"), 4, 42);
+    for (int i = 0; i < 1000; ++i) {
+        MemRequest ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.addr, rb.addr);
+        EXPECT_EQ(ra.is_write, rb.is_write);
+        EXPECT_EQ(ra.gap_instructions, rb.gap_instructions);
+    }
+}
+
+} // namespace
+} // namespace rtm

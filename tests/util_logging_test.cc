@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for logging levels and formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+namespace
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = detail::vformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+TEST(Logging, VformatBasic)
+{
+    EXPECT_EQ(format("plain"), "plain");
+    EXPECT_EQ(format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(format("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(Logging, VformatLongString)
+{
+    std::string big(5000, 'x');
+    EXPECT_EQ(format("%s", big.c_str()), big);
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(old);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(rtm_panic("invariant %d broken", 7),
+                 "invariant 7 broken");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(rtm_fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+} // namespace
+} // namespace rtm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMomentsLookRight)
+{
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias)
+{
+    Rng rng(13);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, GaussianMomentsLookRight)
+{
+    Rng rng(17);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.01);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, GaussianTailFrequency)
+{
+    // |Z| > 3 should occur with probability ~2.7e-3.
+    Rng rng(19);
+    int tail = 0;
+    const int n = 500000;
+    for (int i = 0; i < n; ++i)
+        tail += std::abs(rng.gaussian()) > 3.0;
+    double freq = static_cast<double>(tail) / n;
+    EXPECT_NEAR(freq, 2.7e-3, 5e-4);
+}
+
+TEST(Rng, ScaledGaussian)
+{
+    Rng rng(23);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliEdgeCasesAndRate)
+{
+    Rng rng(29);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng a(31);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace rtm

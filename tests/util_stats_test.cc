@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for running statistics, histograms and tallies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsNeutral)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // unbiased
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        double v = std::sin(i) * 10.0;
+        all.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats a_copy = a;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.0);   // bin 0
+    h.add(0.999); // bin 0
+    h.add(5.0);   // bin 5
+    h.add(9.999); // bin 9
+    h.add(-0.1);  // underflow
+    h.add(10.0);  // overflow (right edge exclusive)
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.binLo(5), 5.0);
+    EXPECT_DOUBLE_EQ(h.binHi(5), 6.0);
+}
+
+TEST(Histogram, DensityNormalisesOverInRangeMass)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5, 3);
+    h.add(2.5, 1);
+    h.add(99.0, 6); // overflow ignored by density
+    EXPECT_DOUBLE_EQ(h.density(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.density(2), 0.25);
+    EXPECT_DOUBLE_EQ(h.density(1), 0.0);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 1.0, 1);
+    h.add(0.5, 42);
+    EXPECT_EQ(h.count(0), 42u);
+    EXPECT_EQ(h.total(), 42u);
+}
+
+TEST(IntTally, CountsAndMean)
+{
+    IntTally t;
+    t.add(1, 3);
+    t.add(7);
+    t.add(-2, 2);
+    EXPECT_EQ(t.count(1), 3u);
+    EXPECT_EQ(t.count(7), 1u);
+    EXPECT_EQ(t.count(-2), 2u);
+    EXPECT_EQ(t.count(99), 0u);
+    EXPECT_EQ(t.total(), 6u);
+    EXPECT_NEAR(t.mean(), (3.0 * 1 + 7 - 2 * 2) / 6.0, 1e-12);
+}
+
+TEST(IntTally, EntriesAreOrdered)
+{
+    IntTally t;
+    t.add(5);
+    t.add(-1);
+    t.add(3);
+    std::vector<int64_t> keys;
+    for (const auto &[k, c] : t.entries())
+        keys.push_back(k);
+    EXPECT_EQ(keys, (std::vector<int64_t>{-1, 3, 5}));
+}
+
+} // namespace
+} // namespace rtm

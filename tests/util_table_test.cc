@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the console table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace rtm
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string s = t.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+    // The first column is padded to its widest entry ("longer", 6
+    // chars) plus two spaces of gutter.
+    EXPECT_NE(s.find("name    v"), std::string::npos);
+    EXPECT_NE(s.find("a       1"), std::string::npos);
+    EXPECT_NE(s.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, RowCountTracked)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TextTable, NumberFormatters)
+{
+    EXPECT_EQ(TextTable::num(1.23456e-5), "1.235e-05");
+    EXPECT_EQ(TextTable::num(2.0), "2");
+    EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::integer(-42), "-42");
+}
+
+} // namespace
+} // namespace rtm

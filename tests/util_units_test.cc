@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for unit conversions and duration formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/units.hh"
+
+namespace rtm
+{
+namespace
+{
+
+std::string
+fmt(double seconds)
+{
+    char buf[64];
+    return formatDuration(seconds, buf, sizeof(buf));
+}
+
+TEST(Units, SecondsToCyclesRoundsUp)
+{
+    // 2 GHz: one cycle is 0.5 ns.
+    EXPECT_EQ(secondsToCycles(0.5e-9), 1u);
+    EXPECT_EQ(secondsToCycles(0.4e-9), 1u);
+    EXPECT_EQ(secondsToCycles(1.0e-9), 2u);
+    EXPECT_EQ(secondsToCycles(1.1e-9), 3u);
+    EXPECT_EQ(secondsToCycles(0.0), 0u);
+    EXPECT_EQ(secondsToCycles(-1.0), 0u);
+}
+
+TEST(Units, StsLatencyAnchors)
+{
+    // Paper Sec. 4.1: stage 1 of a 7-step shift is 2.8 ns -> 6
+    // cycles at 2 GHz.
+    EXPECT_EQ(secondsToCycles(7 * 0.4e-9), 6u);
+    EXPECT_EQ(secondsToCycles(1 * 0.4e-9), 1u);
+}
+
+TEST(Units, CyclesToSecondsInverse)
+{
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(2000000000ull), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(3, 1e9), 3e-9);
+}
+
+TEST(Units, LiteralHelpers)
+{
+    EXPECT_DOUBLE_EQ(ns(1.5), 1.5e-9);
+    EXPECT_DOUBLE_EQ(pJ(2.0), 2e-12);
+    EXPECT_DOUBLE_EQ(nJ(0.5), 5e-10);
+    EXPECT_DOUBLE_EQ(mW(100.0), 0.1);
+}
+
+TEST(Units, FormatDurationBands)
+{
+    EXPECT_NE(fmt(3e-9).find("ns"), std::string::npos);
+    EXPECT_NE(fmt(2e-6).find("us"), std::string::npos);
+    EXPECT_NE(fmt(5e-3).find("ms"), std::string::npos);
+    EXPECT_NE(fmt(10.0).find(" s"), std::string::npos);
+    EXPECT_NE(fmt(120.0).find("min"), std::string::npos);
+    EXPECT_NE(fmt(7200.0).find("hours"), std::string::npos);
+    EXPECT_NE(fmt(200000.0).find("days"), std::string::npos);
+    EXPECT_NE(fmt(1e10).find("years"), std::string::npos);
+    EXPECT_EQ(fmt(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(Units, PaperMttfAnchorsFormat)
+{
+    // The paper's headline numbers: 1.33 us baseline, 69-year
+    // adaptive DUE MTTF.
+    EXPECT_EQ(fmt(1.33e-6), "1.33 us");
+    EXPECT_EQ(fmt(2.18e9), "69.1 years");
+}
+
+} // namespace
+} // namespace rtm

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * faultsim - fault-injection campaigns on the functional protection
+ * stack.
+ *
+ * Runs a protected stripe through millions of randomized accesses
+ * with the position-error rates scaled up (so rare events become
+ * observable), tallies the empirical outcome classes
+ * (corrected / DUE / silent), and compares them against the
+ * closed-form ReliabilityModel predictions for the same scaled
+ * rates. Agreement here is what licenses using the analytic model
+ * for the paper's MTTF figures, where the true rates are far below
+ * direct simulation reach.
+ *
+ *   faultsim [--scheme secded|sed|baseline|pecc-o] [--scale S]
+ *            [--ops N] [--lseg L] [--seed K]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "codec/protected_stripe.hh"
+#include "model/reliability.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace rtm;
+
+namespace
+{
+
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (std::strncmp(argv[i], "--", 2) != 0) {
+            std::fprintf(stderr, "expected --flag, got '%s'\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        flags[argv[i] + 2] = argv[i + 1];
+    }
+    return flags;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto flags = parseFlags(argc, argv);
+    auto get = [&](const char *k, const char *fb) {
+        auto it = flags.find(k);
+        return it == flags.end() ? std::string(fb) : it->second;
+    };
+
+    std::string scheme_name = get("scheme", "secded");
+    double scale = std::atof(get("scale", "500").c_str());
+    uint64_t ops =
+        std::strtoull(get("ops", "200000").c_str(), nullptr, 10);
+    int lseg = std::atoi(get("lseg", "8").c_str());
+    uint64_t seed =
+        std::strtoull(get("seed", "1").c_str(), nullptr, 10);
+
+    Scheme scheme;
+    PeccConfig cfg;
+    cfg.num_segments = 2;
+    cfg.seg_len = lseg;
+    if (scheme_name == "baseline") {
+        scheme = Scheme::Baseline;
+        cfg.correct = 1;
+        cfg.variant = PeccVariant::None;
+    } else if (scheme_name == "sed") {
+        scheme = Scheme::SedPecc;
+        cfg.correct = 0;
+        cfg.variant = PeccVariant::Standard;
+    } else if (scheme_name == "pecc-o") {
+        scheme = Scheme::PeccO;
+        cfg.correct = 1;
+        cfg.variant = PeccVariant::OverheadRegion;
+    } else {
+        scheme = Scheme::SecdedPecc;
+        cfg.correct = 1;
+        cfg.variant = PeccVariant::Standard;
+    }
+
+    auto base = std::make_shared<PaperCalibratedErrorModel>();
+    ScaledErrorModel model(base, scale);
+    ReliabilityModel analytic(&model, scheme);
+
+    std::printf("fault-injection campaign: %s, rates x%.0f, "
+                "%llu ops, Lseg %d\n\n",
+                schemeName(scheme), scale,
+                static_cast<unsigned long long>(ops), lseg);
+
+    ProtectedStripe stripe(cfg, &model, Rng(seed));
+    stripe.initializeIdeal();
+
+    Rng dice(seed ^ 0xfeedbeef);
+    uint64_t corrected = 0, due = 0, silent = 0, clean = 0;
+    IntTally distances;
+    double exp_corrected = 0.0, exp_due = 0.0, exp_sdc = 0.0;
+
+    for (uint64_t i = 0; i < ops; ++i) {
+        int target = static_cast<int>(dice.uniformInt(
+            static_cast<uint64_t>(lseg)));
+        int cur_idx =
+            lseg - 1 - stripe.believedOffset(); // current index
+        int distance = std::abs(target - cur_idx);
+        if (distance == 0)
+            continue;
+        distances.add(distance);
+
+        // Accumulate the analytic expectation for this op. The
+        // OverheadRegion variant decomposes into 1-step shifts.
+        std::vector<int> parts =
+            cfg.variant == PeccVariant::OverheadRegion
+                ? std::vector<int>(static_cast<size_t>(distance), 1)
+                : std::vector<int>{distance};
+        ShiftReliability r = analytic.sequence(parts);
+        exp_corrected += std::exp(r.log_corrected);
+        exp_due += std::exp(r.log_due);
+        exp_sdc += std::exp(r.log_sdc);
+
+        ProtectedShiftResult res = stripe.seekIndex(target);
+        if (res.unrecoverable) {
+            ++due;
+            stripe.initializeIdeal(); // rebuild and continue
+            continue;
+        }
+        if (res.corrected) {
+            ++corrected;
+        } else if (stripe.positionError() != 0) {
+            ++silent;
+            stripe.initializeIdeal(); // reset the silent drift
+        } else {
+            ++clean;
+        }
+    }
+
+    TextTable t({"outcome", "measured", "analytic expectation",
+                 "ratio"});
+    auto row = [&](const char *name, uint64_t got, double want) {
+        double ratio = want > 0
+                           ? static_cast<double>(got) / want
+                           : (got == 0 ? 1.0 : INFINITY);
+        t.addRow({name,
+                  TextTable::integer(static_cast<long long>(got)),
+                  TextTable::fixed(want, 1),
+                  TextTable::fixed(ratio, 2)});
+    };
+    row("corrected", corrected, exp_corrected);
+    row("DUE", due, exp_due);
+    row("silent", silent, exp_sdc);
+    t.print(stdout);
+
+    std::printf("\nclean ops: %llu; mean shift distance %.2f\n",
+                static_cast<unsigned long long>(clean),
+                distances.mean());
+    std::printf("ratios near 1.00 validate the closed-form "
+                "reliability model against the functional stack; "
+                "the paper-scale MTTF figures rest on exactly that "
+                "model evaluated at the unscaled rates.\n");
+    return 0;
+}

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * rtmsim - the library's command-line front-end.
+ *
+ * Subcommands:
+ *
+ *   rtmsim run [options]       simulate a workload or trace
+ *   rtmsim rates               print the position-error rate tables
+ *   rtmsim plan <distance>     show the planner's adapter table
+ *   rtmsim stripe              describe a protected stripe layout
+ *   rtmsim help                this text
+ *
+ * `run` options:
+ *   --workload NAME   PARSEC-like profile (default streamcluster)
+ *   --trace PATH      replay a text trace instead of a profile
+ *   --tech T          sram | sttram | rm | rm-ideal  (default rm)
+ *   --scheme S        baseline | sed | secded | pecc-o | worst |
+ *                     adaptive                     (default adaptive)
+ *   --requests N      memory requests              (default 60000)
+ *   --divisor D       capacity divisor             (default 16)
+ *   --seed N          RNG seed                     (default 42)
+ *
+ * `plan` options:
+ *   --lseg N          segment length               (default 8)
+ *   --intensity OPS   sustained ops/s for Dsafe    (default 83e6)
+ *
+ * `stripe` options:
+ *   --segments N --lseg N --strength M --variant std|overhead
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "codec/layout.hh"
+#include "control/planner.hh"
+#include "device/error_model.hh"
+#include "model/area.hh"
+#include "sim/runner.hh"
+#include "trace/trace_file.hh"
+#include "util/table.hh"
+
+using namespace rtm;
+
+namespace
+{
+
+/** Minimal --flag value parser; flags must come in pairs. */
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv, int first)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = first; i + 1 < argc; i += 2) {
+        if (std::strncmp(argv[i], "--", 2) != 0) {
+            std::fprintf(stderr, "expected --flag, got '%s'\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        flags[argv[i] + 2] = argv[i + 1];
+    }
+    return flags;
+}
+
+std::string
+flag(const std::map<std::string, std::string> &flags,
+     const std::string &name, const std::string &fallback)
+{
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+}
+
+MemTech
+parseTech(const std::string &s)
+{
+    if (s == "sram")
+        return MemTech::SRAM;
+    if (s == "sttram")
+        return MemTech::STTRAM;
+    if (s == "rm")
+        return MemTech::Racetrack;
+    if (s == "rm-ideal")
+        return MemTech::RacetrackIdeal;
+    std::fprintf(stderr, "unknown tech '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "baseline")
+        return Scheme::Baseline;
+    if (s == "sed")
+        return Scheme::SedPecc;
+    if (s == "secded")
+        return Scheme::SecdedPecc;
+    if (s == "pecc-o")
+        return Scheme::PeccO;
+    if (s == "worst")
+        return Scheme::PeccSWorst;
+    if (s == "adaptive")
+        return Scheme::PeccSAdaptive;
+    std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    auto flags = parseFlags(argc, argv, 2);
+    SimConfig cfg;
+    cfg.hierarchy.llc_tech = parseTech(flag(flags, "tech", "rm"));
+    cfg.hierarchy.scheme =
+        parseScheme(flag(flags, "scheme", "adaptive"));
+    cfg.hierarchy.capacity_divisor =
+        std::strtoull(flag(flags, "divisor", "16").c_str(),
+                      nullptr, 10);
+    cfg.mem_requests = std::strtoull(
+        flag(flags, "requests", "60000").c_str(), nullptr, 10);
+    cfg.warmup_requests = cfg.mem_requests / 10;
+    cfg.seed = std::strtoull(flag(flags, "seed", "42").c_str(),
+                             nullptr, 10);
+
+    PaperCalibratedErrorModel model;
+    SimResult r;
+    if (flags.count("trace")) {
+        auto trace = loadTraceFile(flags.at("trace"));
+        r = simulateTrace(flags.at("trace"), trace, cfg, &model);
+    } else {
+        std::string name =
+            flag(flags, "workload", "streamcluster");
+        WorkloadProfile profile = scaledProfile(
+            parsecProfile(name), cfg.hierarchy.capacity_divisor);
+        r = simulate(profile, cfg, &model);
+    }
+
+    char sdc[64], due[64];
+    formatDuration(r.sdc_mttf, sdc, sizeof(sdc));
+    formatDuration(r.due_mttf, due, sizeof(due));
+    std::printf("workload        %s\n", r.workload.c_str());
+    std::printf("llc             %s + %s\n",
+                memTechName(r.llc_tech), schemeName(r.scheme));
+    std::printf("instructions    %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("mem ops         %llu\n",
+                static_cast<unsigned long long>(r.mem_ops));
+    std::printf("cycles          %llu (%.3g s, IPC %.2f)\n",
+                static_cast<unsigned long long>(r.cycles),
+                r.seconds, r.ipc());
+    std::printf("llc accesses    %llu (miss rate %.1f%%)\n",
+                static_cast<unsigned long long>(r.llc_accesses),
+                r.llc_accesses ? 100.0 * r.llc_misses /
+                                     static_cast<double>(
+                                         r.llc_accesses)
+                               : 0.0);
+    std::printf("shift ops       %llu (%llu steps, %llu cycles)\n",
+                static_cast<unsigned long long>(r.shift_ops),
+                static_cast<unsigned long long>(r.shift_steps),
+                static_cast<unsigned long long>(r.shift_cycles));
+    std::printf("energy          %.3g J dynamic, %.3g J shift, "
+                "%.3g J leakage, %.3g J DRAM\n",
+                r.cache_dynamic_energy, r.llc_shift_energy,
+                r.leakage_energy, r.dram_energy);
+    std::printf("SDC MTTF        %s\n", sdc);
+    std::printf("DUE MTTF        %s\n", due);
+    return 0;
+}
+
+int
+cmdRates()
+{
+    PaperCalibratedErrorModel model;
+    TextTable t({"distance", "P(+-1)", "P(+-2)", "P(+-3)"});
+    for (int d = 1; d <= 16; ++d) {
+        t.addRow({TextTable::integer(d),
+                  TextTable::num(model.stepErrorRate(d, 1)),
+                  TextTable::num(model.stepErrorRate(d, 2)),
+                  TextTable::num(model.stepErrorRate(d, 3))});
+    }
+    t.print(stdout);
+    std::printf("\n(distances beyond 7 are power-law "
+                "extrapolations of the paper's Table 2)\n");
+    return 0;
+}
+
+int
+cmdPlan(int argc, char **argv)
+{
+    auto flags = parseFlags(argc, argv, 2);
+    int lseg = std::atoi(flag(flags, "lseg", "8").c_str());
+    double intensity =
+        std::atof(flag(flags, "intensity", "83e6").c_str());
+    PaperCalibratedErrorModel model;
+    StsTiming timing(kDefaultClockHz, 0.4e-9, 1.0e-9, 0.34e-9);
+    ShiftPlanner planner(&model, timing, 1, lseg - 1);
+    std::printf("safe distance at %.3g ops/s: %d\n\n", intensity,
+                planner.safeDistance(intensity));
+    for (int d = 1; d <= lseg - 1; ++d) {
+        std::printf("distance %d:\n", d);
+        TextTable t({"min interval (cyc)", "sequence",
+                     "latency (cyc)", "fail rate"});
+        for (const auto &plan : planner.paretoFront(d)) {
+            std::string seq;
+            for (size_t i = plan.parts.size(); i-- > 0;) {
+                seq += std::to_string(plan.parts[i]);
+                if (i)
+                    seq += ",";
+            }
+            t.addRow({TextTable::integer(static_cast<long long>(
+                          plan.min_interval)),
+                      seq,
+                      TextTable::integer(static_cast<long long>(
+                          plan.latency)),
+                      TextTable::num(
+                          std::exp(plan.log_fail_rate))});
+        }
+        t.print(stdout);
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdStripe(int argc, char **argv)
+{
+    auto flags = parseFlags(argc, argv, 2);
+    PeccConfig c;
+    c.num_segments =
+        std::atoi(flag(flags, "segments", "8").c_str());
+    c.seg_len = std::atoi(flag(flags, "lseg", "8").c_str());
+    c.correct = std::atoi(flag(flags, "strength", "1").c_str());
+    std::string variant = flag(flags, "variant", "std");
+    c.variant = variant == "overhead" ? PeccVariant::OverheadRegion
+                                      : PeccVariant::Standard;
+    PeccLayout lay = computeLayout(c);
+    AreaModel area;
+    std::printf("stripe: %d segments x %d domains, m = %d (%s)\n",
+                c.num_segments, c.seg_len, c.correct,
+                variant.c_str());
+    std::printf("  data domains        %d\n", c.dataDomains());
+    std::printf("  extra domains       %d (paper accounting)\n",
+                lay.extraDomains());
+    std::printf("  extra read ports    %d\n", lay.extraReadPorts());
+    std::printf("  extra write ports   %d\n",
+                lay.extraWritePorts());
+    std::printf("  storage overhead    %.1f%%\n",
+                100.0 * lay.storageOverhead());
+    std::printf("  area per data bit   %.2f F^2\n",
+                area.areaPerDataBit(c));
+    std::printf("  functional wire     %d slots\n", lay.wire_len);
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "rtmsim - racetrack memory simulator (ISCA'15 'Hi-fi "
+        "Playback' reproduction)\n\n"
+        "  rtmsim run [--workload N|--trace P] [--tech T] "
+        "[--scheme S]\n"
+        "             [--requests N] [--divisor D] [--seed N]\n"
+        "  rtmsim rates\n"
+        "  rtmsim plan [--lseg N] [--intensity OPS]\n"
+        "  rtmsim stripe [--segments N] [--lseg N] [--strength M] "
+        "[--variant std|overhead]\n"
+        "  rtmsim help\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "run")
+        return cmdRun(argc, argv);
+    if (cmd == "rates")
+        return cmdRates();
+    if (cmd == "plan")
+        return cmdPlan(argc, argv);
+    if (cmd == "stripe")
+        return cmdStripe(argc, argv);
+    usage();
+    return cmd == "help" ? 0 : 2;
+}

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "util/parallel.hh"
 #include "util/prob.hh"
 #include "util/table.hh"
 #include "util/units.hh"
@@ -28,6 +29,18 @@ banner(const char *id, const char *title)
     std::printf("==============================================\n");
     std::printf("%s: %s\n", id, title);
     std::printf("==============================================\n");
+}
+
+/**
+ * Report how many workers the Monte-Carlo / matrix loops fan out to.
+ * Results are bit-identical at any worker count (sharded RNG), so
+ * this only affects wall-clock.
+ */
+inline void
+reportParallelism()
+{
+    std::printf("workers: %u thread(s) [RTM_THREADS overrides]\n",
+                ThreadPool::global().threads());
 }
 
 /** Format seconds as both scientific and human-readable text. */

@@ -37,6 +37,7 @@ main()
 {
     banner("Figure 4",
            "PDF of position errors for 1/4/7-step shifts");
+    reportParallelism();
 
     DeviceParams params;
     PositionErrorMonteCarlo mc(params, 20150613);

@@ -20,6 +20,7 @@ int
 main()
 {
     banner("Figure 10", "SDC MTTF under different protection");
+    reportParallelism();
 
     PaperCalibratedErrorModel model;
     std::vector<LlcOption> options = {

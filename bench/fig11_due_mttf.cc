@@ -21,6 +21,7 @@ int
 main()
 {
     banner("Figure 11", "DUE MTTF under different protection");
+    reportParallelism();
 
     PaperCalibratedErrorModel model;
     std::vector<LlcOption> options = {

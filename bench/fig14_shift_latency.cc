@@ -20,6 +20,7 @@ int
 main()
 {
     banner("Figure 14", "normalised total shift latency");
+    reportParallelism();
 
     PaperCalibratedErrorModel model;
     auto rows = runMatrix(racetrackSchemeOptions(), &model,

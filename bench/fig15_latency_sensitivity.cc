@@ -66,6 +66,7 @@ int
 main()
 {
     banner("Figure 15", "shift latency vs stripe configuration");
+    reportParallelism();
 
     PaperCalibratedErrorModel model;
     // Request interval representative of an active LLC (~24 ops/us).

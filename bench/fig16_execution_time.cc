@@ -21,6 +21,7 @@ int
 main()
 {
     banner("Figure 16", "normalised execution time");
+    reportParallelism();
 
     PaperCalibratedErrorModel model;
     auto options = standardLlcOptions();

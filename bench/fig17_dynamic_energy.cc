@@ -20,6 +20,7 @@ int
 main()
 {
     banner("Figure 17", "normalised LLC dynamic energy");
+    reportParallelism();
 
     PaperCalibratedErrorModel model;
     auto options = standardLlcOptions();

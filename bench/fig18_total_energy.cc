@@ -21,6 +21,7 @@ int
 main()
 {
     banner("Figure 18", "normalised total energy");
+    reportParallelism();
 
     PaperCalibratedErrorModel model;
     auto options = standardLlcOptions();

@@ -4,9 +4,17 @@
  * cyclic decode, protected shift, planner lookup, cache access, and
  * LLC shift-engine access. These guard the simulator's own
  * performance (the workload matrices run millions of these).
+ *
+ * After the registered benchmarks, main() times the two parallelised
+ * hot loops (Monte-Carlo trials and runMatrix) serial vs parallel and
+ * against the pre-hoist seed baseline, writing the measurements to
+ * BENCH_parallel.json so the perf trajectory is tracked across PRs.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "codec/combined.hh"
 #include "codec/protected_stripe.hh"
@@ -15,6 +23,8 @@
 #include "mem/cache.hh"
 #include "device/montecarlo.hh"
 #include "mem/rm_bank.hh"
+#include "sim/runner.hh"
+#include "util/parallel.hh"
 
 namespace rtm
 {
@@ -162,7 +172,147 @@ BM_MonteCarloTrial(benchmark::State &state)
 }
 BENCHMARK(BM_MonteCarloTrial);
 
+void
+BM_StepJitterRecompute(benchmark::State &state)
+{
+    // The eight RK4 stepTime evaluations the seed paid on *every*
+    // trial before the result was hoisted into the constructor.
+    DeviceParams params;
+    PositionErrorMonteCarlo mc(params, 5);
+    for (auto _ : state) {
+        double j = mc.computeStepJitter();
+        benchmark::DoNotOptimize(j);
+    }
+}
+BENCHMARK(BM_StepJitterRecompute);
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Monte-Carlo trials/second of run(7, trials) at a thread count. */
+double
+mcTrialsPerSec(unsigned threads, uint64_t trials)
+{
+    ThreadPool::setGlobalThreads(threads);
+    PositionErrorMonteCarlo mc(DeviceParams{}, 5);
+    double t0 = now_seconds();
+    ErrorPdf pdf = mc.run(7, trials);
+    double dt = now_seconds() - t0;
+    benchmark::DoNotOptimize(pdf);
+    return static_cast<double>(trials) / dt;
+}
+
+/** Seed-baseline trials/second: per-trial jitter recompute + trial. */
+double
+seedBaselineTrialsPerSec(uint64_t trials)
+{
+    PositionErrorMonteCarlo mc(DeviceParams{}, 5);
+    Rng rng(7);
+    double t0 = now_seconds();
+    for (uint64_t i = 0; i < trials; ++i) {
+        double j = mc.computeStepJitter();
+        benchmark::DoNotOptimize(j);
+        double d = mc.simulateDeviation(7, rng);
+        benchmark::DoNotOptimize(d);
+    }
+    double dt = now_seconds() - t0;
+    return static_cast<double>(trials) / dt;
+}
+
+/** runMatrix wall-clock at a thread count (small 2-option sweep). */
+double
+runMatrixSeconds(unsigned threads)
+{
+    ThreadPool::setGlobalThreads(threads);
+    PaperCalibratedErrorModel model;
+    std::vector<LlcOption> options = {
+        {"Baseline", MemTech::Racetrack, Scheme::Baseline},
+        {"p-ECC-S adaptive", MemTech::Racetrack,
+         Scheme::PeccSAdaptive},
+    };
+    double t0 = now_seconds();
+    auto rows = runMatrix(options, &model, 3000, 500, 32);
+    double dt = now_seconds() - t0;
+    benchmark::DoNotOptimize(rows);
+    return dt;
+}
+
 } // namespace
+
+/** Time both parallel loops and emit BENCH_parallel.json. */
+void
+writeParallelBench()
+{
+    unsigned threads = ThreadPool::configuredThreads();
+    const uint64_t mc_trials = 400000;
+    const uint64_t seed_trials = 2000; // slow: recompute per trial
+
+    double seed_tps = seedBaselineTrialsPerSec(seed_trials);
+    double serial_tps = mcTrialsPerSec(1, mc_trials);
+    double parallel_tps = mcTrialsPerSec(threads, mc_trials);
+    double matrix_serial_s = runMatrixSeconds(1);
+    double matrix_parallel_s = runMatrixSeconds(threads);
+    ThreadPool::setGlobalThreads(threads);
+
+    std::FILE *f = std::fopen("BENCH_parallel.json", "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "cannot write BENCH_parallel.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"monte_carlo\": {\n");
+    std::fprintf(f, "    \"trials\": %llu,\n",
+                 static_cast<unsigned long long>(mc_trials));
+    std::fprintf(f,
+                 "    \"seed_baseline_trials_per_sec\": %.0f,\n",
+                 seed_tps);
+    std::fprintf(f, "    \"serial_trials_per_sec\": %.0f,\n",
+                 serial_tps);
+    std::fprintf(f, "    \"parallel_trials_per_sec\": %.0f,\n",
+                 parallel_tps);
+    std::fprintf(f, "    \"jitter_hoist_speedup\": %.2f,\n",
+                 serial_tps / seed_tps);
+    std::fprintf(f, "    \"thread_speedup\": %.2f,\n",
+                 parallel_tps / serial_tps);
+    std::fprintf(f, "    \"total_speedup_vs_seed\": %.2f\n",
+                 parallel_tps / seed_tps);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"run_matrix\": {\n");
+    std::fprintf(f, "    \"serial_seconds\": %.3f,\n",
+                 matrix_serial_s);
+    std::fprintf(f, "    \"parallel_seconds\": %.3f,\n",
+                 matrix_parallel_s);
+    std::fprintf(f, "    \"speedup\": %.2f\n",
+                 matrix_serial_s / matrix_parallel_s);
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_parallel.json: MC %.2fx vs seed "
+                "(hoist %.2fx x threads %.2fx at %u threads), "
+                "runMatrix %.2fx\n",
+                parallel_tps / seed_tps, serial_tps / seed_tps,
+                parallel_tps / serial_tps, threads,
+                matrix_serial_s / matrix_parallel_s);
+}
+
 } // namespace rtm
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    rtm::writeParallelBench();
+    return 0;
+}

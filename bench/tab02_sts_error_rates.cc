@@ -34,6 +34,7 @@ int
 main()
 {
     banner("Table 2", "out-of-step error rates after STS");
+    reportParallelism();
 
     PaperCalibratedErrorModel paper;
     DeviceParams params;

@@ -1,8 +1,10 @@
 #include "montecarlo.hh"
 
 #include <cmath>
+#include <vector>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace rtm
 {
@@ -19,22 +21,55 @@ notchHalfWidth(const DeviceParams &p)
 
 } // anonymous namespace
 
+uint64_t
+ErrorPdf::tallyTrials() const
+{
+    return step_counts.total() + middle_counts.total();
+}
+
+void
+ErrorPdf::merge(const ErrorPdf &other)
+{
+    if (other.tallyTrials() == 0 && other.trials == 0)
+        return;
+    if (tallyTrials() == 0 && trials == 0)
+        distance = other.distance;
+    if (distance != other.distance)
+        rtm_panic("ErrorPdf::merge: distance %d vs %d", distance,
+                  other.distance);
+    if (trials != tallyTrials() ||
+        other.trials != other.tallyTrials())
+        rtm_panic("ErrorPdf::merge: trials field out of sync with "
+                  "tallies (%llu vs %llu, other %llu vs %llu)",
+                  static_cast<unsigned long long>(trials),
+                  static_cast<unsigned long long>(tallyTrials()),
+                  static_cast<unsigned long long>(other.trials),
+                  static_cast<unsigned long long>(
+                      other.tallyTrials()));
+    step_counts.merge(other.step_counts);
+    middle_counts.merge(other.middle_counts);
+    deviation.merge(other.deviation);
+    trials += other.trials;
+}
+
 double
 ErrorPdf::stepProbability(int k) const
 {
-    if (trials == 0)
+    uint64_t n = tallyTrials();
+    if (n == 0)
         return 0.0;
     return static_cast<double>(step_counts.count(k)) /
-           static_cast<double>(trials);
+           static_cast<double>(n);
 }
 
 double
 ErrorPdf::middleProbability(int k) const
 {
-    if (trials == 0)
+    uint64_t n = tallyTrials();
+    if (n == 0)
         return 0.0;
     return static_cast<double>(middle_counts.count(k)) /
-           static_cast<double>(trials);
+           static_cast<double>(n);
 }
 
 PositionErrorMonteCarlo::PositionErrorMonteCarlo(
@@ -53,10 +88,31 @@ PositionErrorMonteCarlo::PositionErrorMonteCarlo(
     double braking = 0.75 / params.overdrive;
     double absorb = std::min(0.95, geometric + braking);
     resync_rho_ = 1.0 - absorb;
+
+    step_jitter_ = computeStepJitter();
+
+    // Drive dependence (paper Sec. 3.1: "If J is too small, the rate
+    // of under-shifted position errors increases. On the contrary,
+    // if it is too large, the rate of over-shifted errors
+    // increases"): near the depinning threshold the notch transit
+    // time diverges, so both the per-step jitter and a *negative*
+    // (late-arrival) drift grow as J -> J0; far above threshold the
+    // margin built into the pulse width turns into a positive
+    // (over-shoot) drift. Both terms are normalised so the paper's
+    // operating point J = 2*J0 keeps the Table 2 calibration. All of
+    // this depends only on DeviceParams, so it is computed once here
+    // instead of on every trial.
+    double margin = params_.overdrive - 1.0; // (J - J0) / J0
+    if (margin < 0.05)
+        margin = 0.05;
+    trial_jitter_ = step_jitter_ * std::sqrt(1.0 / margin);
+    trial_drift_ = 0.5 * trial_jitter_ * trial_jitter_ +
+                   0.01 * (params_.overdrive - 1.0) -
+                   0.008 / margin;
 }
 
 double
-PositionErrorMonteCarlo::stepJitter() const
+PositionErrorMonteCarlo::computeStepJitter() const
 {
     // Relative std. dev. of one step's transit time, from linearised
     // Eq. 2 sensitivities to the Table 1 parameter variations.
@@ -99,29 +155,13 @@ PositionErrorMonteCarlo::simulateDeviation(int distance, Rng &rng)
         rtm_panic("simulateDeviation: distance must be >= 1");
     // Deviation is tracked in time units relative to the nominal step
     // time and converted to pitches at the end (the wall front moves
-    // one pitch per nominal step time while driven).
-    //
-    // Drive dependence (paper Sec. 3.1: "If J is too small, the rate
-    // of under-shifted position errors increases. On the contrary,
-    // if it is too large, the rate of over-shifted errors
-    // increases"): near the depinning threshold the notch transit
-    // time diverges, so both the per-step jitter and a *negative*
-    // (late-arrival) drift grow as J -> J0; far above threshold the
-    // margin built into the pulse width turns into a positive
-    // (over-shoot) drift. Both terms are normalised so the paper's
-    // operating point J = 2*J0 keeps the Table 2 calibration.
-    double margin = params_.overdrive - 1.0; // (J - J0) / J0
-    if (margin < 0.05)
-        margin = 0.05;
-    double jitter = stepJitter() * std::sqrt(1.0 / margin);
-    double drift = 0.5 * jitter * jitter +
-                   0.01 * (params_.overdrive - 1.0) -
-                   0.008 / margin;
+    // one pitch per nominal step time while driven). The drive-scaled
+    // jitter/drift constants are cached at construction.
     double dev = 0.0; // pitches, positive = ahead of schedule
     for (int i = 0; i < distance; ++i) {
         // Per-notch geometry sample perturbs this step's transit.
-        double step_noise = rng.gaussian(0.0, jitter);
-        dev = resync_rho_ * dev + step_noise + drift;
+        double step_noise = rng.gaussian(0.0, trial_jitter_);
+        dev = resync_rho_ * dev + step_noise + trial_drift_;
     }
     return dev;
 }
@@ -144,11 +184,36 @@ PositionErrorMonteCarlo::classify(double deviation, ErrorPdf &pdf)
 ErrorPdf
 PositionErrorMonteCarlo::run(int distance, uint64_t trials)
 {
-    ErrorPdf pdf;
+    // The shard count depends only on the trial count and each shard
+    // owns an RNG forked deterministically from rng_ in shard order,
+    // so the result is a pure function of (seed, trials) no matter
+    // how many workers execute the shards.
+    size_t shards = shardCount(trials);
+    if (shards == 0) {
+        ErrorPdf empty;
+        empty.distance = distance;
+        return empty;
+    }
+    std::vector<Rng> rngs;
+    rngs.reserve(shards);
+    for (size_t s = 0; s < shards; ++s)
+        rngs.push_back(rng_.fork());
+    ErrorPdf pdf = shardedMapReduce<ErrorPdf>(
+        shards,
+        [&](size_t s) {
+            ErrorPdf part;
+            part.distance = distance;
+            uint64_t n = shardSize(trials, shards, s);
+            part.trials = n;
+            Rng rng = rngs[s];
+            for (uint64_t i = 0; i < n; ++i)
+                classify(simulateDeviation(distance, rng), part);
+            return part;
+        },
+        [](ErrorPdf &acc, const ErrorPdf &part) {
+            acc.merge(part);
+        });
     pdf.distance = distance;
-    pdf.trials = trials;
-    for (uint64_t i = 0; i < trials; ++i)
-        classify(simulateDeviation(distance, rng_), pdf);
     return pdf;
 }
 
@@ -159,14 +224,35 @@ PositionErrorMonteCarlo::fitModel(uint64_t trials_per_distance)
     // long distances. With AR(1) variance
     //   var(N) = s^2 (1 - rho^N) / (1 - rho),
     // var(1) = s^2 pins s directly; rho comes from var at N=7.
-    RunningStats d1, d7;
-    for (uint64_t i = 0; i < trials_per_distance; ++i) {
-        d1.add(simulateDeviation(1, rng_));
-        d7.add(simulateDeviation(7, rng_));
-    }
+    // Sharded like run(): per-shard forked RNGs, reduced in order.
+    struct Moments
+    {
+        RunningStats d1, d7;
+    };
+    size_t shards = shardCount(trials_per_distance);
+    std::vector<Rng> rngs;
+    rngs.reserve(shards);
+    for (size_t s = 0; s < shards; ++s)
+        rngs.push_back(rng_.fork());
+    Moments m = shardedMapReduce<Moments>(
+        shards,
+        [&](size_t s) {
+            Moments part;
+            uint64_t n = shardSize(trials_per_distance, shards, s);
+            Rng rng = rngs[s];
+            for (uint64_t i = 0; i < n; ++i) {
+                part.d1.add(simulateDeviation(1, rng));
+                part.d7.add(simulateDeviation(7, rng));
+            }
+            return part;
+        },
+        [](Moments &acc, const Moments &part) {
+            acc.d1.merge(part.d1);
+            acc.d7.merge(part.d7);
+        });
     FittedModelParams fit;
-    fit.sigma_step = d1.stddev();
-    double ratio = d7.variance() / std::max(d1.variance(), 1e-30);
+    fit.sigma_step = m.d1.stddev();
+    double ratio = m.d7.variance() / std::max(m.d1.variance(), 1e-30);
     // Solve (1 - rho^7) / (1 - rho) = ratio by bisection on [0, 1).
     double lo = 0.0, hi = 0.999;
     for (int it = 0; it < 60; ++it) {
@@ -176,7 +262,7 @@ PositionErrorMonteCarlo::fitModel(uint64_t trials_per_distance)
     }
     fit.resync_rho = 0.5 * (lo + hi);
     // Stationary drift: mean(1) = drift (first step has no memory).
-    fit.drift = d1.mean();
+    fit.drift = m.d1.mean();
     fit.notch_half_width = notchHalfWidth(params_);
     return FittedErrorModel(fit);
 }

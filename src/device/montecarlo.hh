@@ -42,6 +42,21 @@ struct ErrorPdf
     /** Continuous end-of-pulse deviation statistics (pitches). */
     RunningStats deviation;
 
+    /**
+     * Trials actually recorded in the outcome tallies. Probabilities
+     * are derived from this (every trial lands in exactly one bin),
+     * so they cannot drift from the tallies after a merge, whatever
+     * the `trials` field says.
+     */
+    uint64_t tallyTrials() const;
+
+    /**
+     * Merge a shard's bins into this accumulator. Panics when the
+     * distances differ or either side's `trials` field disagrees
+     * with its tallies.
+     */
+    void merge(const ErrorPdf &other);
+
     /** Empirical probability of exact out-of-step error k. */
     double stepProbability(int k) const;
 
@@ -65,6 +80,12 @@ class PositionErrorMonteCarlo
     /**
      * Run trials for a given shift distance.
      *
+     * Trials are split into shardCount(trials) shards, each with its
+     * own RNG forked deterministically from this object's stream, and
+     * fanned out over the global ThreadPool. Results are bit-identical
+     * for a given (seed, trial count) at any RTM_THREADS setting, but
+     * differ from the historical single-stream ordering.
+     *
      * @param distance steps per shift (>= 1)
      * @param trials   number of Monte-Carlo trials
      * @return per-bin outcome statistics
@@ -80,21 +101,41 @@ class PositionErrorMonteCarlo
     /**
      * Fit the AR(1)-Gaussian core of a FittedErrorModel from
      * Monte-Carlo deviation moments at two distances, keeping the
-     * tail (skip) parameters at their defaults.
+     * tail (skip) parameters at their defaults. Sharded across the
+     * global ThreadPool with the same determinism guarantee as run().
      */
     FittedErrorModel fitModel(uint64_t trials_per_distance = 200000);
 
     /** Re-synchronisation factor per notch transit (model input). */
     double resyncRho() const { return resync_rho_; }
 
-    /** Per-step time jitter, relative to the nominal step time. */
-    double stepJitter() const;
+    /**
+     * Per-step time jitter, relative to the nominal step time.
+     * Cached: the value depends only on DeviceParams, so it is
+     * computed once at construction, not per trial.
+     */
+    double stepJitter() const { return step_jitter_; }
+
+    /**
+     * Recompute the step jitter from the timing model (eight RK4
+     * ShiftTiming::stepTime evaluations for central-difference
+     * sensitivities). This is what every trial used to pay before
+     * the result was hoisted into the constructor; benches time it
+     * to quantify that win.
+     */
+    double computeStepJitter() const;
 
   private:
     DeviceParams params_;
     ShiftTiming timing_;
     Rng rng_;
     double resync_rho_;
+
+    // Per-trial constants hoisted out of simulateDeviation: the
+    // drive-scaled jitter and drift depend only on DeviceParams.
+    double step_jitter_ = 0.0;
+    double trial_jitter_ = 0.0;
+    double trial_drift_ = 0.0;
 
     /** Classify a continuous deviation into Fig. 4 bins. */
     void classify(double deviation, ErrorPdf &pdf) const;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace rtm
 {
@@ -50,24 +51,32 @@ runMatrix(const std::vector<LlcOption> &options,
           const PositionErrorModel *model, uint64_t requests,
           uint64_t warmup, uint64_t capacity_divisor)
 {
-    std::vector<WorkloadMatrixRow> rows;
-    for (const auto &profile : parsecProfiles()) {
-        WorkloadMatrixRow row;
-        row.profile = profile;
-        WorkloadProfile run_profile =
-            scaledProfile(profile, capacity_divisor);
-        for (const auto &opt : options) {
-            SimConfig cfg;
-            cfg.hierarchy.llc_tech = opt.tech;
-            cfg.hierarchy.scheme = opt.scheme;
-            cfg.hierarchy.capacity_divisor = capacity_divisor;
-            cfg.mem_requests = requests;
-            cfg.warmup_requests = warmup;
-            row.results.push_back(
-                simulate(run_profile, cfg, model));
-        }
-        rows.push_back(std::move(row));
+    // Every (workload, option) cell is an independent simulation:
+    // simulate() builds its own hierarchy and RNG state per call and
+    // only reads the shared error model (const, stateless for the
+    // models used here). Cells are fanned out over the global pool
+    // and written into pre-sized slots, so the output ordering — and
+    // every result bit — is independent of the worker count.
+    const std::vector<WorkloadProfile> profiles = parsecProfiles();
+    std::vector<WorkloadMatrixRow> rows(profiles.size());
+    for (size_t w = 0; w < profiles.size(); ++w) {
+        rows[w].profile = profiles[w];
+        rows[w].results.resize(options.size());
     }
+    parallelFor(profiles.size() * options.size(), [&](size_t cell) {
+        size_t w = cell / options.size();
+        size_t o = cell % options.size();
+        const auto &opt = options[o];
+        WorkloadProfile run_profile =
+            scaledProfile(profiles[w], capacity_divisor);
+        SimConfig cfg;
+        cfg.hierarchy.llc_tech = opt.tech;
+        cfg.hierarchy.scheme = opt.scheme;
+        cfg.hierarchy.capacity_divisor = capacity_divisor;
+        cfg.mem_requests = requests;
+        cfg.warmup_requests = warmup;
+        rows[w].results[o] = simulate(run_profile, cfg, model);
+    });
     return rows;
 }
 

@@ -48,6 +48,10 @@ WorkloadProfile scaledProfile(WorkloadProfile profile,
 /**
  * Run every workload against every option.
  *
+ * Cells are simulated in parallel on the global ThreadPool (see
+ * util/parallel.hh, RTM_THREADS); results are bit-identical at any
+ * worker count and keep the serial ordering.
+ *
  * @param options  LLC options to sweep
  * @param model    position-error model (racetrack options)
  * @param requests memory requests per run

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reusable parallel-execution layer: a fixed-size thread pool with a
+ * blocking parallelFor and a sharded map-reduce helper.
+ *
+ * Design rules that keep results reproducible:
+ *  - Work is split into *shards* whose count depends only on the
+ *    problem size, never on the worker count, so a given (seed, shard
+ *    count) produces bit-identical results for any RTM_THREADS.
+ *  - Shard results are reduced in shard-index order on the calling
+ *    thread, so floating-point accumulation order is fixed.
+ *  - Nested parallelFor calls (from inside a worker) run inline, so
+ *    library code may parallelise freely without deadlocking the pool.
+ *
+ * The worker count comes from the RTM_THREADS environment variable
+ * when set (>= 1), otherwise from std::thread::hardware_concurrency().
+ * A pool of one thread runs everything inline on the caller.
+ */
+
+#ifndef RTM_UTIL_PARALLEL_HH
+#define RTM_UTIL_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtm
+{
+
+/**
+ * Fixed-size worker pool. Construct directly for a private pool or
+ * use ThreadPool::global() for the process-wide shared instance.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count (>= 1); 1 means fully inline. */
+    explicit ThreadPool(unsigned threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count this pool was built with (>= 1). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), blocking until all complete.
+     * Iterations are claimed dynamically by the workers, so fn must
+     * not rely on any particular execution order or thread identity.
+     * Called from inside a pool worker, runs inline (serially).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** Process-wide pool, sized by RTM_THREADS / the hardware. */
+    static ThreadPool &global();
+
+    /**
+     * Rebuild the global pool with an explicit worker count
+     * (overriding RTM_THREADS). Intended for tests and benches that
+     * compare serial vs parallel execution in one process; not safe
+     * while another thread is using the global pool.
+     */
+    static void setGlobalThreads(unsigned threads);
+
+    /** Worker count RTM_THREADS / the hardware asks for (>= 1). */
+    static unsigned configuredThreads();
+
+  private:
+    void workerLoop();
+    void submit(std::function<void()> task);
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/** parallelFor on the global pool. */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+/**
+ * Shard count for a workload of n independent items: enough shards to
+ * keep any pool busy and to amortise per-shard setup, but a function
+ * of n alone so results cannot depend on the worker count.
+ */
+size_t shardCount(size_t n);
+
+/**
+ * Deterministic sharded map-reduce on the global pool.
+ *
+ * map(shard) produces a Result per shard (in parallel); reduce(acc,
+ * partial) folds them together in increasing shard order on the
+ * calling thread. Result must be default-constructible.
+ */
+template <typename Result, typename MapFn, typename ReduceFn>
+Result
+shardedMapReduce(size_t shards, MapFn map, ReduceFn reduce)
+{
+    std::vector<Result> partial(shards);
+    parallelFor(shards,
+                [&](size_t s) { partial[s] = map(s); });
+    Result acc{};
+    for (size_t s = 0; s < shards; ++s)
+        reduce(acc, partial[s]);
+    return acc;
+}
+
+/**
+ * Split n items into `shards` contiguous ranges; returns the item
+ * count of shard s (the first n % shards shards get one extra).
+ */
+inline size_t
+shardSize(size_t n, size_t shards, size_t s)
+{
+    return n / shards + (s < n % shards ? 1 : 0);
+}
+
+} // namespace rtm
+
+#endif // RTM_UTIL_PARALLEL_HH

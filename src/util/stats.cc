@@ -119,6 +119,14 @@ IntTally::add(int64_t k, uint64_t weight)
     total_ += weight;
 }
 
+void
+IntTally::merge(const IntTally &other)
+{
+    for (const auto &[k, c] : other.map_)
+        map_[k] += c;
+    total_ += other.total_;
+}
+
 uint64_t
 IntTally::count(int64_t k) const
 {

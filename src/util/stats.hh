@@ -121,6 +121,9 @@ class IntTally
     /** Add weight to key k. */
     void add(int64_t k, uint64_t weight = 1);
 
+    /** Merge another tally into this one (per-key count sums). */
+    void merge(const IntTally &other);
+
     /** Count at key k (0 if never added). */
     uint64_t count(int64_t k) const;
 

@@ -90,6 +90,52 @@ TEST(MonteCarlo, FittedModelReflectsMeasuredMoments)
                 0.5 * 45.0 / 195.0, 1e-6);
 }
 
+TEST(MonteCarlo, ErrorPdfProbabilitiesDeriveFromTallies)
+{
+    // Regression: probabilities used to divide by the separately
+    // stored `trials` field, which could drift from the tallies
+    // after a merge. They now derive from the tally totals.
+    ErrorPdf pdf;
+    pdf.distance = 1;
+    pdf.step_counts.add(0, 90);
+    pdf.step_counts.add(1, 6);
+    pdf.middle_counts.add(0, 4);
+    pdf.trials = 12345; // deliberately wrong
+    EXPECT_EQ(pdf.tallyTrials(), 100u);
+    EXPECT_DOUBLE_EQ(pdf.stepProbability(0), 0.90);
+    EXPECT_DOUBLE_EQ(pdf.stepProbability(1), 0.06);
+    EXPECT_DOUBLE_EQ(pdf.middleProbability(0), 0.04);
+}
+
+TEST(MonteCarlo, ErrorPdfMergeCombinesShards)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p, 8);
+    ErrorPdf a = mc.run(4, 8000);
+    ErrorPdf b = mc.run(4, 4000);
+    ErrorPdf sum = a;
+    sum.merge(b);
+    EXPECT_EQ(sum.trials, 12000u);
+    EXPECT_EQ(sum.tallyTrials(), 12000u);
+    EXPECT_EQ(sum.distance, 4);
+    EXPECT_EQ(sum.step_counts.count(0),
+              a.step_counts.count(0) + b.step_counts.count(0));
+    EXPECT_EQ(sum.deviation.count(), 12000u);
+    // Merging into a default-constructed accumulator adopts the
+    // shard's distance (the map-reduce identity case).
+    ErrorPdf acc;
+    acc.merge(a);
+    EXPECT_EQ(acc.distance, 4);
+    EXPECT_EQ(acc.trials, a.trials);
+}
+
+TEST(MonteCarlo, StepJitterCacheMatchesRecompute)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p);
+    EXPECT_DOUBLE_EQ(mc.stepJitter(), mc.computeStepJitter());
+}
+
 TEST(MonteCarlo, DeterministicGivenSeed)
 {
     DeviceParams p;

@@ -129,5 +129,52 @@ TEST(IntTally, EntriesAreOrdered)
     EXPECT_EQ(keys, (std::vector<int64_t>{-1, 3, 5}));
 }
 
+TEST(IntTally, MergeMatchesSingleStream)
+{
+    IntTally all, a, b;
+    for (int i = 0; i < 200; ++i) {
+        int64_t k = (i * 7) % 13 - 6;
+        all.add(k, 1 + i % 3);
+        (i % 2 ? a : b).add(k, 1 + i % 3);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total(), all.total());
+    EXPECT_EQ(a.entries(), all.entries());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+}
+
+TEST(IntTally, MergeWithEmptyIsIdentity)
+{
+    IntTally a, empty;
+    a.add(2, 5);
+    IntTally before = a;
+    a.merge(empty);
+    EXPECT_EQ(a.entries(), before.entries());
+    empty.merge(a);
+    EXPECT_EQ(empty.entries(), a.entries());
+}
+
+TEST(RunningStats, MergeManyShardsMatchesChanFormula)
+{
+    // Chan's parallel-variance update must agree with the single
+    // stream across an uneven many-way split (the Monte-Carlo
+    // reduction shape: 64 shards merged in order).
+    RunningStats all;
+    std::vector<RunningStats> shards(7);
+    for (int i = 0; i < 500; ++i) {
+        double v = std::cos(0.1 * i) * (i % 11) - 2.0;
+        all.add(v);
+        shards[(i * i) % shards.size()].add(v);
+    }
+    RunningStats merged;
+    for (const auto &s : shards)
+        merged.merge(s);
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_NEAR(merged.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(merged.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(merged.min(), all.min());
+    EXPECT_DOUBLE_EQ(merged.max(), all.max());
+}
+
 } // namespace
 } // namespace rtm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fault drill: one campaign cell under a correlated-burst regime.
+ *
+ * Runs a recovery-hardened shift controller through a synthetic
+ * workload while a BurstScenario periodically multiplies the
+ * position-error rates, then prints the reconciled containment
+ * ledger: injected vs detected vs corrected vs ladder-recovered vs
+ * DUE vs SDC, plus the bank-layer degradation summary.
+ *
+ *   ./fault_drill
+ */
+
+#include <cstdio>
+
+#include "sim/campaign.hh"
+
+using namespace rtm;
+
+int
+main()
+{
+    std::printf("fault-injection drill: burst regime\n");
+    std::printf("-----------------------------------\n\n");
+
+    ScenarioSpec spec;
+    spec.kind = ScenarioKind::Burst;
+    spec.name = "burst";
+
+    CampaignConfig config;
+    config.accesses_per_cell = 4000;
+    config.seed = 99;
+
+    CampaignCellResult cell = runFaultDrill(
+        spec, parsecProfile("swaptions"), config, config.seed);
+
+    const CampaignLedger &l = cell.ledger;
+    std::printf("scenario %s on %s: %llu accesses\n\n",
+                cell.scenario.c_str(), cell.workload.c_str(),
+                static_cast<unsigned long long>(l.accesses));
+    auto row = [](const char *name, uint64_t v) {
+        std::printf("  %-22s %10llu\n", name,
+                    static_cast<unsigned long long>(v));
+    };
+    row("injected faults", l.injected_faults);
+    row("  step errors", l.injected_step_errors);
+    row("  stop-in-middle", l.injected_stops);
+    row("detected", l.detected);
+    row("corrected in-line", l.corrected);
+    row("recovered: retry", l.recovered_retry);
+    row("recovered: realign", l.recovered_realign);
+    row("recovered: scrub", l.recovered_scrub);
+    row("DUE (reported)", l.due);
+    row("SDC (counted)", l.sdc);
+
+    std::printf("\nmean access latency   %10.1f cycles\n",
+                cell.access_latency.mean());
+    std::printf("mean recovery episode %10.1f cycles (%llu total)\n",
+                cell.recovery_latency.mean(),
+                static_cast<unsigned long long>(
+                    cell.recovery_latency.count()));
+    std::printf("bank: %llu DUE reports, %llu groups degraded, "
+                "%.1f%% capacity lost\n",
+                static_cast<unsigned long long>(
+                    cell.bank_due_reports),
+                static_cast<unsigned long long>(
+                    cell.bank_degraded_groups),
+                100.0 * cell.degraded_capacity_fraction);
+
+    std::printf("\ncontainment: %s%s%s\n",
+                cell.contained ? "OK" : "VIOLATED (",
+                cell.violation.c_str(), cell.contained ? "" : ")");
+    std::printf("every detection lands in exactly one outcome "
+                "bucket: corrected + recovered + DUE == detected; "
+                "nothing is lost and nothing hangs.\n");
+    return cell.contained ? 0 : 1;
+}

@@ -241,6 +241,43 @@ ProtectedStripe::shiftBy(int distance, int max_correction_rounds)
 }
 
 ProtectedShiftResult
+ProtectedStripe::recoverNow(int max_correction_rounds)
+{
+    ProtectedShiftResult res;
+    const auto &c = layout_.config;
+    if (c.variant == PeccVariant::None)
+        return res; // no code to verify against
+    DecodeResult d = decodeWindow(false);
+    if (d.ok())
+        return res;
+    res.detected = true;
+    res.inferred_error = d.step_error;
+    if (!d.correctable) {
+        res.unrecoverable = true;
+        return res;
+    }
+    int rounds = 0;
+    while (rounds++ < max_correction_rounds) {
+        int corr = -d.step_error;
+        stripe_.shift(corr);
+        res.correction_shifts += std::abs(corr);
+        d = decodeWindow(false);
+        if (d.ok()) {
+            res.corrected = true;
+            if (c.variant == PeccVariant::OverheadRegion)
+                repairEndCode();
+            return res;
+        }
+        if (!d.correctable) {
+            res.unrecoverable = true;
+            return res;
+        }
+    }
+    res.unrecoverable = true;
+    return res;
+}
+
+ProtectedShiftResult
 ProtectedStripe::seekIndex(int r)
 {
     int target = layout_.offsetForIndex(r);

@@ -104,6 +104,18 @@ class ProtectedStripe
      */
     DecodeResult checkNow() const;
 
+    /**
+     * Verify-and-correct without a preceding shift: decode the active
+     * window and, if an error is detected, run the bounded
+     * counter-shift loop. Used by the controller's recovery ladder to
+     * retry a failed episode (possibly after an STS stage-2 realign
+     * has converted a stop-in-middle state into a pinned one).
+     *
+     * Returns detected=false when the stripe already verifies clean.
+     */
+    ProtectedShiftResult recoverNow(
+        int max_correction_rounds = kMaxCorrectionRounds);
+
     /** Direct access to the underlying stripe (tests/benches). */
     RacetrackStripe &stripe() { return stripe_; }
     const RacetrackStripe &stripe() const { return stripe_; }

@@ -47,6 +47,15 @@ ShiftAdapter::fixedPartsPlan(int distance, int part)
 }
 
 const SequencePlan &
+ShiftAdapter::cautiousPlan(int distance)
+{
+    if (distance < 1 || distance > planner_->maxPart())
+        rtm_panic("adapter cautiousPlan(%d) outside [1, %d]",
+                  distance, planner_->maxPart());
+    return fixedPartsPlan(distance, 1);
+}
+
+const SequencePlan &
 ShiftAdapter::plan(int distance, Cycles now_cycles)
 {
     if (distance < 1 || distance > planner_->maxPart())

@@ -61,6 +61,16 @@ class ShiftAdapter
      */
     const SequencePlan &plan(int distance, Cycles now_cycles);
 
+    /**
+     * Most conservative sequence for `distance` steps: 1-step
+     * sub-shifts regardless of policy. The recovery ladder re-seeks
+     * with this after a failed episode — when the stripe has just
+     * misbehaved, the gentlest drive is the one to finish with. Does
+     * not touch the interval counter (recovery traffic must not make
+     * the adaptive policy believe intensity rose).
+     */
+    const SequencePlan &cautiousPlan(int distance);
+
     /** Fixed safe distance of the WorstCase policy. */
     int worstCaseSafeDistance() const { return worst_case_distance_; }
 

@@ -1,6 +1,8 @@
 #include "controller.hh"
 
+#include <cassert>
 #include <cmath>
+#include <cstdio>
 
 #include "util/logging.hh"
 
@@ -17,13 +19,64 @@ peccCheckSeconds(const PeccConfig &config)
     return config.variant == PeccVariant::None ? 0.0 : 0.34e-9;
 }
 
+/** Correction logic time per counter-shift: 1.34 ns ~ 3 cycles. */
+constexpr Cycles kCorrectionLogicCycles = 3;
+
 } // anonymous namespace
+
+void
+ControllerStats::merge(const ControllerStats &other)
+{
+    accesses += other.accesses;
+    shift_ops += other.shift_ops;
+    shift_steps += other.shift_steps;
+    detected_errors += other.detected_errors;
+    corrected_errors += other.corrected_errors;
+    unrecoverable += other.unrecoverable;
+    silent_errors += other.silent_errors;
+    busy_cycles += other.busy_cycles;
+    distance_histogram.merge(other.distance_histogram);
+    retry_attempts += other.retry_attempts;
+    sts_realigns += other.sts_realigns;
+    scrubs += other.scrubs;
+    recovered_retry += other.recovered_retry;
+    recovered_realign += other.recovered_realign;
+    recovered_scrub += other.recovered_scrub;
+    recovery_cycles += other.recovery_cycles;
+}
+
+std::string
+controllerLedgerViolation(const ControllerStats &stats)
+{
+    uint64_t accounted = stats.corrected_errors +
+                         stats.recovered_retry +
+                         stats.recovered_realign +
+                         stats.recovered_scrub + stats.unrecoverable;
+    if (stats.detected_errors != accounted) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "detected_errors (%llu) != corrected + "
+                      "recovered + unrecoverable (%llu)",
+                      static_cast<unsigned long long>(
+                          stats.detected_errors),
+                      static_cast<unsigned long long>(accounted));
+        return buf;
+    }
+    if (stats.recovered_scrub > stats.scrubs)
+        return "more scrub recoveries than scrubs";
+    if (stats.recovered_realign > stats.sts_realigns)
+        return "more realign recoveries than stage-2 pulses";
+    if (stats.busy_cycles < stats.recovery_cycles)
+        return "recovery cycles exceed busy cycles";
+    return "";
+}
 
 ShiftController::ShiftController(const PeccConfig &config,
                                  const PositionErrorModel *model,
                                  ShiftPolicy policy,
                                  double peak_ops_per_second, Rng rng,
-                                 double mttf_target_s)
+                                 double mttf_target_s,
+                                 RecoveryConfig recovery)
     : stripe_(config, model, std::move(rng)),
       timing_(kDefaultClockHz, 0.4e-9, 1.0e-9,
               peccCheckSeconds(config)),
@@ -33,7 +86,8 @@ ShiftController::ShiftController(const PeccConfig &config,
                config.variant == PeccVariant::OverheadRegion
                    ? ShiftPolicy::StepByStep
                    : policy,
-               peak_ops_per_second)
+               peak_ops_per_second),
+      recovery_(recovery)
 {
 }
 
@@ -43,55 +97,181 @@ ShiftController::initialize()
     stripe_.initializeIdeal();
 }
 
+void
+ShiftController::chargeRecovery(Cycles cycles, AccessResult &res)
+{
+    stats_.busy_cycles += cycles;
+    stats_.recovery_cycles += cycles;
+    res.latency += cycles;
+}
+
+bool
+ShiftController::executePart(int direction, int part,
+                             AccessResult &res)
+{
+    ProtectedShiftResult r = stripe_.shiftBy(direction * part);
+    ++stats_.shift_ops;
+    stats_.shift_steps += static_cast<uint64_t>(part) +
+                          static_cast<uint64_t>(r.correction_shifts);
+    stats_.distance_histogram.add(part);
+    Cycles lat = timing_.shiftCycles(part);
+    if (r.correction_shifts > 0) {
+        // Corrections are short counter-shifts; charge each at the
+        // 1-step cost plus the paper's correction logic time.
+        lat += static_cast<Cycles>(r.correction_shifts) *
+               (timing_.shiftCycles(1) + kCorrectionLogicCycles);
+    }
+    stats_.busy_cycles += lat;
+    res.latency += lat;
+    if (r.detected)
+        ++stats_.detected_errors;
+    if (r.corrected)
+        ++stats_.corrected_errors;
+    return !r.unrecoverable;
+}
+
+ShiftController::RecoveryRung
+ShiftController::attemptRecovery(AccessResult &res)
+{
+    if (recovery_.retry_budget <= 0)
+        return RecoveryRung::None; // ladder off: legacy DUE
+
+    // The per-probe cost: one window decode plus the counter-shifts
+    // the retry issued (charged like in-line corrections).
+    auto chargeProbe = [&](const ProtectedShiftResult &r) {
+        Cycles lat = timing_.shiftCycles(1); // window decode slot
+        if (r.correction_shifts > 0) {
+            stats_.shift_ops +=
+                static_cast<uint64_t>(r.correction_shifts);
+            stats_.shift_steps +=
+                static_cast<uint64_t>(r.correction_shifts);
+            lat += static_cast<Cycles>(r.correction_shifts) *
+                   (timing_.shiftCycles(1) + kCorrectionLogicCycles);
+        }
+        chargeRecovery(lat, res);
+    };
+
+    // Rung 1: bounded verify-and-retry.
+    for (int attempt = 0; attempt < recovery_.retry_budget;
+         ++attempt) {
+        ++stats_.retry_attempts;
+        ProtectedShiftResult r = stripe_.recoverNow();
+        chargeProbe(r);
+        if (!r.detected || r.corrected) {
+            ++stats_.recovered_retry;
+            return RecoveryRung::Retry;
+        }
+    }
+
+    // Rung 2: STS stage-2 realign, then one more verify-and-retry.
+    // A sub-threshold pulse frees walls stranded in the flat region
+    // (the stop-in-middle class) without disturbing pinned walls.
+    if (recovery_.sts_realign) {
+        ++stats_.sts_realigns;
+        stripe_.stripe().applyStsStage2();
+        chargeRecovery(timing_.shiftCycles(1), res);
+        ProtectedShiftResult r = stripe_.recoverNow();
+        chargeProbe(r);
+        if (!r.detected || r.corrected) {
+            ++stats_.recovered_realign;
+            return RecoveryRung::Realign;
+        }
+    }
+
+    // Rung 3: full scrub. The stripe is rebuilt at its home
+    // alignment and the data image refilled — in an LLC this is an
+    // invalidate-and-refetch from the level below, so position is
+    // always restored at the cost of `scrub_cycles`.
+    if (recovery_.allow_scrub) {
+        ++stats_.scrubs;
+        std::vector<Bit> image = stripe_.dumpData();
+        stripe_.initializeIdeal();
+        stripe_.loadData(image);
+        chargeRecovery(recovery_.scrub_cycles, res);
+        ++stats_.recovered_scrub;
+        return RecoveryRung::Scrub;
+    }
+    return RecoveryRung::None;
+}
+
+void
+ShiftController::reclassifyAsDue(RecoveryRung rung)
+{
+    switch (rung) {
+      case RecoveryRung::Retry: --stats_.recovered_retry; break;
+      case RecoveryRung::Realign: --stats_.recovered_realign; break;
+      case RecoveryRung::Scrub: --stats_.recovered_scrub; break;
+      case RecoveryRung::None: break;
+    }
+    ++stats_.unrecoverable;
+}
+
 AccessResult
 ShiftController::seek(int index, Cycles now_cycles)
 {
     AccessResult res;
     int target = stripe_.layout().offsetForIndex(index);
-    int delta = target - stripe_.believedOffset();
-    if (delta == 0) {
+    if (target == stripe_.believedOffset()) {
         res.position_ok = stripe_.positionError() == 0;
         return res;
     }
-
-    int direction = delta > 0 ? 1 : -1;
-    const SequencePlan &plan =
-        adapter_.plan(std::abs(delta), now_cycles);
     ++stats_.accesses;
 
-    for (int part : plan.parts) {
-        ProtectedShiftResult r = stripe_.shiftBy(direction * part);
-        ++stats_.shift_ops;
-        stats_.shift_steps += static_cast<uint64_t>(part) +
-                              static_cast<uint64_t>(
-                                  r.correction_shifts);
-        stats_.distance_histogram.add(part);
-        Cycles lat = timing_.shiftCycles(part);
-        if (r.correction_shifts > 0) {
-            // Corrections are short counter-shifts; charge each at
-            // the 1-step cost plus the paper's correction logic time
-            // (1.34 ns ~ 3 cycles at 2 GHz).
-            lat += static_cast<Cycles>(r.correction_shifts) *
-                   (timing_.shiftCycles(1) + 3);
-        }
-        stats_.busy_cycles += lat;
-        res.latency += lat;
-        if (r.detected)
-            ++stats_.detected_errors;
-        if (r.corrected)
-            ++stats_.corrected_errors;
-        if (r.unrecoverable) {
-            ++stats_.unrecoverable;
-            res.due = true;
+    // A recovery episode may leave the believed offset off the
+    // planned path (a scrub rebuilds at home), so the seek re-plans
+    // after every recovered episode — cautiously, and boundedly.
+    int replans = 0;
+    for (;;) {
+        int delta = target - stripe_.believedOffset();
+        if (delta == 0)
             break;
+        int direction = delta > 0 ? 1 : -1;
+        const SequencePlan &plan =
+            replans == 0
+                ? adapter_.plan(std::abs(delta), now_cycles)
+                : adapter_.cautiousPlan(std::abs(delta));
+        RecoveryRung recovered_by = RecoveryRung::None;
+        bool episode_failed = false;
+        for (int part : plan.parts) {
+            if (executePart(direction, part, res))
+                continue;
+            // The stripe exhausted its in-line corrections: climb
+            // the escalation ladder.
+            recovered_by = attemptRecovery(res);
+            if (recovered_by == RecoveryRung::None) {
+                ++stats_.unrecoverable;
+                res.due = true;
+                res.position_ok = stripe_.positionError() == 0;
+                return res;
+            }
+            episode_failed = true;
+            break; // position verified but path changed: re-plan
+        }
+        if (!episode_failed)
+            break;
+        if (++replans > recovery_.max_replans) {
+            // Recovered a verified position but could not complete
+            // the seek within the replan budget (e.g. a persistently
+            // stuck stripe): report a DUE rather than risking an
+            // unbounded retry loop. The final recovery is
+            // re-accounted from its recovered bucket so each
+            // detection stays in exactly one outcome bucket.
+            reclassifyAsDue(recovered_by);
+            res.due = true;
+            res.position_ok = stripe_.positionError() == 0;
+            return res;
         }
     }
+
     res.position_ok = stripe_.positionError() == 0;
     if (!res.position_ok && !res.due) {
         // Ground truth says we are misaligned and the code did not
         // notice: a silent data corruption in the making.
         ++stats_.silent_errors;
     }
+#ifndef NDEBUG
+    assert(controllerLedgerViolation(stats_).empty());
+#endif
     return res;
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "codec/protected_stripe.hh"
 #include "control/adapter.hh"
@@ -24,6 +25,35 @@
 
 namespace rtm
 {
+
+/**
+ * Recovery escalation ladder configuration.
+ *
+ * When a shift episode exhausts the stripe's in-line correction
+ * rounds (what used to be an immediate DUE), the controller climbs a
+ * bounded ladder before giving up:
+ *
+ *   1. verify-and-retry: re-decode the window and re-run the
+ *      counter-shift loop, up to `retry_budget` times;
+ *   2. STS stage-2 realign: a sub-threshold pulse walks any wall out
+ *      of the flat region, then verify-and-retry once more;
+ *   3. full scrub: rebuild code domains and refill data (modelled as
+ *      an invalidate-and-refetch; always restores alignment);
+ *   4. declare DUE.
+ *
+ * Every rung is bounded, so an access can never hang, and every rung
+ * charges latency into `ControllerStats::recovery_cycles`. The
+ * default (`retry_budget == 0`) preserves the legacy behaviour:
+ * correction failure is reported as a DUE immediately.
+ */
+struct RecoveryConfig
+{
+    int retry_budget = 0;     //!< rung-1 attempts (0 = ladder off)
+    bool sts_realign = true;  //!< enable the stage-2 realign rung
+    bool allow_scrub = true;  //!< enable the scrub rung
+    int max_replans = 2;      //!< cautious re-seeks after recovery
+    Cycles scrub_cycles = 1024; //!< charged per full scrub (refill)
+};
 
 /** Per-controller statistics. */
 struct ControllerStats
@@ -37,7 +67,30 @@ struct ControllerStats
     uint64_t silent_errors = 0;   //!< ground-truth SDC events
     Cycles busy_cycles = 0;       //!< cycles spent shifting/checking
     IntTally distance_histogram;  //!< sub-shift distances issued
+
+    // Recovery-ladder decomposition: every detected episode ends in
+    // exactly one of corrected_errors (in-line counter-shift),
+    // recovered_retry / recovered_realign / recovered_scrub (ladder
+    // rungs), or unrecoverable (ladder exhausted or disabled).
+    uint64_t retry_attempts = 0;    //!< rung-1 verify-and-retry runs
+    uint64_t sts_realigns = 0;      //!< rung-2 stage-2 pulses
+    uint64_t scrubs = 0;            //!< rung-3 full scrubs
+    uint64_t recovered_retry = 0;   //!< episodes ended by rung 1
+    uint64_t recovered_realign = 0; //!< episodes ended by rung 2
+    uint64_t recovered_scrub = 0;   //!< episodes ended by rung 3
+    Cycles recovery_cycles = 0;     //!< cycles spent on the ladder
+
+    /** Per-field sum (campaign aggregation). */
+    void merge(const ControllerStats &other);
 };
+
+/**
+ * Ledger invariant check: every detection is accounted to exactly
+ * one outcome bucket. Returns an empty string when consistent, else
+ * a description of the violated invariant. The campaign runner calls
+ * this after every cell; debug builds also assert it inline.
+ */
+std::string controllerLedgerViolation(const ControllerStats &stats);
 
 /** Result of one access through the controller. */
 struct AccessResult
@@ -61,12 +114,15 @@ class ShiftController
      * @param peak_ops_per_second peak intensity for WorstCase policy
      * @param rng     controller-local RNG stream
      * @param mttf_target_s reliability budget for the planner
+     * @param recovery escalation-ladder configuration (default:
+     *                 ladder off, legacy immediate-DUE behaviour)
      */
     ShiftController(const PeccConfig &config,
                     const PositionErrorModel *model,
                     ShiftPolicy policy, double peak_ops_per_second,
                     Rng rng,
-                    double mttf_target_s = kDefaultSafeMttfSeconds);
+                    double mttf_target_s = kDefaultSafeMttfSeconds,
+                    RecoveryConfig recovery = RecoveryConfig{});
 
     /** Initialise code and data (ideal chip-test path). */
     void initialize();
@@ -97,15 +153,48 @@ class ShiftController
     /** STS timing model in use. */
     const StsTiming &timing() const { return timing_; }
 
+    /** Recovery-ladder configuration in effect. */
+    const RecoveryConfig &recovery() const { return recovery_; }
+
   private:
     ProtectedStripe stripe_;
     StsTiming timing_;
     ShiftPlanner planner_;
     ShiftAdapter adapter_;
+    RecoveryConfig recovery_;
     ControllerStats stats_;
 
     /** Move to the offset serving (segment-local) index r. */
     AccessResult seek(int index, Cycles now_cycles);
+
+    /**
+     * Execute one planned sub-shift; returns false when the episode
+     * ended unrecoverable at the stripe level (ladder not yet run).
+     */
+    bool executePart(int direction, int part, AccessResult &res);
+
+    /** Ladder rung that ended a recovery episode. */
+    enum class RecoveryRung
+    {
+        None,    //!< ladder failed (or disabled)
+        Retry,   //!< rung 1: verify-and-retry
+        Realign, //!< rung 2: STS stage-2 + verify
+        Scrub    //!< rung 3: full scrub
+    };
+
+    /**
+     * Climb the escalation ladder after a failed episode. Returns
+     * the rung that restored a verified position (None on failure)
+     * and accounts it into the matching recovered_* bucket.
+     */
+    RecoveryRung attemptRecovery(AccessResult &res);
+
+    /** Undo the recovered_* accounting of `rung` (replan exhausted:
+     *  the episode is re-classified as a DUE). */
+    void reclassifyAsDue(RecoveryRung rung);
+
+    /** Charge `cycles` to the access, busy, and recovery ledgers. */
+    void chargeRecovery(Cycles cycles, AccessResult &res);
 };
 
 } // namespace rtm

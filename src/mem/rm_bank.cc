@@ -1,5 +1,6 @@
 #include "rm_bank.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -81,6 +82,12 @@ RmBank::RmBank(const RmBankConfig &config,
     head_.assign(groups, 0);
     busy_until_.assign(groups, 0);
     last_access_.assign(groups, kNeverShifted);
+    degraded_.assign(groups, 0);
+    due_count_.assign(groups, 0);
+    remap_.resize(groups);
+    for (uint64_t g = 0; g < groups; ++g)
+        remap_[g] = g;
+    group_stats_.assign(groups, RmGroupStats{});
     // A cold memory has been idle "forever": the adaptive policy may
     // use its most permissive plan on the very first shift.
     last_shift_ = kNeverShifted;
@@ -132,6 +139,9 @@ RmBank::applyHeadPolicy(uint64_t group, Cycles now)
         // opportunities, even though it hides off the access path.
         stats_.shift_ops += static_cast<uint64_t>(dist);
         stats_.shift_steps += static_cast<uint64_t>(dist);
+        group_stats_[group].shift_ops += static_cast<uint64_t>(dist);
+        group_stats_[group].shift_steps +=
+            static_cast<uint64_t>(dist);
         stats_.shift_energy +=
             static_cast<double>(dist) * shiftOpEnergy(1);
         ShiftReliability rel = reliability_model_.sequence(
@@ -181,6 +191,15 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
         rtm_panic("frame %llu out of range",
                   static_cast<unsigned long long>(frame_index));
     uint64_t group = groupOf(frame_index);
+    if (stats_.degraded_groups > 0 && degraded_[group]) {
+        // The home group has been retired: serve from its remap
+        // target. The frame keeps its segment-local slot, so only
+        // the group (and its head state) changes.
+        uint64_t serving = servingGroupFor(frame_index);
+        if (serving != group)
+            ++stats_.remapped_accesses;
+        group = serving;
+    }
     applyHeadPolicy(group, now);
     int idx = indexInGroup(frame_index);
     int r = idx % config_.seg_len;
@@ -188,6 +207,7 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
     int cur = head_[group];
     ShiftCost cost;
     ++stats_.accesses;
+    ++group_stats_[group].accesses;
     // Contention: wait out the group's previous shift sequence.
     if (config_.model_contention && busy_until_[group] > now) {
         cost.stall = busy_until_[group] - now;
@@ -257,9 +277,113 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
     busy_until_[group] = now + cost.latency;
     stats_.shift_ops += static_cast<uint64_t>(cost.sub_shifts);
     stats_.shift_steps += static_cast<uint64_t>(cost.total_steps);
+    group_stats_[group].shift_ops +=
+        static_cast<uint64_t>(cost.sub_shifts);
+    group_stats_[group].shift_steps +=
+        static_cast<uint64_t>(cost.total_steps);
     stats_.shift_cycles += cost.latency;
     stats_.shift_energy += cost.energy;
     return cost;
+}
+
+uint64_t
+RmBank::servingGroupFor(uint64_t frame_index) const
+{
+    uint64_t home = groupOf(frame_index);
+    uint64_t g = home;
+    // A remap target chosen at retire time may itself have been
+    // retired since, so follow the chain; the hop guard bounds the
+    // walk even if every group has been retired.
+    for (uint64_t hops = 0; degraded_[g] && hops < head_.size();
+         ++hops) {
+        g = remap_[g];
+    }
+    // Every group degraded: serve in place (capacity model only).
+    return degraded_[g] ? home : g;
+}
+
+bool
+RmBank::reportUnrecoverable(uint64_t frame_index)
+{
+    if (frame_index >= config_.line_frames)
+        rtm_panic("frame %llu out of range",
+                  static_cast<unsigned long long>(frame_index));
+    ++stats_.due_reports;
+    if (config_.group_retry_budget <= 0)
+        return false; // degradation disabled
+    uint64_t group = groupOf(frame_index);
+    if (degraded_[group])
+        return false; // already retired
+    if (++due_count_[group] <
+        static_cast<uint32_t>(config_.group_retry_budget)) {
+        return false;
+    }
+
+    // Retire the group: remap its frames to the next healthy group
+    // scanning upward (deterministic, wraps around). If none is
+    // left, the group maps to itself and the bank serves in place.
+    uint64_t groups = head_.size();
+    uint64_t target = group;
+    for (uint64_t step = 1; step < groups; ++step) {
+        uint64_t cand = (group + step) % groups;
+        if (!degraded_[cand]) {
+            target = cand;
+            break;
+        }
+    }
+    degraded_[group] = 1;
+    remap_[group] = target;
+    ++stats_.degraded_groups;
+    if (target == group && !warned_all_degraded_) {
+        rtm_warn("all %llu stripe groups degraded; bank serves "
+                 "frames in place (no healthy remap target)",
+                 static_cast<unsigned long long>(groups));
+        warned_all_degraded_ = true;
+    }
+    return true;
+}
+
+double
+RmBank::degradedCapacityFraction() const
+{
+    if (stats_.degraded_groups == 0)
+        return 0.0;
+    uint64_t lost = 0;
+    uint64_t per_group =
+        static_cast<uint64_t>(config_.frames_per_group);
+    for (uint64_t g = 0; g < head_.size(); ++g) {
+        if (!degraded_[g])
+            continue;
+        uint64_t first = g * per_group;
+        lost += std::min(config_.line_frames - first, per_group);
+    }
+    return static_cast<double>(lost) /
+           static_cast<double>(config_.line_frames);
+}
+
+std::string
+RmBank::ledgerViolation() const
+{
+    RmGroupStats sum;
+    uint64_t flagged = 0;
+    for (uint64_t g = 0; g < head_.size(); ++g) {
+        sum.accesses += group_stats_[g].accesses;
+        sum.shift_ops += group_stats_[g].shift_ops;
+        sum.shift_steps += group_stats_[g].shift_steps;
+        if (degraded_[g])
+            ++flagged;
+    }
+    if (sum.accesses != stats_.accesses)
+        return "per-group accesses do not sum to bank accesses";
+    if (sum.shift_ops != stats_.shift_ops)
+        return "per-group shift ops do not sum to bank shift ops";
+    if (sum.shift_steps != stats_.shift_steps)
+        return "per-group shift steps do not sum to bank steps";
+    if (flagged != stats_.degraded_groups)
+        return "degraded flags disagree with degraded_groups";
+    if (stats_.remapped_accesses > stats_.accesses)
+        return "more remapped accesses than accesses";
+    return "";
 }
 
 } // namespace rtm

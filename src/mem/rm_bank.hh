@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "control/adapter.hh"
@@ -55,6 +56,19 @@ struct RmBankStats
     Joules shift_energy = 0.0;
     IntTally distance_histogram; //!< requested distances
     MttfAccumulator reliability;
+
+    // Graceful degradation (see RmBank::reportUnrecoverable).
+    uint64_t due_reports = 0;      //!< DUEs reported into the bank
+    uint64_t degraded_groups = 0;  //!< groups retired so far
+    uint64_t remapped_accesses = 0; //!< served via a remapped group
+};
+
+/** Per-group slice of the bank aggregates (ledger validation). */
+struct RmGroupStats
+{
+    uint64_t accesses = 0;
+    uint64_t shift_ops = 0;
+    uint64_t shift_steps = 0;
 };
 
 /**
@@ -102,6 +116,14 @@ struct RmBankConfig
      * the remainder (adds to the returned latency).
      */
     bool model_contention = false;
+
+    /**
+     * Graceful degradation: DUE reports tolerated per group before
+     * the bank retires it and remaps its frames onto a healthy
+     * group (capacity loss instead of a crash). 0 disables
+     * degradation (legacy behaviour).
+     */
+    int group_retry_budget = 0;
 };
 
 /**
@@ -140,6 +162,43 @@ class RmBank
     /** Energy of one shift operation of `steps` steps (one group). */
     Joules shiftOpEnergy(int steps) const;
 
+    /**
+     * Report an unrecoverable position error (DUE) observed on
+     * `frame_index`'s group. Once a group accumulates
+     * `group_retry_budget` reports it is marked degraded and its
+     * frames are remapped to the next healthy group. Returns true
+     * when this report retired the group.
+     */
+    bool reportUnrecoverable(uint64_t frame_index);
+
+    /** Group that actually serves `frame_index` (remap chain). */
+    uint64_t servingGroupFor(uint64_t frame_index) const;
+
+    /** Whether `group` has been retired. */
+    bool isDegraded(uint64_t group) const
+    {
+        return degraded_[group] != 0;
+    }
+
+    /** Number of stripe groups backing the bank. */
+    uint64_t groupCount() const { return head_.size(); }
+
+    /** Fraction of capacity lost to degraded groups. */
+    double degradedCapacityFraction() const;
+
+    /** Per-group slice of the aggregates (ledger validation). */
+    const RmGroupStats &groupStats(uint64_t group) const
+    {
+        return group_stats_[group];
+    }
+
+    /**
+     * Ledger invariant check: per-group counters must sum to the
+     * bank aggregates and the degradation bookkeeping must be
+     * internally consistent. Empty string when consistent.
+     */
+    std::string ledgerViolation() const;
+
   private:
     RmBankConfig config_;
     const PositionErrorModel *model_;
@@ -163,6 +222,17 @@ class RmBank
      *  operation"; a single counter and table is also what keeps the
      *  hardware cost trivial. */
     Cycles last_shift_;
+
+    /** Per-group degradation state: 1 once the group is retired. */
+    std::vector<uint8_t> degraded_;
+    /** DUE reports accumulated per group. */
+    std::vector<uint32_t> due_count_;
+    /** Remap target of a retired group (identity while healthy). */
+    std::vector<uint64_t> remap_;
+    /** Per-group slices of the bank aggregates. */
+    std::vector<RmGroupStats> group_stats_;
+    /** One-shot warning when every group has been retired. */
+    bool warned_all_degraded_ = false;
 
     RmBankStats stats_;
 

@@ -1,0 +1,258 @@
+#include "campaign.hh"
+
+#include <cstdio>
+
+#include "model/tech.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+/** SplitMix64 finaliser: cell seeds from (campaign seed, index). */
+uint64_t
+mixSeed(uint64_t seed, uint64_t index)
+{
+    uint64_t z = seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // anonymous namespace
+
+void
+CampaignLedger::merge(const CampaignLedger &other)
+{
+    accesses += other.accesses;
+    injected_samples += other.injected_samples;
+    injected_faults += other.injected_faults;
+    injected_step_errors += other.injected_step_errors;
+    injected_stops += other.injected_stops;
+    detected += other.detected;
+    corrected += other.corrected;
+    recovered_retry += other.recovered_retry;
+    recovered_realign += other.recovered_realign;
+    recovered_scrub += other.recovered_scrub;
+    due += other.due;
+    sdc += other.sdc;
+}
+
+CampaignCellResult
+runFaultDrill(const ScenarioSpec &spec,
+              const WorkloadProfile &profile,
+              const CampaignConfig &config, uint64_t cell_seed)
+{
+    CampaignCellResult res;
+    res.scenario = spec.name;
+    res.workload = profile.name;
+
+    auto base = std::make_shared<PaperCalibratedErrorModel>();
+    auto scaled =
+        std::make_shared<ScaledErrorModel>(base, config.scale);
+    std::unique_ptr<FaultScenario> scenario =
+        makeScenario(spec, scaled);
+
+    Rng cell_rng(cell_seed);
+    ShiftController ctl(config.pecc, scenario.get(), config.policy,
+                        config.peak_ops_per_second, cell_rng.fork(),
+                        kDefaultSafeMttfSeconds, config.recovery);
+    ctl.initialize();
+
+    WorkloadGenerator gen(profile, config.workload_cores,
+                          mixSeed(cell_seed, 1));
+    const int num_segments = config.pecc.num_segments;
+    const int seg_len = config.pecc.seg_len;
+    Cycles now = 0;
+    Cycles prev_recovery = 0;
+    for (uint64_t i = 0; i < config.accesses_per_cell; ++i) {
+        MemRequest req = gen.next();
+        uint64_t line = req.addr / 64;
+        int seg = static_cast<int>(
+            line % static_cast<uint64_t>(num_segments));
+        int idx = static_cast<int>(
+            (line / static_cast<uint64_t>(num_segments)) %
+            static_cast<uint64_t>(seg_len));
+        AccessResult r =
+            req.is_write
+                ? ctl.write(seg, idx,
+                            (i & 1) ? Bit::One : Bit::Zero, now)
+                : ctl.read(seg, idx, now);
+        now += r.latency + req.gap_instructions + 1;
+        res.access_latency.add(static_cast<double>(r.latency));
+        const ControllerStats &cs = ctl.stats();
+        if (cs.recovery_cycles > prev_recovery) {
+            res.recovery_latency.add(static_cast<double>(
+                cs.recovery_cycles - prev_recovery));
+            prev_recovery = cs.recovery_cycles;
+        }
+        // Containment action: a reported DUE (or a ground-truth
+        // misalignment the code missed — an SDC, already counted by
+        // the controller) invalidates the stripe; model the
+        // refetch-from-below by rebuilding at home alignment.
+        if (r.due || !r.position_ok)
+            ctl.initialize();
+    }
+
+    const ControllerStats &cs = ctl.stats();
+    const InjectionLedger &inj = scenario->ledger();
+    res.controller = cs;
+    res.ledger.accesses = config.accesses_per_cell;
+    res.ledger.injected_samples = inj.samples;
+    res.ledger.injected_faults = inj.injected;
+    res.ledger.injected_step_errors = inj.step_errors;
+    res.ledger.injected_stops = inj.stop_in_middle;
+    res.ledger.detected = cs.detected_errors;
+    res.ledger.corrected = cs.corrected_errors;
+    res.ledger.recovered_retry = cs.recovered_retry;
+    res.ledger.recovered_realign = cs.recovered_realign;
+    res.ledger.recovered_scrub = cs.recovered_scrub;
+    res.ledger.due = cs.unrecoverable;
+    res.ledger.sdc = cs.silent_errors;
+
+    // Bank degradation drill: the same scaled model drives an RmBank
+    // with injected DUE reports; the bank must degrade gracefully and
+    // keep its per-group ledger consistent.
+    RmBankConfig bank_config;
+    bank_config.line_frames = config.bank_frames;
+    bank_config.scheme = Scheme::PeccSAdaptive;
+    bank_config.group_retry_budget = config.group_retry_budget;
+    TechParams tech = l3For(MemTech::Racetrack);
+    RmBank bank(bank_config, scaled.get(), tech);
+    Rng bank_rng(mixSeed(cell_seed, 2));
+    Cycles bank_now = 0;
+    for (uint64_t i = 0; i < config.accesses_per_cell; ++i) {
+        uint64_t frame = bank_rng.uniformInt(config.bank_frames);
+        ShiftCost c = bank.accessFrame(frame, bank_now);
+        bank_now += c.latency + 4;
+        if (bank_rng.bernoulli(config.bank_due_prob))
+            bank.reportUnrecoverable(frame);
+    }
+    res.bank_due_reports = bank.stats().due_reports;
+    res.bank_degraded_groups = bank.stats().degraded_groups;
+    res.bank_remapped_accesses = bank.stats().remapped_accesses;
+    res.degraded_capacity_fraction = bank.degradedCapacityFraction();
+
+    // Containment checks: every injected fault must be accounted, the
+    // ledgers must reconcile, and the cell must end aligned.
+    res.violation = controllerLedgerViolation(cs);
+    if (res.violation.empty())
+        res.violation = bank.ledgerViolation();
+    if (res.violation.empty() && cs.detected_errors > inj.injected)
+        res.violation = "more detections than injected faults";
+    if (res.violation.empty() &&
+        ctl.stripe().positionError() != 0) {
+        res.violation = "cell ended misaligned";
+    }
+    res.contained = res.violation.empty();
+    return res;
+}
+
+CampaignResult
+runCampaign(const std::vector<ScenarioSpec> &scenarios,
+            const std::vector<std::string> &workloads,
+            const CampaignConfig &config)
+{
+    if (scenarios.empty() || workloads.empty())
+        rtm_fatal("campaign needs at least one scenario/workload");
+    std::vector<WorkloadProfile> profiles;
+    profiles.reserve(workloads.size());
+    for (const std::string &name : workloads)
+        profiles.push_back(parsecProfile(name));
+
+    CampaignResult out;
+    size_t n = scenarios.size() * workloads.size();
+    out.cells.resize(n);
+    // One cell per slot: the seed depends only on (campaign seed,
+    // cell index), so any RTM_THREADS produces identical results.
+    parallelFor(n, [&](size_t i) {
+        size_t si = i / workloads.size();
+        size_t wi = i % workloads.size();
+        out.cells[i] =
+            runFaultDrill(scenarios[si], profiles[wi], config,
+                          mixSeed(config.seed, i));
+    });
+    for (const CampaignCellResult &cell : out.cells) {
+        out.totals.merge(cell.ledger);
+        if (cell.contained)
+            ++out.contained_cells;
+    }
+    return out;
+}
+
+bool
+writeCampaignJson(const CampaignResult &result,
+                  const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    auto u64 = [](uint64_t v) {
+        return static_cast<unsigned long long>(v);
+    };
+    std::fprintf(f, "{\n  \"cells\": [\n");
+    for (size_t i = 0; i < result.cells.size(); ++i) {
+        const CampaignCellResult &c = result.cells[i];
+        const CampaignLedger &l = c.ledger;
+        std::fprintf(
+            f,
+            "    {\"scenario\": \"%s\", \"workload\": \"%s\", "
+            "\"accesses\": %llu, "
+            "\"injected_faults\": %llu, \"detected\": %llu, "
+            "\"corrected\": %llu, \"recovered_retry\": %llu, "
+            "\"recovered_realign\": %llu, \"recovered_scrub\": %llu, "
+            "\"due\": %llu, \"sdc\": %llu, "
+            "\"mean_access_cycles\": %.3f, "
+            "\"mean_recovery_cycles\": %.3f, "
+            "\"bank_degraded_groups\": %llu, "
+            "\"degraded_capacity_fraction\": %.6f, "
+            "\"contained\": %s, \"violation\": \"%s\"}%s\n",
+            c.scenario.c_str(), c.workload.c_str(),
+            u64(l.accesses), u64(l.injected_faults),
+            u64(l.detected), u64(l.corrected),
+            u64(l.recovered_retry), u64(l.recovered_realign),
+            u64(l.recovered_scrub), u64(l.due), u64(l.sdc),
+            c.access_latency.mean(), c.recovery_latency.mean(),
+            u64(c.bank_degraded_groups),
+            c.degraded_capacity_fraction,
+            c.contained ? "true" : "false", c.violation.c_str(),
+            i + 1 < result.cells.size() ? "," : "");
+    }
+    const CampaignLedger &t = result.totals;
+    std::fprintf(
+        f,
+        "  ],\n  \"totals\": {\n"
+        "    \"accesses\": %llu,\n"
+        "    \"injected_samples\": %llu,\n"
+        "    \"injected_faults\": %llu,\n"
+        "    \"injected_step_errors\": %llu,\n"
+        "    \"injected_stops\": %llu,\n"
+        "    \"detected\": %llu,\n"
+        "    \"corrected\": %llu,\n"
+        "    \"recovered_retry\": %llu,\n"
+        "    \"recovered_realign\": %llu,\n"
+        "    \"recovered_scrub\": %llu,\n"
+        "    \"due\": %llu,\n"
+        "    \"sdc\": %llu\n"
+        "  },\n"
+        "  \"contained_cells\": %llu,\n"
+        "  \"total_cells\": %llu,\n"
+        "  \"containment_coverage\": %.6f\n}\n",
+        u64(t.accesses), u64(t.injected_samples),
+        u64(t.injected_faults), u64(t.injected_step_errors),
+        u64(t.injected_stops), u64(t.detected), u64(t.corrected),
+        u64(t.recovered_retry), u64(t.recovered_realign),
+        u64(t.recovered_scrub), u64(t.due), u64(t.sdc),
+        u64(result.contained_cells), u64(result.cells.size()),
+        result.cells.empty()
+            ? 1.0
+            : static_cast<double>(result.contained_cells) /
+                  static_cast<double>(result.cells.size()));
+    std::fclose(f);
+    return true;
+}
+
+} // namespace rtm

@@ -10,10 +10,63 @@
 namespace rtm
 {
 
-std::vector<MemRequest>
-parseTrace(const std::string &text)
+namespace
 {
-    std::vector<MemRequest> out;
+
+/** Warnings printed per lenient parse before going quiet. */
+constexpr int kMaxLenientWarnings = 10;
+
+/**
+ * Parse one non-blank trace line. Returns true on success; on
+ * failure fills `error` with the reason (no line-number prefix).
+ */
+bool
+parseTraceLine(const std::string &line, MemRequest &req,
+               std::string &error)
+{
+    std::istringstream fields(line);
+    std::string addr_str, rw;
+    long core;
+    if (!(fields >> core >> addr_str >> rw)) {
+        error = "expected '<core> <addr> <R|W> [gap]'";
+        return false;
+    }
+    if (core < 0) {
+        error = "negative core id";
+        return false;
+    }
+    req.core = static_cast<int>(core);
+    try {
+        req.addr = std::stoull(addr_str, nullptr, 0);
+    } catch (...) {
+        error = "bad address '" + addr_str + "'";
+        return false;
+    }
+    if (rw == "R" || rw == "r") {
+        req.is_write = false;
+    } else if (rw == "W" || rw == "w") {
+        req.is_write = true;
+    } else {
+        error = "access type must be R or W, got '" + rw + "'";
+        return false;
+    }
+    long gap = 0;
+    if (fields >> gap) {
+        if (gap < 0) {
+            error = "negative gap";
+            return false;
+        }
+        req.gap_instructions = static_cast<uint32_t>(gap);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+TraceParseResult
+parseTraceChecked(const std::string &text, TraceParseMode mode)
+{
+    TraceParseResult result;
     std::istringstream in(text);
     std::string line;
     int line_no = 0;
@@ -31,40 +84,54 @@ parseTrace(const std::string &text)
         if (blank)
             continue;
 
-        std::istringstream fields(line);
         MemRequest req;
-        std::string addr_str, rw;
-        long core;
-        if (!(fields >> core >> addr_str >> rw))
-            rtm_fatal("trace line %d: expected '<core> <addr> "
-                      "<R|W> [gap]'",
-                      line_no);
-        if (core < 0)
-            rtm_fatal("trace line %d: negative core id", line_no);
-        req.core = static_cast<int>(core);
-        try {
-            req.addr = std::stoull(addr_str, nullptr, 0);
-        } catch (...) {
-            rtm_fatal("trace line %d: bad address '%s'", line_no,
-                      addr_str.c_str());
+        std::string error;
+        if (parseTraceLine(line, req, error)) {
+            result.requests.push_back(req);
+            ++result.parsed_lines;
+            continue;
         }
-        if (rw == "R" || rw == "r")
-            req.is_write = false;
-        else if (rw == "W" || rw == "w")
-            req.is_write = true;
-        else
-            rtm_fatal("trace line %d: access type must be R or W, "
-                      "got '%s'",
-                      line_no, rw.c_str());
-        long gap = 0;
-        if (fields >> gap) {
-            if (gap < 0)
-                rtm_fatal("trace line %d: negative gap", line_no);
-            req.gap_instructions = static_cast<uint32_t>(gap);
+        result.diagnostics.push_back({line_no, error});
+        if (mode == TraceParseMode::Strict)
+            return result;
+        ++result.skipped_lines;
+        if (result.skipped_lines <= kMaxLenientWarnings) {
+            rtm_warn("trace line %d: %s (skipped)", line_no,
+                     error.c_str());
         }
-        out.push_back(req);
     }
-    return out;
+    if (result.skipped_lines > kMaxLenientWarnings) {
+        rtm_warn("trace: %d further malformed lines skipped",
+                 result.skipped_lines - kMaxLenientWarnings);
+    }
+    return result;
+}
+
+TraceParseResult
+loadTraceFileChecked(const std::string &path, TraceParseMode mode)
+{
+    std::ifstream f(path);
+    if (!f) {
+        TraceParseResult result;
+        result.diagnostics.push_back(
+            {0, "cannot open trace file '" + path + "'"});
+        return result;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return parseTraceChecked(buf.str(), mode);
+}
+
+std::vector<MemRequest>
+parseTrace(const std::string &text)
+{
+    TraceParseResult result =
+        parseTraceChecked(text, TraceParseMode::Strict);
+    if (!result.ok()) {
+        const TraceDiagnostic &d = result.diagnostics.front();
+        rtm_fatal("trace line %d: %s", d.line, d.message.c_str());
+    }
+    return std::move(result.requests);
 }
 
 std::vector<MemRequest>

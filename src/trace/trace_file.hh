@@ -27,6 +27,52 @@
 namespace rtm
 {
 
+/** How parseTraceChecked treats malformed lines. */
+enum class TraceParseMode
+{
+    Strict, //!< stop at the first malformed line
+    Lenient //!< skip-and-warn: drop malformed lines, keep going
+};
+
+/** One problem found while parsing a trace. */
+struct TraceDiagnostic
+{
+    int line = 0; //!< 1-based line number (0: whole-file problem)
+    std::string message;
+};
+
+/** Outcome of a checked trace parse. */
+struct TraceParseResult
+{
+    std::vector<MemRequest> requests;
+    std::vector<TraceDiagnostic> diagnostics;
+    int parsed_lines = 0;  //!< request lines successfully parsed
+    int skipped_lines = 0; //!< malformed lines dropped (lenient)
+
+    /** True when the whole input parsed cleanly. */
+    bool ok() const { return diagnostics.empty(); }
+};
+
+/**
+ * Parse a trace from a string buffer with per-line diagnostics.
+ * Strict mode returns at the first malformed line (requests hold
+ * everything parsed before it); lenient mode records a diagnostic,
+ * skips the line, and keeps going — truncated or partially garbled
+ * traces still yield their well-formed requests. An empty input is
+ * ok() with zero requests.
+ */
+TraceParseResult parseTraceChecked(
+    const std::string &text,
+    TraceParseMode mode = TraceParseMode::Strict);
+
+/**
+ * Checked disk load: an unreadable file yields a line-0 diagnostic
+ * instead of aborting.
+ */
+TraceParseResult loadTraceFileChecked(
+    const std::string &path,
+    TraceParseMode mode = TraceParseMode::Strict);
+
 /**
  * Parse a trace from a string buffer (used by tests and by
  * loadTraceFile). Malformed lines are fatal with a line number.

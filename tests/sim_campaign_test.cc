@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Campaign-runner tests: full fault containment across the scenario
+ * catalogue, ledger reconciliation, JSON emission, and bit-identical
+ * results across thread counts under a fixed seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/campaign.hh"
+#include "util/parallel.hh"
+
+namespace rtm
+{
+namespace
+{
+
+CampaignConfig
+quickConfig()
+{
+    CampaignConfig c;
+    c.accesses_per_cell = 500;
+    c.seed = 1234;
+    return c;
+}
+
+void
+expectLedgersEqual(const CampaignLedger &a, const CampaignLedger &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.injected_samples, b.injected_samples);
+    EXPECT_EQ(a.injected_faults, b.injected_faults);
+    EXPECT_EQ(a.injected_step_errors, b.injected_step_errors);
+    EXPECT_EQ(a.injected_stops, b.injected_stops);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.corrected, b.corrected);
+    EXPECT_EQ(a.recovered_retry, b.recovered_retry);
+    EXPECT_EQ(a.recovered_realign, b.recovered_realign);
+    EXPECT_EQ(a.recovered_scrub, b.recovered_scrub);
+    EXPECT_EQ(a.due, b.due);
+    EXPECT_EQ(a.sdc, b.sdc);
+}
+
+TEST(Campaign, EveryCellContainsItsFaults)
+{
+    CampaignResult r =
+        runCampaign(standardScenarios(), {"swaptions", "canneal"},
+                    quickConfig());
+    ASSERT_EQ(r.cells.size(), 10u);
+    for (const CampaignCellResult &cell : r.cells) {
+        EXPECT_TRUE(cell.contained)
+            << cell.scenario << "/" << cell.workload << ": "
+            << cell.violation;
+        // Every detection ends in exactly one outcome bucket.
+        const CampaignLedger &l = cell.ledger;
+        EXPECT_EQ(l.detected,
+                  l.corrected + l.recovered_retry +
+                      l.recovered_realign + l.recovered_scrub +
+                      l.due);
+        EXPECT_GE(l.injected_faults, l.detected);
+        EXPECT_GT(l.injected_samples, 0u);
+    }
+    EXPECT_TRUE(r.allContained());
+    EXPECT_EQ(r.contained_cells, 10u);
+    EXPECT_GT(r.totals.injected_faults, 0u);
+}
+
+TEST(Campaign, AdversarialRegimesExerciseTheLadder)
+{
+    CampaignConfig config = quickConfig();
+    config.accesses_per_cell = 1500;
+    CampaignResult r = runCampaign(standardScenarios(),
+                                   {"swaptions"}, config);
+    uint64_t ladder = r.totals.recovered_retry +
+                      r.totals.recovered_realign +
+                      r.totals.recovered_scrub;
+    EXPECT_GT(ladder, 0u);
+    EXPECT_GT(r.totals.corrected, 0u);
+}
+
+TEST(Campaign, BitIdenticalAcrossThreadCounts)
+{
+    std::vector<ScenarioSpec> scenarios = standardScenarios();
+    std::vector<std::string> workloads = {"swaptions", "ferret"};
+    CampaignConfig config = quickConfig();
+
+    ThreadPool::setGlobalThreads(1);
+    CampaignResult serial =
+        runCampaign(scenarios, workloads, config);
+    ThreadPool::setGlobalThreads(3);
+    CampaignResult parallel =
+        runCampaign(scenarios, workloads, config);
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+    for (size_t i = 0; i < serial.cells.size(); ++i) {
+        const CampaignCellResult &a = serial.cells[i];
+        const CampaignCellResult &b = parallel.cells[i];
+        EXPECT_EQ(a.scenario, b.scenario);
+        EXPECT_EQ(a.workload, b.workload);
+        expectLedgersEqual(a.ledger, b.ledger);
+        EXPECT_EQ(a.access_latency.count(),
+                  b.access_latency.count());
+        EXPECT_EQ(a.access_latency.mean(), b.access_latency.mean());
+        EXPECT_EQ(a.bank_degraded_groups, b.bank_degraded_groups);
+        EXPECT_EQ(a.bank_remapped_accesses,
+                  b.bank_remapped_accesses);
+        EXPECT_EQ(a.degraded_capacity_fraction,
+                  b.degraded_capacity_fraction);
+        EXPECT_EQ(a.contained, b.contained);
+    }
+    expectLedgersEqual(serial.totals, parallel.totals);
+}
+
+TEST(Campaign, DegradationDrillRetiresGroupsGracefully)
+{
+    CampaignConfig config = quickConfig();
+    config.accesses_per_cell = 2000;
+    config.bank_due_prob = 0.02;
+    std::vector<ScenarioSpec> one = {standardScenarios()[0]};
+    CampaignResult r = runCampaign(one, {"swaptions"}, config);
+    ASSERT_EQ(r.cells.size(), 1u);
+    const CampaignCellResult &cell = r.cells[0];
+    EXPECT_GT(cell.bank_due_reports, 0u);
+    EXPECT_GT(cell.bank_degraded_groups, 0u);
+    EXPECT_GT(cell.degraded_capacity_fraction, 0.0);
+    EXPECT_LE(cell.degraded_capacity_fraction, 1.0);
+    EXPECT_TRUE(cell.contained) << cell.violation;
+}
+
+TEST(Campaign, WritesJsonReport)
+{
+    std::string path = "/tmp/rtm_campaign_test.json";
+    std::vector<ScenarioSpec> one = {standardScenarios()[1]};
+    CampaignConfig config = quickConfig();
+    config.accesses_per_cell = 300;
+    CampaignResult r = runCampaign(one, {"swaptions"}, config);
+    ASSERT_TRUE(writeCampaignJson(r, path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    std::string text(buf);
+    EXPECT_NE(text.find("\"cells\""), std::string::npos);
+    EXPECT_NE(text.find("\"containment_coverage\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"burst\""), std::string::npos);
+    std::remove(path.c_str());
+    EXPECT_FALSE(writeCampaignJson(r, "/nonexistent/dir/x.json"));
+}
+
+} // namespace
+} // namespace rtm

@@ -121,5 +121,98 @@ TEST(TraceFileDeathTest, MissingFileIsFatal)
                 ::testing::ExitedWithCode(1), "cannot open");
 }
 
+TEST(TraceParseChecked, EmptyInputIsOkWithZeroRequests)
+{
+    TraceParseResult r = parseTraceChecked("");
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.requests.empty());
+    EXPECT_EQ(r.parsed_lines, 0);
+    EXPECT_EQ(r.skipped_lines, 0);
+
+    TraceParseResult comments =
+        parseTraceChecked("# only a comment\n\n   \n");
+    EXPECT_TRUE(comments.ok());
+    EXPECT_TRUE(comments.requests.empty());
+}
+
+TEST(TraceParseChecked, StrictStopsAtFirstBadLine)
+{
+    TraceParseResult r = parseTraceChecked("0 0x40 R\n"
+                                           "0 0x4\n" // truncated
+                                           "1 0x80 W\n");
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].line, 2);
+    EXPECT_NE(r.diagnostics[0].message.find("expected"),
+              std::string::npos);
+    // Everything before the bad line is still returned.
+    ASSERT_EQ(r.requests.size(), 1u);
+    EXPECT_EQ(r.requests[0].addr, 0x40u);
+}
+
+TEST(TraceParseChecked, LenientSkipsAndKeepsGoing)
+{
+    TraceParseResult r =
+        parseTraceChecked("0 0x40 R\n"
+                          "garbage line here\n"
+                          "0 zz W\n"
+                          "-3 0x10 R\n"
+                          "1 0x80 W 7\n",
+                          TraceParseMode::Lenient);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.skipped_lines, 3);
+    EXPECT_EQ(r.parsed_lines, 2);
+    ASSERT_EQ(r.requests.size(), 2u);
+    EXPECT_EQ(r.requests[1].addr, 0x80u);
+    EXPECT_EQ(r.requests[1].gap_instructions, 7u);
+    // Diagnostics name each offending line.
+    ASSERT_EQ(r.diagnostics.size(), 3u);
+    EXPECT_EQ(r.diagnostics[0].line, 2);
+    EXPECT_EQ(r.diagnostics[1].line, 3);
+    EXPECT_EQ(r.diagnostics[2].line, 4);
+    EXPECT_NE(r.diagnostics[1].message.find("bad address"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[2].message.find("negative core"),
+              std::string::npos);
+}
+
+TEST(TraceParseChecked, LenientOnAllGarbageYieldsNothing)
+{
+    TraceParseResult r = parseTraceChecked(
+        "not a trace\n\x01\x02\x03\nstill not one\n",
+        TraceParseMode::Lenient);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.requests.empty());
+    EXPECT_EQ(r.parsed_lines, 0);
+    EXPECT_EQ(r.skipped_lines,
+              static_cast<int>(r.diagnostics.size()));
+}
+
+TEST(TraceParseChecked, MissingFileYieldsDiagnostic)
+{
+    TraceParseResult r =
+        loadTraceFileChecked("/nonexistent/rtm.trace");
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].line, 0);
+    EXPECT_NE(r.diagnostics[0].message.find("cannot open"),
+              std::string::npos);
+}
+
+TEST(TraceParseChecked, LoadCheckedReadsCleanFile)
+{
+    std::string path = "/tmp/rtm_trace_checked_test.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("0 0x40 R 1\nbroken\n1 0x80 W 2\n", f);
+    std::fclose(f);
+    TraceParseResult r =
+        loadTraceFileChecked(path, TraceParseMode::Lenient);
+    EXPECT_EQ(r.parsed_lines, 2);
+    EXPECT_EQ(r.skipped_lines, 1);
+    ASSERT_EQ(r.requests.size(), 2u);
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace rtm

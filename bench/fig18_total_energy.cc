@@ -10,6 +10,7 @@
  * fewer DRAM accesses offset the detection energy.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common.hh"
@@ -50,14 +51,31 @@ main()
     t.addRow(gm);
     t.print(stdout);
 
-    std::printf("\nenergy reduction vs SRAM (geomean):\n");
+    // The offset claimed in the header: larger non-volatile LLCs
+    // absorb misses, so the DRAM dynamic-energy share shrinks. The
+    // simulator reports measured-phase DRAM accesses (warmup
+    // excluded) directly, so show them alongside the energy.
+    std::vector<std::vector<double>> dram(options.size());
+    for (const auto &row : rows) {
+        double sram =
+            std::max<double>(1.0, static_cast<double>(
+                                      row.results[0].dram_accesses));
+        for (size_t i = 0; i < options.size(); ++i)
+            dram[i].push_back(
+                static_cast<double>(row.results[i].dram_accesses) /
+                sram);
+    }
+
+    std::printf("\nenergy reduction vs SRAM (geomean) "
+                "[DRAM accesses vs SRAM]:\n");
     const char *names[] = {"SRAM", "STT-RAM", "RM-Ideal",
                            "RM w/o p-ECC", "RM p-ECC-O",
                            "RM p-ECC-S adaptive",
                            "RM p-ECC-S worst"};
     for (size_t i = 0; i < options.size(); ++i) {
-        std::printf("  %-20s %.1f%%\n", names[i],
-                    100.0 * (1.0 - geomean(cols[i])));
+        std::printf("  %-20s %5.1f%%   [%.3fx]\n", names[i],
+                    100.0 * (1.0 - geomean(cols[i])),
+                    geomean(dram[i]));
     }
     std::printf("paper anchors: STT-RAM 53.1%%; p-ECC-O 53.1%%; "
                 "adaptive 54.1%%\n");

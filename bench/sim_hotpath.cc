@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Hot-path throughput bench: seed-baseline vs optimized simulator.
+ *
+ * Times every standard LLC option twice over the same request
+ * stream: once through the frozen seed implementation
+ * (referenceSimulate: division/modulo caches, per-request std::log
+ * gap draws, live shift planning) and once through the optimized
+ * simulator (shift/mask caches, inverse-CDF sampler, memoized
+ * planner). The two produce bit-identical SimResults — proven by
+ * tests/sim_golden_test — so the ratio is pure hot-loop speedup.
+ * Also times a full runMatrix sweep against a serial reference
+ * sweep. Emits BENCH_sim_hotpath.json.
+ *
+ * Flags:
+ *   --quick  smaller sizing for CI smoke runs
+ *   --check  exit non-zero if the optimized path is slower than the
+ *            seed baseline anywhere (perf regression gate)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "sim/reference.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+
+namespace rtm
+{
+namespace
+{
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+struct OptionTiming
+{
+    std::string label;
+    bool racetrack = false;
+    double baseline_rps = 0.0;
+    double optimized_rps = 0.0;
+
+    double speedup() const
+    {
+        return baseline_rps > 0.0 ? optimized_rps / baseline_rps
+                                  : 0.0;
+    }
+};
+
+struct HotpathReport
+{
+    uint64_t requests = 0;
+    std::vector<OptionTiming> options;
+    uint64_t matrix_requests = 0;
+    double matrix_reference_s = 0.0;
+    double matrix_optimized_s = 0.0;
+};
+
+HotpathReport
+measure(bool quick)
+{
+    HotpathReport rep;
+    const uint64_t requests = quick ? 8000 : kBenchRequests;
+    const uint64_t warmup = quick ? 1000 : kBenchWarmup;
+    const uint64_t divisor = quick ? 32 : kBenchDivisor;
+    rep.requests = requests;
+
+    PaperCalibratedErrorModel model;
+    WorkloadProfile profile =
+        scaledProfile(parsecProfile("canneal"), divisor);
+
+    for (const LlcOption &opt : standardLlcOptions()) {
+        SimConfig cfg;
+        cfg.hierarchy.llc_tech = opt.tech;
+        cfg.hierarchy.scheme = opt.scheme;
+        cfg.hierarchy.capacity_divisor = divisor;
+        cfg.mem_requests = requests;
+        cfg.warmup_requests = warmup;
+
+        OptionTiming t;
+        t.label = opt.label;
+        t.racetrack = opt.tech == MemTech::Racetrack ||
+                      opt.tech == MemTech::RacetrackIdeal;
+
+        // Best of two runs per side: absorbs one-off cold-start
+        // costs (page-in, branch-predictor training) that would
+        // otherwise flake the --check gate at quick sizing.
+        double dt_base = 1e300, dt_fast = 1e300;
+        SimResult base, fast;
+        for (int rep = 0; rep < 2; ++rep) {
+            double t0 = nowSeconds();
+            base = referenceSimulate(profile, cfg, &model);
+            dt_base = std::min(dt_base, nowSeconds() - t0);
+
+            t0 = nowSeconds();
+            fast = simulate(profile, cfg, &model);
+            dt_fast = std::min(dt_fast, nowSeconds() - t0);
+        }
+
+        // The golden tests prove full bit-equality; keep a cheap
+        // tripwire here so a drifted bench still screams.
+        if (base.cycles != fast.cycles ||
+            base.shift_steps != fast.shift_steps) {
+            std::fprintf(stderr,
+                         "FATAL: %s reference/optimized results "
+                         "diverged\n",
+                         opt.label.c_str());
+            std::exit(2);
+        }
+
+        double total = static_cast<double>(requests + warmup);
+        t.baseline_rps = total / dt_base;
+        t.optimized_rps = total / dt_fast;
+        rep.options.push_back(t);
+        std::printf("%-22s baseline %10.0f req/s   "
+                    "optimized %10.0f req/s   %.2fx\n",
+                    t.label.c_str(), t.baseline_rps,
+                    t.optimized_rps, t.speedup());
+    }
+
+    // Full-matrix wall clock: the runner's parallel sweep over the
+    // optimized simulator vs a serial sweep of the seed reference.
+    const uint64_t m_requests = quick ? 2000 : 6000;
+    const uint64_t m_warmup = quick ? 500 : 1000;
+    rep.matrix_requests = m_requests;
+    auto options = standardLlcOptions();
+
+    double t0 = nowSeconds();
+    for (const WorkloadProfile &p : parsecProfiles()) {
+        WorkloadProfile scaled = scaledProfile(p, 32);
+        for (const LlcOption &opt : options) {
+            SimConfig cfg;
+            cfg.hierarchy.llc_tech = opt.tech;
+            cfg.hierarchy.scheme = opt.scheme;
+            cfg.hierarchy.capacity_divisor = 32;
+            cfg.mem_requests = m_requests;
+            cfg.warmup_requests = m_warmup;
+            SimResult r = referenceSimulate(scaled, cfg, &model);
+            (void)r;
+        }
+    }
+    rep.matrix_reference_s = nowSeconds() - t0;
+
+    t0 = nowSeconds();
+    auto rows = runMatrix(options, &model, m_requests, m_warmup, 32);
+    rep.matrix_optimized_s = nowSeconds() - t0;
+    (void)rows;
+
+    std::printf("runMatrix (%zu options x %zu workloads): "
+                "reference %.3fs, optimized %.3fs, %.2fx\n",
+                options.size(), parsecProfiles().size(),
+                rep.matrix_reference_s, rep.matrix_optimized_s,
+                rep.matrix_reference_s / rep.matrix_optimized_s);
+    return rep;
+}
+
+void
+writeJson(const HotpathReport &rep)
+{
+    std::FILE *f = std::fopen("BENCH_sim_hotpath.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_sim_hotpath.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"workload\": \"canneal\",\n");
+    std::fprintf(f, "  \"requests\": %llu,\n",
+                 static_cast<unsigned long long>(rep.requests));
+    std::fprintf(f, "  \"options\": [\n");
+    double min_rm_speedup = 0.0;
+    for (size_t i = 0; i < rep.options.size(); ++i) {
+        const OptionTiming &t = rep.options[i];
+        if (t.racetrack &&
+            (min_rm_speedup == 0.0 || t.speedup() < min_rm_speedup))
+            min_rm_speedup = t.speedup();
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", "
+                     "\"baseline_req_per_sec\": %.0f, "
+                     "\"optimized_req_per_sec\": %.0f, "
+                     "\"speedup\": %.2f}%s\n",
+                     t.label.c_str(), t.baseline_rps,
+                     t.optimized_rps, t.speedup(),
+                     i + 1 < rep.options.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"racetrack_min_speedup\": %.2f,\n",
+                 min_rm_speedup);
+    std::fprintf(f, "  \"run_matrix\": {\n");
+    std::fprintf(f, "    \"requests\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     rep.matrix_requests));
+    std::fprintf(f, "    \"reference_serial_seconds\": %.3f,\n",
+                 rep.matrix_reference_s);
+    std::fprintf(f, "    \"optimized_seconds\": %.3f,\n",
+                 rep.matrix_optimized_s);
+    std::fprintf(f, "    \"speedup\": %.2f\n",
+                 rep.matrix_reference_s /
+                     rep.matrix_optimized_s);
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_sim_hotpath.json\n");
+}
+
+} // namespace
+} // namespace rtm
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false, check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+    }
+    rtm::banner("sim_hotpath",
+                "hot-loop overhaul: seed baseline vs optimized "
+                "simulator throughput");
+    rtm::reportParallelism();
+
+    rtm::HotpathReport rep = rtm::measure(quick);
+    rtm::writeJson(rep);
+
+    if (check) {
+        for (const auto &t : rep.options) {
+            if (t.optimized_rps < t.baseline_rps) {
+                std::fprintf(stderr,
+                             "REGRESSION: %s optimized "
+                             "(%.0f req/s) below seed baseline "
+                             "(%.0f req/s)\n",
+                             t.label.c_str(), t.optimized_rps,
+                             t.baseline_rps);
+                return 1;
+            }
+        }
+        if (rep.matrix_optimized_s > rep.matrix_reference_s) {
+            std::fprintf(stderr,
+                         "REGRESSION: runMatrix slower than the "
+                         "serial seed sweep\n");
+            return 1;
+        }
+        std::printf("check passed: optimized >= baseline "
+                    "everywhere\n");
+    }
+    return 0;
+}

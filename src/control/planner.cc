@@ -61,11 +61,20 @@ ShiftPlanner::buildFronts()
     fronts_.assign(static_cast<size_t>(max_part_) + 1, {});
     fronts_[0].push_back(SequencePlan{{}, kNegInf, 0, 0});
 
+    // Per-part rate/latency are reused across every distance of the
+    // DP; hoist them out of the O(max_part^2) candidate loop.
+    std::vector<double> part_rates(static_cast<size_t>(max_part_) + 1);
+    std::vector<Cycles> part_lats(static_cast<size_t>(max_part_) + 1);
+    for (int p = 1; p <= max_part_; ++p) {
+        part_rates[static_cast<size_t>(p)] = logFailRate(p);
+        part_lats[static_cast<size_t>(p)] = timing_.shiftCycles(p);
+    }
+
     for (int d = 1; d <= max_part_; ++d) {
         std::vector<SequencePlan> candidates;
         for (int p = 1; p <= d; ++p) {
-            double part_rate = logFailRate(p);
-            Cycles part_lat = timing_.shiftCycles(p);
+            double part_rate = part_rates[static_cast<size_t>(p)];
+            Cycles part_lat = part_lats[static_cast<size_t>(p)];
             for (const auto &prev : fronts_[static_cast<size_t>(d - p)]) {
                 // Keep parts descending to avoid duplicate partitions.
                 if (!prev.parts.empty() && prev.parts.back() < p)
@@ -115,11 +124,18 @@ const SequencePlan &
 ShiftPlanner::planFor(int distance, Cycles interval_cycles) const
 {
     const auto &front = paretoFront(distance);
-    for (const auto &plan : front) {
-        if (plan.min_interval <= interval_cycles)
-            return plan;
+    return front[planIndexFor(distance, interval_cycles)];
+}
+
+size_t
+ShiftPlanner::planIndexFor(int distance, Cycles interval_cycles) const
+{
+    const auto &front = paretoFront(distance);
+    for (size_t i = 0; i < front.size(); ++i) {
+        if (front[i].min_interval <= interval_cycles)
+            return i;
     }
-    return front.back(); // safest available
+    return front.size() - 1; // safest available
 }
 
 const SequencePlan &

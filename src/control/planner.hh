@@ -75,6 +75,15 @@ class ShiftPlanner
                                 Cycles interval_cycles) const;
 
     /**
+     * Index into paretoFront(distance) of the plan planFor() would
+     * return. Memo tables (RmBank) cache per-plan costs and use the
+     * front's min_interval thresholds as their interval buckets; this
+     * accessor lets them (and the golden tests) share the exact
+     * selection rule.
+     */
+    size_t planIndexFor(int distance, Cycles interval_cycles) const;
+
+    /**
      * Worst-case-safe plan for a sustained intensity
      * (operations per second): the paper's "p-ECC-S worst" policy.
      */

@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace rtm
@@ -12,6 +14,15 @@ bool
 isPowerOfTwo(uint64_t v)
 {
     return v != 0 && (v & (v - 1)) == 0;
+}
+
+int
+log2OfPowerOfTwo(uint64_t v)
+{
+    int s = 0;
+    while ((v >> s) != 1)
+        ++s;
+    return s;
 }
 
 } // anonymous namespace
@@ -42,52 +53,31 @@ Cache::Cache(uint64_t capacity_bytes, int associativity,
     sets_ = lines / static_cast<uint64_t>(ways_);
     if (!isPowerOfTwo(sets_))
         rtm_fatal("set count must be a power of two");
-    lines_.assign(lines, Line{});
+    line_shift_ = log2OfPowerOfTwo(
+        static_cast<uint64_t>(line_bytes_));
+    tag_shift_ = line_shift_ + log2OfPowerOfTwo(sets_);
+    set_mask_ = sets_ - 1;
+    meta_.assign(lines, 0);
+    lru_.assign(lines, 0);
 }
 
-uint64_t
-Cache::setOf(Addr addr) const
+int
+Cache::findWay(uint64_t base, Addr tag) const
 {
-    return (addr / static_cast<uint64_t>(line_bytes_)) & (sets_ - 1);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr / static_cast<uint64_t>(line_bytes_) / sets_;
-}
-
-Addr
-Cache::lineAddr(Addr tag, uint64_t set) const
-{
-    return (tag * sets_ + set) * static_cast<uint64_t>(line_bytes_);
-}
-
-Cache::Line &
-Cache::line(uint64_t set, int way)
-{
-    return lines_[set * static_cast<uint64_t>(ways_) +
-                  static_cast<uint64_t>(way)];
-}
-
-const Cache::Line &
-Cache::line(uint64_t set, int way) const
-{
-    return lines_[set * static_cast<uint64_t>(ways_) +
-                  static_cast<uint64_t>(way)];
+    // A valid entry with this tag matches ignoring its dirty bit.
+    const uint64_t want = (tag << 2) | kValid | kDirty;
+    for (int w = 0; w < ways_; ++w) {
+        if ((meta_[base + static_cast<uint64_t>(w)] | kDirty) == want)
+            return w;
+    }
+    return -1;
 }
 
 bool
 Cache::contains(Addr addr) const
 {
-    uint64_t set = setOf(addr);
-    Addr tag = tagOf(addr);
-    for (int w = 0; w < ways_; ++w) {
-        const Line &l = line(set, w);
-        if (l.valid && l.tag == tag)
-            return true;
-    }
-    return false;
+    uint64_t base = setOf(addr) * static_cast<uint64_t>(ways_);
+    return findWay(base, tagOf(addr)) >= 0;
 }
 
 CacheAccessResult
@@ -96,6 +86,7 @@ Cache::access(Addr addr, bool is_write)
     ++tick_;
     uint64_t set = setOf(addr);
     Addr tag = tagOf(addr);
+    uint64_t base = set * static_cast<uint64_t>(ways_);
     CacheAccessResult res;
 
     if (is_write)
@@ -103,60 +94,60 @@ Cache::access(Addr addr, bool is_write)
     else
         ++stats_.reads;
 
+    // One pass finds the hit way and, failing that, the victim: the
+    // first invalid way wins outright; later invalid ways must not
+    // displace it (fill order matters for the racetrack frame
+    // mapping). Among valid ways the oldest LRU stamp loses, earliest
+    // way on ties.
+    const uint64_t want = (tag << 2) | kValid | kDirty;
     int victim = 0;
     bool victim_invalid = false;
     uint64_t oldest = UINT64_MAX;
     for (int w = 0; w < ways_; ++w) {
-        Line &l = line(set, w);
-        if (l.valid && l.tag == tag) {
-            l.lru = tick_;
-            if (is_write)
-                l.dirty = true;
-            res.hit = true;
-            res.frame_index = set * static_cast<uint64_t>(ways_) +
-                              static_cast<uint64_t>(w);
-            return res;
-        }
-        if (!l.valid) {
-            // Prefer the first invalid way; later invalid ways must
-            // not displace it (fill order matters for the racetrack
-            // frame mapping).
-            if (!victim_invalid) {
-                victim = w;
-                victim_invalid = true;
+        uint64_t i = base + static_cast<uint64_t>(w);
+        uint64_t m = meta_[i];
+        if (m & kValid) {
+            if ((m | kDirty) == want) {
+                lru_[i] = tick_;
+                if (is_write)
+                    meta_[i] = m | kDirty;
+                res.hit = true;
+                res.frame_index = i;
+                return res;
             }
-        } else if (!victim_invalid && l.lru < oldest) {
+            if (!victim_invalid && lru_[i] < oldest) {
+                victim = w;
+                oldest = lru_[i];
+            }
+        } else if (!victim_invalid) {
             victim = w;
-            oldest = l.lru;
+            victim_invalid = true;
         }
     }
 
-    // Miss: allocate over the LRU victim.
     if (is_write)
         ++stats_.write_misses;
     else
         ++stats_.read_misses;
 
-    Line &v = line(set, victim);
-    if (v.valid && v.dirty) {
+    uint64_t vi = base + static_cast<uint64_t>(victim);
+    uint64_t vm = meta_[vi];
+    if ((vm & kStateMask) == (kValid | kDirty)) {
         res.writeback = true;
-        res.victim_addr = lineAddr(v.tag, set);
+        res.victim_addr = lineAddr(vm >> 2, set);
         ++stats_.writebacks;
     }
-    v.valid = true;
-    v.dirty = is_write;
-    v.tag = tag;
-    v.lru = tick_;
-    res.frame_index = set * static_cast<uint64_t>(ways_) +
-                      static_cast<uint64_t>(victim);
+    meta_[vi] = (tag << 2) | (is_write ? (kValid | kDirty) : kValid);
+    lru_[vi] = tick_;
+    res.frame_index = vi;
     return res;
 }
 
 void
 Cache::flush()
 {
-    for (auto &l : lines_)
-        l = Line{};
+    std::fill(meta_.begin(), meta_.end(), 0);
+    std::fill(lru_.begin(), lru_.end(), 0);
 }
 
 } // namespace rtm

@@ -7,6 +7,18 @@
  * dirty evictions; timing and energy are layered on top by the
  * hierarchy and LLC models so the same tag logic serves SRAM, STT-RAM
  * and racetrack configurations.
+ *
+ * The simulator runs millions of accesses per (workload, option)
+ * cell, so the lookup path is specialised at construction: line size
+ * and set count are powers of two (enforced), so set/tag extraction
+ * is a shift and a mask, and the line metadata is stored
+ * structure-of-arrays — the way scan walks one compact packed-tag
+ * word array (tag | dirty | valid) instead of striding over full
+ * line records, touching two cache lines per 16-way set instead of
+ * six. Behaviour (hit/miss, victim selection, fill order, stats) is
+ * bit-identical to the straightforward implementation;
+ * tests/sim_golden_test.cc pins that equivalence against a reference
+ * copy of the original code.
  */
 
 #ifndef RTM_MEM_CACHE_HH
@@ -77,27 +89,44 @@ class Cache
     uint64_t capacityBytes() const { return capacity_; }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        uint64_t lru = 0; //!< larger = more recently used
-    };
+    /** Low state bits of a packed metadata word. */
+    enum : uint64_t { kValid = 1, kDirty = 2, kStateMask = 3 };
 
     uint64_t capacity_;
     int ways_;
     int line_bytes_;
     uint64_t sets_;
+    int line_shift_;     //!< log2(line_bytes)
+    int tag_shift_;      //!< log2(line_bytes * sets)
+    uint64_t set_mask_;  //!< sets - 1
     uint64_t tick_ = 0;
-    std::vector<Line> lines_;
+
+    // Structure-of-arrays line metadata, indexed set * ways + way.
+    // meta_[i] = (tag << 2) | dirty | valid: the hit scan touches
+    // only this one compact word array (a tag cannot overflow the 62
+    // available bits — tag = addr >> tag_shift with tag_shift >= 6).
+    // lru_ is read on the miss path for victim selection and written
+    // on hits.
+    std::vector<uint64_t> meta_;
+    std::vector<uint64_t> lru_;
+
     CacheStats stats_;
 
-    uint64_t setOf(Addr addr) const;
-    Addr tagOf(Addr addr) const;
-    Addr lineAddr(Addr tag, uint64_t set) const;
-    Line &line(uint64_t set, int way);
-    const Line &line(uint64_t set, int way) const;
+    uint64_t setOf(Addr addr) const
+    {
+        return (addr >> line_shift_) & set_mask_;
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> tag_shift_; }
+
+    Addr lineAddr(Addr tag, uint64_t set) const
+    {
+        return ((tag << (tag_shift_ - line_shift_)) | set)
+               << line_shift_;
+    }
+
+    /** Way holding (set, tag), or -1 when not resident. */
+    int findWay(uint64_t base, Addr tag) const;
 };
 
 } // namespace rtm

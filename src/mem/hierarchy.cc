@@ -50,6 +50,7 @@ Hierarchy::Hierarchy(const HierarchyConfig &config,
         bank.mttf_target_s = config_.mttf_target_s;
         bank.head_policy = config_.head_policy;
         bank.model_contention = config_.model_contention;
+        bank.use_plan_memo = config_.use_plan_memo;
         rm_bank_ = std::make_unique<RmBank>(bank, model, l3_params_);
     }
 }

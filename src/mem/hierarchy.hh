@@ -55,6 +55,9 @@ struct HierarchyConfig
     HeadPolicy head_policy = HeadPolicy::Stay;
     bool model_contention = false;
 
+    /** Passed through to RmBankConfig::use_plan_memo. */
+    bool use_plan_memo = true;
+
     /**
      * Uniform capacity divisor applied to every cache level. The
      * Table 4 hierarchy needs millions of requests before a

@@ -67,7 +67,8 @@ RmBank::RmBank(const RmBankConfig &config,
                    : 0,
                config.seg_len - 1, config.mttf_target_s),
       reliability_model_(model, config.scheme),
-      policy_(policyFor(config.scheme))
+      policy_(policyFor(config.scheme)),
+      memo_enabled_(config.use_plan_memo)
 {
     if (!model_)
         rtm_fatal("RmBank needs an error model");
@@ -93,6 +94,99 @@ RmBank::RmBank(const RmBankConfig &config,
     last_shift_ = kNeverShifted;
     worst_case_distance_ =
         planner_.safeDistance(config_.peak_ops_per_second);
+    invalidatePlanMemo();
+}
+
+/**
+ * Decompose `distance` into sub-shift parts exactly as the live
+ * (non-memo) access path does for the bank's policy. The adaptive
+ * policy is handled by the caller (one memo entry per Pareto plan).
+ */
+static std::vector<int>
+staticPartsFor(ShiftPolicy policy, int distance, int worst_case)
+{
+    std::vector<int> parts;
+    switch (policy) {
+      case ShiftPolicy::Unconstrained:
+        parts = {distance};
+        break;
+      case ShiftPolicy::StepByStep:
+        parts.assign(static_cast<size_t>(distance), 1);
+        break;
+      case ShiftPolicy::WorstCase: {
+        int remaining = distance;
+        while (remaining > 0) {
+            int p = std::min(remaining, worst_case);
+            parts.push_back(p);
+            remaining -= p;
+        }
+        break;
+      }
+      case ShiftPolicy::Adaptive:
+        break; // caller enumerates the Pareto front instead
+    }
+    return parts;
+}
+
+void
+RmBank::invalidatePlanMemo()
+{
+    one_step_cycles_ = timing_.shiftCycles(1);
+    one_step_energy_ = shiftOpEnergy(1);
+
+    // Heads travel within one segment, so every request distance is
+    // in [1, seg_len - 1]; precompute each distance's decomposition
+    // cost with the identical per-part fold the live path performs,
+    // so serving from the memo reproduces its arithmetic bit for
+    // bit.
+    const int max_distance = config_.seg_len - 1;
+    plan_memo_.assign(static_cast<size_t>(std::max(max_distance, 0)),
+                      {});
+    drift_memo_.assign(static_cast<size_t>(max_distance) + 1,
+                       PlanCost{});
+    for (int d = 1; d <= max_distance; ++d) {
+        std::vector<std::vector<int>> decomps;
+        std::vector<Cycles> intervals;
+        if (policy_ == ShiftPolicy::Adaptive) {
+            // One interval bucket per Pareto plan, in planFor's scan
+            // order: the first entry whose min_interval the observed
+            // interval meets is the plan the planner would pick.
+            for (const SequencePlan &plan : planner_.paretoFront(d)) {
+                decomps.push_back(plan.parts);
+                intervals.push_back(plan.min_interval);
+            }
+        } else {
+            decomps.push_back(
+                staticPartsFor(policy_, d, worst_case_distance_));
+            intervals.push_back(0);
+        }
+        auto &entries = plan_memo_[static_cast<size_t>(d - 1)];
+        entries.reserve(decomps.size());
+        for (size_t i = 0; i < decomps.size(); ++i) {
+            PlanCost pc;
+            pc.min_interval = intervals[i];
+            for (int p : decomps[i]) {
+                pc.latency += timing_.shiftCycles(p);
+                pc.energy += shiftOpEnergy(p);
+                pc.total_steps += p;
+                ++pc.sub_shifts;
+            }
+            ShiftReliability rel =
+                reliability_model_.sequence(decomps[i]);
+            pc.sdc_prob = std::exp(rel.log_sdc);
+            pc.due_prob = std::exp(rel.log_due);
+            entries.push_back(pc);
+        }
+
+        // Idle head drift performs d single-step shifts; cache that
+        // sequence's reliability fold too (applyHeadPolicy).
+        ShiftReliability drift = reliability_model_.sequence(
+            std::vector<int>(static_cast<size_t>(d), 1));
+        drift_memo_[static_cast<size_t>(d)].sdc_prob =
+            std::exp(drift.log_sdc);
+        drift_memo_[static_cast<size_t>(d)].due_prob =
+            std::exp(drift.log_due);
+    }
 }
 
 const char *
@@ -131,8 +225,7 @@ RmBank::applyHeadPolicy(uint64_t group, Cycles now)
     int dist = std::abs(static_cast<int>(head_[group]) - rest);
     if (dist == 0)
         return;
-    Cycles needed = static_cast<Cycles>(dist) *
-                    timing_.shiftCycles(1);
+    Cycles needed = static_cast<Cycles>(dist) * one_step_cycles_;
     if (idle >= needed + 64) { // small hysteresis before drifting
         head_[group] = static_cast<int8_t>(rest);
         // The drift is real work: energy, steps, and failure
@@ -143,11 +236,19 @@ RmBank::applyHeadPolicy(uint64_t group, Cycles now)
         group_stats_[group].shift_steps +=
             static_cast<uint64_t>(dist);
         stats_.shift_energy +=
-            static_cast<double>(dist) * shiftOpEnergy(1);
-        ShiftReliability rel = reliability_model_.sequence(
-            std::vector<int>(static_cast<size_t>(dist), 1));
-        stats_.reliability.add(
-            rel, static_cast<double>(config_.stripes_per_group));
+            static_cast<double>(dist) * one_step_energy_;
+        if (memo_enabled_) {
+            const PlanCost &dm =
+                drift_memo_[static_cast<size_t>(dist)];
+            stats_.reliability.addExpected(
+                dm.sdc_prob, dm.due_prob,
+                static_cast<double>(config_.stripes_per_group));
+        } else {
+            ShiftReliability rel = reliability_model_.sequence(
+                std::vector<int>(static_cast<size_t>(dist), 1));
+            stats_.reliability.add(
+                rel, static_cast<double>(config_.stripes_per_group));
+        }
     }
 }
 
@@ -233,44 +334,68 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
         interval /= static_cast<Cycles>(
             std::max(config_.interleave_ways, 1));
     }
-    const std::vector<int> *parts = nullptr;
-    std::vector<int> scratch;
-    switch (policy_) {
-      case ShiftPolicy::Unconstrained:
-        scratch = {distance};
-        parts = &scratch;
-        break;
-      case ShiftPolicy::StepByStep:
-        scratch.assign(static_cast<size_t>(distance), 1);
-        parts = &scratch;
-        break;
-      case ShiftPolicy::WorstCase: {
-        int remaining = distance;
-        while (remaining > 0) {
-            int p = std::min(remaining, worst_case_distance_);
-            scratch.push_back(p);
-            remaining -= p;
+    if (memo_enabled_) {
+        // Fast path: the decomposition cost and its reliability fold
+        // were precomputed per (distance, interval bucket); entries
+        // mirror planFor's scan, so picking the first bucket the
+        // interval satisfies reproduces the live plan selection.
+        const auto &entries =
+            plan_memo_[static_cast<size_t>(distance - 1)];
+        const PlanCost *pc = &entries.back();
+        for (const PlanCost &e : entries) {
+            if (e.min_interval <= interval) {
+                pc = &e;
+                break;
+            }
         }
-        parts = &scratch;
-        break;
-      }
-      case ShiftPolicy::Adaptive:
-        parts = &planner_.planFor(distance, interval).parts;
-        break;
-    }
+        cost.latency += pc->latency;
+        cost.energy += pc->energy;
+        cost.total_steps += pc->total_steps;
+        cost.sub_shifts += pc->sub_shifts;
+        stats_.reliability.addExpected(
+            pc->sdc_prob, pc->due_prob,
+            static_cast<double>(config_.stripes_per_group));
+        ++stats_.plan_memo_hits;
+    } else {
+        const std::vector<int> *parts = nullptr;
+        std::vector<int> scratch;
+        switch (policy_) {
+          case ShiftPolicy::Unconstrained:
+            scratch = {distance};
+            parts = &scratch;
+            break;
+          case ShiftPolicy::StepByStep:
+            scratch.assign(static_cast<size_t>(distance), 1);
+            parts = &scratch;
+            break;
+          case ShiftPolicy::WorstCase: {
+            int remaining = distance;
+            while (remaining > 0) {
+                int p = std::min(remaining, worst_case_distance_);
+                scratch.push_back(p);
+                remaining -= p;
+            }
+            parts = &scratch;
+            break;
+          }
+          case ShiftPolicy::Adaptive:
+            parts = &planner_.planFor(distance, interval).parts;
+            break;
+        }
 
-    for (int p : *parts) {
-        cost.latency += timing_.shiftCycles(p);
-        cost.energy += shiftOpEnergy(p);
-        cost.total_steps += p;
-        ++cost.sub_shifts;
-    }
+        for (int p : *parts) {
+            cost.latency += timing_.shiftCycles(p);
+            cost.energy += shiftOpEnergy(p);
+            cost.total_steps += p;
+            ++cost.sub_shifts;
+        }
 
-    // Reliability: every stripe in the group shifts independently and
-    // is an independent failure opportunity.
-    ShiftReliability rel = reliability_model_.sequence(*parts);
-    stats_.reliability.add(
-        rel, static_cast<double>(config_.stripes_per_group));
+        // Reliability: every stripe in the group shifts independently
+        // and is an independent failure opportunity.
+        ShiftReliability rel = reliability_model_.sequence(*parts);
+        stats_.reliability.add(
+            rel, static_cast<double>(config_.stripes_per_group));
+    }
 
     head_[group] = static_cast<int8_t>(target);
     last_shift_ = now;

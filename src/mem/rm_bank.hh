@@ -54,6 +54,7 @@ struct RmBankStats
     uint64_t shift_steps = 0;
     Cycles shift_cycles = 0;
     Joules shift_energy = 0.0;
+    uint64_t plan_memo_hits = 0; //!< accesses served from the memo
     IntTally distance_histogram; //!< requested distances
     MttfAccumulator reliability;
 
@@ -124,6 +125,18 @@ struct RmBankConfig
      * degradation (legacy behaviour).
      */
     int group_retry_budget = 0;
+
+    /**
+     * Serve steady-state accesses from the per-bank shift-plan memo
+     * (plan costs precomputed per (distance, interval bucket) at
+     * construction) instead of replanning and refolding reliability
+     * on every access. Results are bit-identical either way — the
+     * memo is an exact cache keyed on everything the plan depends on
+     * — so this switch exists to bypass the memo where callers want
+     * the planner exercised live (fault campaigns that perturb bank
+     * state, golden cross-checks, baseline benchmarking).
+     */
+    bool use_plan_memo = true;
 };
 
 /**
@@ -199,7 +212,38 @@ class RmBank
      */
     std::string ledgerViolation() const;
 
+    /**
+     * Rebuild the shift-plan memo from the current planner/scheme
+     * state. The bank's configuration is immutable today, so this
+     * only needs calling if that ever changes; construction calls it
+     * once.
+     */
+    void invalidatePlanMemo();
+
+    /** Whether steady-state accesses are served from the memo. */
+    bool planMemoEnabled() const { return memo_enabled_; }
+
   private:
+    /**
+     * Precomputed cost of one memoised shift decomposition: the
+     * per-part latency/energy/step fold and the exponentiated
+     * reliability decomposition of the full sequence, so a
+     * steady-state access is a table lookup plus accumulator adds.
+     * `min_interval` is the interval-bucket lower bound (0 for the
+     * non-adaptive policies, the Pareto plan's threshold for the
+     * adaptive one); entries are ordered exactly as
+     * ShiftPlanner::planFor scans them.
+     */
+    struct PlanCost
+    {
+        Cycles min_interval = 0;
+        Cycles latency = 0;
+        Joules energy = 0.0;
+        int total_steps = 0;
+        int sub_shifts = 0;
+        double sdc_prob = 0.0; //!< exp(sequence log_sdc)
+        double due_prob = 0.0; //!< exp(sequence log_due)
+    };
     RmBankConfig config_;
     const PositionErrorModel *model_;
     TechParams tech_;
@@ -222,6 +266,15 @@ class RmBank
      *  operation"; a single counter and table is also what keeps the
      *  hardware cost trivial. */
     Cycles last_shift_;
+
+    /** Memo tables: plan_memo_[d - 1] = entries for distance d. */
+    std::vector<std::vector<PlanCost>> plan_memo_;
+    /** drift_memo_[d] = reliability of d single-step drift shifts. */
+    std::vector<PlanCost> drift_memo_;
+    /** Cached timing_.shiftCycles(1) / shiftOpEnergy(1). */
+    Cycles one_step_cycles_ = 0;
+    Joules one_step_energy_ = 0.0;
+    bool memo_enabled_;
 
     /** Per-group degradation state: 1 once the group is retired. */
     std::vector<uint8_t> degraded_;

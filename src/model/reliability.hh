@@ -92,6 +92,20 @@ class MttfAccumulator
     /** Record one shift operation's failure decomposition. */
     void add(const ShiftReliability &r, double weight = 1.0);
 
+    /**
+     * Record a decomposition whose linear-domain probabilities were
+     * exponentiated ahead of time (hot-path memo tables). Passing
+     * `exp(log_sdc)` / `exp(log_due)` here accumulates bit-identically
+     * to add() with the log-domain values: -inf exponentiates to an
+     * exact 0.0, and adding weight * 0.0 leaves the accumulator's
+     * value unchanged.
+     */
+    void addExpected(double sdc_prob, double due_prob, double weight)
+    {
+        sdc_events_ += weight * sdc_prob;
+        due_events_ += weight * due_prob;
+    }
+
     /** Record the simulated-time span covered, in seconds. */
     void addTime(Seconds s) { seconds_ += s; }
 

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Frozen pre-optimization reference implementations.
+ *
+ * The hot-loop overhaul (division-free cache addressing, the
+ * precomputed geometric-gap sampler, and the memoized shift planner)
+ * claims bit-identical results. This module keeps the original
+ * straight-line implementations alive, verbatim in arithmetic and RNG
+ * draw order, so the golden tests and the hot-path bench can compare
+ * the optimized simulator against the seed behaviour forever — not
+ * just against a hash captured once.
+ *
+ * Nothing here is used on the production path; the reference
+ * hierarchy deliberately runs the RmBank with its plan memo disabled
+ * so every shift is re-planned and its reliability re-folded live.
+ */
+
+#ifndef RTM_SIM_REFERENCE_HH
+#define RTM_SIM_REFERENCE_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/rm_bank.hh"
+#include "sim/system.hh"
+#include "trace/workload.hh"
+#include "util/rng.hh"
+
+namespace rtm
+{
+
+/**
+ * The seed tag-array model: array-of-structs lines addressed with
+ * division and modulo. Kept verbatim as the behavioural reference for
+ * the shift/mask Cache.
+ */
+class RefCache
+{
+  public:
+    RefCache(uint64_t capacity_bytes, int associativity,
+             int line_bytes = 64);
+
+    CacheAccessResult access(Addr addr, bool is_write);
+    void flush();
+    bool contains(Addr addr) const;
+
+    const CacheStats &stats() const { return stats_; }
+    uint64_t sets() const { return sets_; }
+    int ways() const { return ways_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lru = 0;
+    };
+
+    uint64_t capacity_;
+    int ways_;
+    int line_bytes_;
+    uint64_t sets_;
+    uint64_t tick_ = 0;
+    std::vector<Line> lines_;
+    CacheStats stats_;
+
+    uint64_t setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr lineAddr(Addr tag, uint64_t set) const;
+    Line &line(uint64_t set, int way);
+    const Line &line(uint64_t set, int way) const;
+};
+
+/**
+ * The seed workload generator: per-request region geometry, modulo
+ * round-robin, and the gap drawn through std::log on every request.
+ * Draws its RNG variates in exactly the order WorkloadGenerator does.
+ */
+class RefWorkloadGenerator
+{
+  public:
+    RefWorkloadGenerator(const WorkloadProfile &profile, int cores,
+                         uint64_t seed);
+
+    MemRequest next();
+
+  private:
+    WorkloadProfile profile_;
+    int cores_;
+    Rng rng_;
+    int next_core_ = 0;
+    std::vector<Addr> run_addr_;
+    std::vector<int> run_left_;
+
+    Addr pickLine(int core);
+};
+
+/**
+ * The Table 4 hierarchy rebuilt on RefCaches, with the racetrack
+ * shift engine forced onto its live (memo-bypassed) planning path.
+ * Mirrors Hierarchy::access stage for stage.
+ */
+class ReferenceHierarchy
+{
+  public:
+    ReferenceHierarchy(const HierarchyConfig &config,
+                       const PositionErrorModel *model);
+
+    HierarchyAccess access(int core, Addr addr, bool is_write,
+                           Cycles now);
+
+    const RefCache &l3() const { return *l3_; }
+    const RmBank *rmBank() const { return rm_bank_.get(); }
+    uint64_t dramAccesses() const { return dram_accesses_; }
+    Joules dramEnergy() const { return dram_energy_; }
+    double totalLeakageWatts() const;
+
+  private:
+    HierarchyConfig config_;
+    TechParams l1_params_;
+    TechParams l2_params_;
+    TechParams l3_params_;
+    DramParams dram_;
+    std::vector<std::unique_ptr<RefCache>> l1_;
+    std::vector<std::unique_ptr<RefCache>> l2_;
+    std::unique_ptr<RefCache> l3_;
+    std::unique_ptr<RmBank> rm_bank_;
+    uint64_t dram_accesses_ = 0;
+    Joules dram_energy_ = 0.0;
+};
+
+/**
+ * simulate() rebuilt on the reference components: the seed request
+ * stream through the seed caches through the memo-free shift engine.
+ * Produces a SimResult whose every field must equal the optimized
+ * simulator's, bit for bit.
+ */
+SimResult referenceSimulate(const WorkloadProfile &profile,
+                            const SimConfig &config,
+                            const PositionErrorModel *model);
+
+} // namespace rtm
+
+#endif // RTM_SIM_REFERENCE_HH

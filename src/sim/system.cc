@@ -44,7 +44,7 @@ runSim(const std::string &name, const SimConfig &config,
 
     // Warmup: touch caches without accounting.
     for (uint64_t i = 0; i < config.warmup_requests; ++i) {
-        MemRequest req = next();
+        const MemRequest &req = next();
         auto c = static_cast<size_t>(req.core);
         core_time[c] += req.gap_instructions;
         HierarchyAccess acc = hierarchy.access(
@@ -64,7 +64,7 @@ runSim(const std::string &name, const SimConfig &config,
 
     Joules dynamic_energy = 0.0;
     for (uint64_t i = 0; i < config.mem_requests; ++i) {
-        MemRequest req = next();
+        const MemRequest &req = next();
         auto c = static_cast<size_t>(req.core);
         core_time[c] += req.gap_instructions;
         res.instructions += req.gap_instructions + 1;
@@ -89,7 +89,7 @@ runSim(const std::string &name, const SimConfig &config,
     res.llc_accesses = hierarchy.l3().stats().accesses() -
                        warm_l3_acc;
     res.llc_misses = hierarchy.l3().stats().misses() - warm_l3_miss;
-    (void)warm_dram;
+    res.dram_accesses = hierarchy.dramAccesses() - warm_dram;
 
     if (const RmBank *bank = hierarchy.rmBank()) {
         const RmBankStats &s = bank->stats();
@@ -138,9 +138,12 @@ simulateTrace(const std::string &name,
     if (requests.empty())
         rtm_fatal("simulateTrace: empty trace");
     size_t pos = 0;
-    auto next = [&requests, &pos] {
-        MemRequest r = requests[pos];
-        pos = (pos + 1) % requests.size();
+    // Return by reference and wrap with a branch: no per-request
+    // MemRequest copy and no modulo on the hot path.
+    auto next = [&requests, &pos]() -> const MemRequest & {
+        const MemRequest &r = requests[pos];
+        if (++pos == requests.size())
+            pos = 0;
         return r;
     };
     return runSim(name, config, model, next);

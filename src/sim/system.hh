@@ -50,6 +50,7 @@ struct SimResult
     // LLC behaviour.
     uint64_t llc_accesses = 0;
     uint64_t llc_misses = 0;
+    uint64_t dram_accesses = 0; //!< measured phase (warmup excluded)
     uint64_t shift_ops = 0;
     uint64_t shift_steps = 0;
     Cycles shift_cycles = 0;

@@ -1,5 +1,6 @@
 #include "workload.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -72,9 +73,69 @@ parsecProfile(const std::string &name)
     rtm_fatal("unknown workload profile '%s'", name.c_str());
 }
 
+uint32_t
+GeometricGapSampler::reference(double mean_gap, double u)
+{
+    double gap = -mean_gap * std::log(1.0 - u);
+    return static_cast<uint32_t>(std::min(gap, 1000.0));
+}
+
+GeometricGapSampler::GeometricGapSampler(double mean_gap)
+{
+    // The generator draws uniforms as (next() >> 11) * 2^-53, i.e.
+    // on the grid m * 2^-53 for m in [0, 2^53). The reference gap is
+    // weakly monotone in u (1-u, log, scale, min and the integer
+    // cast all preserve ordering), so the preimage of "gap >= k" is
+    // an upper segment of the grid and its boundary can be found by
+    // binary search against the reference expression itself — no
+    // analytic inversion, hence no rounding disagreement.
+    constexpr uint64_t kGrid = 1ull << 53;
+    constexpr double kUlp = 0x1.0p-53;
+    const double max_u = static_cast<double>(kGrid - 1) * kUlp;
+    const uint32_t max_gap = reference(mean_gap, max_u);
+    thresholds_.reserve(max_gap);
+    uint64_t lo = 0;
+    for (uint32_t k = 1; k <= max_gap; ++k) {
+        uint64_t a = lo, b = kGrid - 1;
+        while (a < b) {
+            uint64_t mid = a + (b - a) / 2;
+            if (reference(mean_gap,
+                          static_cast<double>(mid) * kUlp) >= k) {
+                b = mid;
+            } else {
+                a = mid + 1;
+            }
+        }
+        thresholds_.push_back(static_cast<double>(a) * kUlp);
+        lo = a;
+    }
+
+    // Bucket index: for u in [b/kBuckets, (b+1)/kBuckets) the gap is
+    // bounded by [#thresholds <= b/kBuckets, #thresholds < (b+1)/
+    // kBuckets]. kBuckets is a power of two, so the bucket edges are
+    // exactly representable and the bounds are exact; the residual
+    // scan in sample() resolves the (rare) buckets a threshold falls
+    // inside.
+    bucket_lo_.resize(kBuckets);
+    bucket_hi_.resize(kBuckets);
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        double lo_u = static_cast<double>(b) / kBuckets;
+        double hi_u = static_cast<double>(b + 1) / kBuckets;
+        bucket_lo_[b] = static_cast<uint32_t>(
+            std::upper_bound(thresholds_.begin(), thresholds_.end(),
+                             lo_u) -
+            thresholds_.begin());
+        bucket_hi_[b] = static_cast<uint32_t>(
+            std::lower_bound(thresholds_.begin(), thresholds_.end(),
+                             hi_u) -
+            thresholds_.begin());
+    }
+}
+
 WorkloadGenerator::WorkloadGenerator(const WorkloadProfile &profile,
                                      int cores, uint64_t seed)
     : profile_(profile), cores_(cores), rng_(seed),
+      gap_sampler_(profile.mean_gap),
       run_addr_(static_cast<size_t>(cores), 0),
       run_left_(static_cast<size_t>(cores), 0)
 {
@@ -82,33 +143,50 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadProfile &profile,
         rtm_fatal("workload needs at least one core");
     if (profile_.working_set_bytes < kLineBytes * 16ull)
         rtm_fatal("working set too small");
+
+    // Region geometry, formerly re-derived on every pickLine: 3/4 of
+    // the working set is core-private, 1/4 shared.
+    lines_ = profile_.working_set_bytes / kLineBytes;
+    private_lines_ = lines_ * 3 / 4 / static_cast<uint64_t>(cores_);
+    shared_lines_ =
+        lines_ - private_lines_ * static_cast<uint64_t>(cores_);
+    shared_base_ = private_lines_ * static_cast<uint64_t>(cores_);
+    // A degenerate private split (more cores than private lines)
+    // falls back to the whole working set, as the per-request code
+    // did.
+    private_region_lines_ = private_lines_ > 0 ? private_lines_
+                                               : lines_;
+    hot_private_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(private_region_lines_) *
+               profile_.hot_set_ratio));
+    hot_shared_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(shared_lines_) *
+               profile_.hot_set_ratio));
 }
 
 Addr
 WorkloadGenerator::pickLine(int core)
 {
-    uint64_t lines = profile_.working_set_bytes / kLineBytes;
-    // 3/4 of the working set is core-private, 1/4 shared.
-    uint64_t private_lines = lines * 3 / 4 /
-                             static_cast<uint64_t>(cores_);
-    uint64_t shared_lines = lines - private_lines *
-                            static_cast<uint64_t>(cores_);
-    bool shared = rng_.bernoulli(0.25) && shared_lines > 0;
-    uint64_t region_base =
-        shared ? private_lines * static_cast<uint64_t>(cores_)
-               : private_lines * static_cast<uint64_t>(core);
-    uint64_t region_lines = shared ? shared_lines : private_lines;
-    if (region_lines == 0) {
-        region_base = 0;
-        region_lines = lines;
+    // The bernoulli is drawn before the region test so the RNG
+    // stream matches the original code exactly.
+    bool shared = rng_.bernoulli(0.25) && shared_lines_ > 0;
+    uint64_t region_base, region_lines, hot_lines;
+    if (shared) {
+        region_base = shared_base_;
+        region_lines = shared_lines_;
+        hot_lines = hot_shared_;
+    } else {
+        // private_lines_ == 0 implies the whole-set fallback, whose
+        // base is 0 — which private_lines_ * core already is.
+        region_base = private_lines_ * static_cast<uint64_t>(core);
+        region_lines = private_region_lines_;
+        hot_lines = hot_private_;
     }
 
     // Hot-set bias: a small fraction of the region absorbs most
     // accesses (temporal locality).
-    uint64_t hot_lines = std::max<uint64_t>(
-        1, static_cast<uint64_t>(
-               static_cast<double>(region_lines) *
-               profile_.hot_set_ratio));
     uint64_t idx;
     if (rng_.bernoulli(profile_.hot_fraction))
         idx = rng_.uniformInt(hot_lines);
@@ -121,16 +199,15 @@ MemRequest
 WorkloadGenerator::next()
 {
     int core = next_core_;
-    next_core_ = (next_core_ + 1) % cores_;
+    if (++next_core_ == cores_)
+        next_core_ = 0;
 
     MemRequest req;
     req.core = core;
     req.is_write = rng_.bernoulli(profile_.write_ratio);
-    // Geometric gap with the configured mean.
-    double u = rng_.uniform();
-    double gap = -profile_.mean_gap * std::log(1.0 - u);
-    req.gap_instructions =
-        static_cast<uint32_t>(std::min(gap, 1000.0));
+    // Geometric gap with the configured mean, via the precomputed
+    // inverse-CDF table (one uniform draw, as before).
+    req.gap_instructions = gap_sampler_.sample(rng_.uniform());
 
     auto c = static_cast<size_t>(core);
     if (run_left_[c] > 0 &&

@@ -12,6 +12,14 @@
  * of the capacity-sensitive / capacity-insensitive divide (Fig. 16).
  *
  * Substitution documented in DESIGN.md.
+ *
+ * The generator sits on the simulator's per-request hot path, so the
+ * region geometry (private/shared split, hot-set sizes) is derived
+ * once at construction instead of per request, and the geometric
+ * instruction gap is sampled through a precomputed inverse-CDF
+ * threshold table instead of a `log` call per request. Both draw RNG
+ * variates in the original order and reproduce the original values
+ * bit-for-bit (pinned by tests/sim_golden_test.cc).
  */
 
 #ifndef RTM_TRACE_WORKLOAD_HH
@@ -63,6 +71,58 @@ std::vector<WorkloadProfile> parsecProfiles();
 WorkloadProfile parsecProfile(const std::string &name);
 
 /**
+ * Precomputed sampler for the truncated geometric instruction gap
+ * `min(floor(-mean * log(1 - u)), 1000)` over u in [0, 1).
+ *
+ * thresholds()[k] is the smallest representable uniform variate (on
+ * the generator's 53-bit grid) whose gap is at least k+1, found by
+ * binary search against the original expression, so `sample(u)`
+ * returns exactly what the per-request `log` computed for every
+ * possible u. The table has one entry per reachable gap value
+ * (~37 * mean entries). A bucket index over [0, 1) narrows the
+ * threshold scan to the few entries inside u's bucket; most buckets
+ * contain no threshold at all, so the common case is one table
+ * lookup and zero compares (no data-dependent branch to mispredict,
+ * unlike a scan from 0 whose exit is geometrically distributed).
+ */
+class GeometricGapSampler
+{
+  public:
+    explicit GeometricGapSampler(double mean_gap);
+
+    /** Gap for one uniform variate in [0, 1). */
+    uint32_t sample(double u) const
+    {
+        unsigned b = static_cast<unsigned>(u * kBuckets);
+        if (b >= kBuckets)
+            b = kBuckets - 1;
+        uint32_t gap = bucket_lo_[b];
+        const uint32_t hi = bucket_hi_[b];
+        while (gap < hi && u >= thresholds_[gap])
+            ++gap;
+        return gap;
+    }
+
+    /** The exact reference expression the table was solved against. */
+    static uint32_t reference(double mean_gap, double u);
+
+    /** Threshold table (introspection/tests). */
+    const std::vector<double> &thresholds() const
+    {
+        return thresholds_;
+    }
+
+  private:
+    /** Bucket count: power of two so bucket edges are exact. */
+    static constexpr unsigned kBuckets = 2048;
+
+    std::vector<double> thresholds_;
+    /** Per-bucket gap bounds: gap(u) in [lo, hi] for u in bucket. */
+    std::vector<uint32_t> bucket_lo_;
+    std::vector<uint32_t> bucket_hi_;
+};
+
+/**
  * Stream generator for one profile across `cores` cores.
  *
  * Each core owns a private region of the working set plus a shared
@@ -83,9 +143,22 @@ class WorkloadGenerator
     WorkloadProfile profile_;
     int cores_;
     Rng rng_;
+    GeometricGapSampler gap_sampler_;
     int next_core_ = 0;
     std::vector<Addr> run_addr_;   //!< per-core sequential cursor
     std::vector<int> run_left_;    //!< lines left in current run
+
+    // Region geometry, derived once from (profile, cores). The
+    // shared region sits above the per-core private regions; when
+    // the private split degenerates to zero lines each region falls
+    // back to the whole working set (original per-request logic).
+    uint64_t lines_;          //!< working set in lines
+    uint64_t private_lines_;  //!< private lines per core
+    uint64_t shared_lines_;   //!< lines of the shared region
+    uint64_t shared_base_;    //!< first line of the shared region
+    uint64_t private_region_lines_; //!< after empty-region fallback
+    uint64_t hot_private_;    //!< hot lines of a private region
+    uint64_t hot_shared_;     //!< hot lines of the shared region
 
     Addr pickLine(int core);
 };

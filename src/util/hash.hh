@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal SHA-256 (FIPS 180-4) for golden-result pinning.
+ *
+ * The golden tests reduce a full SimResult matrix to one hex digest
+ * so regressions in any field of any cell show up as a one-line diff
+ * against the pinned constant. A cryptographic digest (rather than a
+ * simple xor/fnv fold) makes accidental collisions across refactors
+ * implausible; performance is irrelevant at the sizes involved.
+ */
+
+#ifndef RTM_UTIL_HASH_HH
+#define RTM_UTIL_HASH_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace rtm
+{
+
+/** Incremental SHA-256. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb `len` bytes. */
+    void update(const void *data, size_t len);
+
+    /** Absorb a value's object representation (trivially copyable). */
+    template <typename T> void updateValue(const T &v)
+    {
+        update(&v, sizeof(v));
+    }
+
+    /** Absorb a string's characters (length-prefixed). */
+    void updateString(const std::string &s);
+
+    /** Finalize and return the digest as lowercase hex. */
+    std::string hexDigest();
+
+  private:
+    uint32_t state_[8];
+    uint64_t bit_len_ = 0;
+    uint8_t buf_[64];
+    size_t buf_len_ = 0;
+
+    void processBlock(const uint8_t *block);
+};
+
+/** One-shot convenience: SHA-256 of a byte buffer, lowercase hex. */
+std::string sha256Hex(const void *data, size_t len);
+
+} // namespace rtm
+
+#endif // RTM_UTIL_HASH_HH

@@ -120,6 +120,73 @@ TEST(Cache, FlushForgetsEverything)
     EXPECT_FALSE(c.contains(0x40));
 }
 
+TEST(Cache, OneWayCacheIsDirectMapped)
+{
+    Cache c(1 << 12, 1); // 64 sets, 1 way
+    EXPECT_EQ(c.ways(), 1);
+    uint64_t set_stride = c.sets() * 64;
+    Addr a = 0x40;
+    c.access(a, false);
+    EXPECT_TRUE(c.contains(a));
+    // Any conflicting line evicts immediately: no other way to hide
+    // in.
+    c.access(a + set_stride, false);
+    EXPECT_FALSE(c.contains(a));
+    EXPECT_TRUE(c.contains(a + set_stride));
+    // Frame index of a direct-mapped line is its set number.
+    CacheAccessResult r = c.access(a, false);
+    EXPECT_EQ(r.frame_index, (a / 64) % c.sets());
+}
+
+TEST(Cache, SingleSetCacheIsFullyAssociative)
+{
+    // Capacity == ways * line: exactly one set, fully associative.
+    Cache c(4 * 64, 4);
+    EXPECT_EQ(c.sets(), 1u);
+    // Any 4 lines coexist regardless of address bits.
+    Addr lines[4] = {0x0, 0x1000, 0x7f40, 0x123440};
+    for (Addr a : lines)
+        c.access(a, false);
+    for (Addr a : lines)
+        EXPECT_TRUE(c.contains(a));
+    // A 5th line evicts the LRU (lines[0]).
+    c.access(0x555000, false);
+    EXPECT_FALSE(c.contains(lines[0]));
+    EXPECT_TRUE(c.contains(lines[3]));
+}
+
+TEST(Cache, InvalidWaysFillInOrder)
+{
+    // Misses into a set with invalid ways must fill way 0, 1, 2, ...
+    // in order: the racetrack frame mapping depends on the fill
+    // order (frame_index = set * ways + way).
+    Cache c(1 << 12, 4);
+    uint64_t set_stride = c.sets() * 64;
+    for (uint64_t i = 0; i < 4; ++i) {
+        CacheAccessResult r = c.access(0x40 + i * set_stride, false);
+        EXPECT_FALSE(r.hit);
+        EXPECT_EQ(r.frame_index % 4, i) << "fill " << i;
+    }
+}
+
+TEST(Cache, LruTieBreaksTowardLowestWay)
+{
+    // All ways filled at distinct ticks; the victim is always the
+    // smallest stamp. After a flush, stamps survive in no way (all
+    // invalid), so refills restart at way 0.
+    Cache c(4 * 64, 4); // one set
+    Addr a0 = 0, a1 = 0x1000, a2 = 0x2000, a3 = 0x3000;
+    c.access(a0, false);
+    c.access(a1, false);
+    c.access(a2, false);
+    c.access(a3, false);
+    c.access(0x4000, false); // evicts a0 (oldest)
+    EXPECT_FALSE(c.contains(a0));
+    c.flush();
+    CacheAccessResult r = c.access(0x5000, false);
+    EXPECT_EQ(r.frame_index, 0u); // way 0 again after flush
+}
+
 TEST(CacheDeathTest, RejectsBadGeometry)
 {
     EXPECT_EXIT(Cache(1000, 3, 64), ::testing::ExitedWithCode(1),

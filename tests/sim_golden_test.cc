@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Golden equivalence proof for the hot-loop overhaul.
+ *
+ * The optimized simulator (shift/mask caches, inverse-CDF gap
+ * sampler, memoized shift planner) must be *bit-identical* to the
+ * seed implementation — not approximately equal. Three layers of
+ * evidence:
+ *
+ *  1. component equivalence: each optimized component against its
+ *     frozen reference (sim/reference.hh) under randomized driving;
+ *  2. end-to-end equivalence: simulate() against referenceSimulate()
+ *     with every SimResult field compared exactly;
+ *  3. pinned digests: SHA-256 over a full runMatrix sweep, compared
+ *     against constants captured at pin time and across thread
+ *     counts. Regenerate with RTM_UPDATE_GOLDEN=1 (the test prints
+ *     the new constants and fails so stale pins cannot linger).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/rm_bank.hh"
+#include "model/tech.hh"
+#include "sim/reference.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "trace/workload.hh"
+#include "util/hash.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+
+namespace rtm
+{
+namespace
+{
+
+// --- 1. component equivalence ----------------------------------------
+
+void
+fuzzCacheAgainstReference(uint64_t capacity, int ways, int line_bytes,
+                          uint64_t seed)
+{
+    Cache opt(capacity, ways, line_bytes);
+    RefCache ref(capacity, ways, line_bytes);
+    Rng rng(seed);
+    uint64_t lines = capacity / static_cast<uint64_t>(line_bytes);
+    // Span several tag aliases of every set, plus out-of-range
+    // addresses exercising wide tags.
+    uint64_t addr_space = lines * static_cast<uint64_t>(line_bytes) * 8;
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = rng.uniformInt(addr_space);
+        bool is_write = rng.bernoulli(0.3);
+        CacheAccessResult a = opt.access(addr, is_write);
+        CacheAccessResult b = ref.access(addr, is_write);
+        ASSERT_EQ(a.hit, b.hit) << "access " << i;
+        ASSERT_EQ(a.writeback, b.writeback) << "access " << i;
+        ASSERT_EQ(a.victim_addr, b.victim_addr) << "access " << i;
+        ASSERT_EQ(a.frame_index, b.frame_index) << "access " << i;
+        if (i % 17 == 0) {
+            Addr probe = rng.uniformInt(addr_space);
+            ASSERT_EQ(opt.contains(probe), ref.contains(probe));
+        }
+    }
+    EXPECT_EQ(opt.stats().reads, ref.stats().reads);
+    EXPECT_EQ(opt.stats().writes, ref.stats().writes);
+    EXPECT_EQ(opt.stats().read_misses, ref.stats().read_misses);
+    EXPECT_EQ(opt.stats().write_misses, ref.stats().write_misses);
+    EXPECT_EQ(opt.stats().writebacks, ref.stats().writebacks);
+}
+
+TEST(GoldenCache, MatchesReferenceAcrossGeometries)
+{
+    fuzzCacheAgainstReference(16 * 1024, 4, 64, 1);   // typical
+    fuzzCacheAgainstReference(8 * 1024, 1, 64, 2);    // direct-mapped
+    fuzzCacheAgainstReference(1024, 16, 64, 3);       // single set
+    fuzzCacheAgainstReference(4096, 2, 32, 4);        // small lines
+    fuzzCacheAgainstReference(64 * 1024, 16, 64, 5);  // LLC-like
+}
+
+TEST(GoldenWorkload, StreamMatchesReferenceForAllProfiles)
+{
+    for (const WorkloadProfile &p : parsecProfiles()) {
+        for (int cores : {1, 3, 4}) {
+            WorkloadGenerator opt(p, cores, 42);
+            RefWorkloadGenerator ref(p, cores, 42);
+            for (int i = 0; i < 20000; ++i) {
+                MemRequest a = opt.next();
+                MemRequest b = ref.next();
+                ASSERT_EQ(a.core, b.core)
+                    << p.name << " cores=" << cores << " req " << i;
+                ASSERT_EQ(a.addr, b.addr)
+                    << p.name << " cores=" << cores << " req " << i;
+                ASSERT_EQ(a.is_write, b.is_write)
+                    << p.name << " cores=" << cores << " req " << i;
+                ASSERT_EQ(a.gap_instructions, b.gap_instructions)
+                    << p.name << " cores=" << cores << " req " << i;
+            }
+        }
+    }
+}
+
+TEST(GoldenWorkload, GapSamplerMatchesLogFormula)
+{
+    Rng rng(7);
+    for (double mean : {2.5, 3.0, 3.5, 4.0, 5.0}) {
+        GeometricGapSampler sampler(mean);
+        for (int i = 0; i < 200000; ++i) {
+            double u = rng.uniform();
+            ASSERT_EQ(sampler.sample(u),
+                      GeometricGapSampler::reference(mean, u))
+                << "mean " << mean << " u " << u;
+        }
+        // Grid extremes: u = 0 and the largest representable draw.
+        EXPECT_EQ(sampler.sample(0.0),
+                  GeometricGapSampler::reference(mean, 0.0));
+        double u_max = (double)((1ull << 53) - 1) * 0x1.0p-53;
+        EXPECT_EQ(sampler.sample(u_max),
+                  GeometricGapSampler::reference(mean, u_max));
+    }
+}
+
+TEST(GoldenRmBank, MemoMatchesLivePlanning)
+{
+    PaperCalibratedErrorModel model;
+    TechParams tech = l3For(MemTech::Racetrack);
+    for (Scheme scheme :
+         {Scheme::Baseline, Scheme::SecdedPecc, Scheme::PeccO,
+          Scheme::PeccSWorst, Scheme::PeccSAdaptive}) {
+        for (HeadPolicy hp : {HeadPolicy::Stay, HeadPolicy::Center}) {
+            RmBankConfig cfg;
+            cfg.line_frames = 4096;
+            cfg.scheme = scheme;
+            cfg.head_policy = hp;
+            cfg.interleave_ways = 2;
+            cfg.use_plan_memo = true;
+            RmBankConfig legacy_cfg = cfg;
+            legacy_cfg.use_plan_memo = false;
+
+            RmBank memo(cfg, &model, tech);
+            RmBank live(legacy_cfg, &model, tech);
+            ASSERT_TRUE(memo.planMemoEnabled());
+            ASSERT_FALSE(live.planMemoEnabled());
+
+            Rng rng(1234);
+            Cycles now = 0;
+            for (int i = 0; i < 5000; ++i) {
+                uint64_t frame = rng.uniformInt(cfg.line_frames);
+                // Occasional long idle gaps trigger head drift.
+                Cycles gap = rng.bernoulli(0.05)
+                                 ? 500 + rng.uniformInt(4000)
+                                 : rng.uniformInt(64);
+                ShiftCost a = memo.accessFrame(frame, now);
+                ShiftCost b = live.accessFrame(frame, now);
+                ASSERT_EQ(a.latency, b.latency) << "access " << i;
+                ASSERT_EQ(a.stall, b.stall) << "access " << i;
+                ASSERT_EQ(a.energy, b.energy) << "access " << i;
+                ASSERT_EQ(a.total_steps, b.total_steps);
+                ASSERT_EQ(a.sub_shifts, b.sub_shifts);
+                now += a.latency + gap;
+            }
+            const RmBankStats &ms = memo.stats();
+            const RmBankStats &ls = live.stats();
+            EXPECT_EQ(ms.accesses, ls.accesses);
+            EXPECT_EQ(ms.shift_ops, ls.shift_ops);
+            EXPECT_EQ(ms.shift_steps, ls.shift_steps);
+            EXPECT_EQ(ms.shift_cycles, ls.shift_cycles);
+            EXPECT_EQ(ms.shift_energy, ls.shift_energy);
+            EXPECT_EQ(ms.reliability.expectedSdc(),
+                      ls.reliability.expectedSdc());
+            EXPECT_EQ(ms.reliability.expectedDue(),
+                      ls.reliability.expectedDue());
+            EXPECT_GT(ms.plan_memo_hits, 0u);
+            EXPECT_EQ(ls.plan_memo_hits, 0u);
+        }
+    }
+}
+
+// --- 2. end-to-end equivalence ---------------------------------------
+
+void
+expectResultsIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.llc_tech, b.llc_tech);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.mem_ops, b.mem_ops);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.cache_dynamic_energy, b.cache_dynamic_energy);
+    EXPECT_EQ(a.llc_shift_energy, b.llc_shift_energy);
+    EXPECT_EQ(a.dram_energy, b.dram_energy);
+    EXPECT_EQ(a.leakage_energy, b.leakage_energy);
+    EXPECT_EQ(a.llc_accesses, b.llc_accesses);
+    EXPECT_EQ(a.llc_misses, b.llc_misses);
+    EXPECT_EQ(a.dram_accesses, b.dram_accesses);
+    EXPECT_EQ(a.shift_ops, b.shift_ops);
+    EXPECT_EQ(a.shift_steps, b.shift_steps);
+    EXPECT_EQ(a.shift_cycles, b.shift_cycles);
+    EXPECT_EQ(a.sdc_mttf, b.sdc_mttf);
+    EXPECT_EQ(a.due_mttf, b.due_mttf);
+}
+
+TEST(GoldenSim, SimulateMatchesReferenceSimulate)
+{
+    PaperCalibratedErrorModel model;
+    constexpr uint64_t kDivisor = 32;
+    struct Option
+    {
+        MemTech tech;
+        Scheme scheme;
+    };
+    const Option options[] = {
+        {MemTech::SRAM, Scheme::Baseline},
+        {MemTech::STTRAM, Scheme::Baseline},
+        {MemTech::RacetrackIdeal, Scheme::Baseline},
+        {MemTech::Racetrack, Scheme::Baseline},
+        {MemTech::Racetrack, Scheme::PeccO},
+        {MemTech::Racetrack, Scheme::PeccSWorst},
+        {MemTech::Racetrack, Scheme::PeccSAdaptive},
+    };
+    for (const char *workload : {"canneal", "swaptions"}) {
+        WorkloadProfile profile =
+            scaledProfile(parsecProfile(workload), kDivisor);
+        for (const Option &opt : options) {
+            SimConfig cfg;
+            cfg.hierarchy.llc_tech = opt.tech;
+            cfg.hierarchy.scheme = opt.scheme;
+            cfg.hierarchy.capacity_divisor = kDivisor;
+            cfg.mem_requests = 8000;
+            cfg.warmup_requests = 2000;
+            SimResult a = simulate(profile, cfg, &model);
+            SimResult b = referenceSimulate(profile, cfg, &model);
+            expectResultsIdentical(a, b);
+        }
+    }
+}
+
+// --- 3. pinned digests -----------------------------------------------
+
+constexpr uint64_t kGoldenRequests = 6000;
+constexpr uint64_t kGoldenWarmup = 1000;
+constexpr uint64_t kGoldenDivisor = 32;
+
+/**
+ * Pinned SHA-256 digests of the full runMatrix sweep, one per
+ * standardLlcOptions() column plus a combined digest. Captured with
+ * RTM_UPDATE_GOLDEN=1 on the optimized implementation after proving
+ * it bit-identical to the seed reference above.
+ */
+const char *const kGoldenOptionHashes[] = {
+    "6628be33ca3b0930995a871a2509e0e602bf9c9e54f09bb92372ff483d04e9f5", // SRAM
+    "60490657571e99f1531cbbe5c32f31913efa5666fbf319016b14ece439a20b9f", // STT-RAM
+    "ccb2899f86c9054f07670cf54e4896c8ac7a143e7ca32564496c98ea06611e77", // RM-Ideal
+    "d087db6dfaa67564f44f7676c722c24d3262198155942c621082ed8258ef85c0", // RM w/o p-ECC
+    "61dd37afb8d101173c04ddda6c6f4aa42185de3d4fe5ef19aecff057e2e0ad0f", // RM p-ECC-O
+    "34ee08f170671e73c861d3967fb41e364757618b8904e4435f964d7c0c26198f", // RM p-ECC-S adaptive
+    "91dd54607e3785649afb09490a4f9bf3878e728838b93a89adf1be08c4f2992f", // RM p-ECC-S worst
+};
+const char *const kGoldenCombinedHash =
+    "7017ee33c91401fb7af3a9b0c71df686418b5d9a0abb101a02ceee3e6bb413fe";
+
+void
+hashResult(Sha256 &h, const SimResult &r)
+{
+    h.updateString(r.workload);
+    h.updateValue(static_cast<int32_t>(r.llc_tech));
+    h.updateValue(static_cast<int32_t>(r.scheme));
+    h.updateValue(r.instructions);
+    h.updateValue(r.mem_ops);
+    h.updateValue(r.cycles);
+    h.updateValue(r.seconds);
+    h.updateValue(r.cache_dynamic_energy);
+    h.updateValue(r.llc_shift_energy);
+    h.updateValue(r.dram_energy);
+    h.updateValue(r.leakage_energy);
+    h.updateValue(r.llc_accesses);
+    h.updateValue(r.llc_misses);
+    h.updateValue(r.dram_accesses);
+    h.updateValue(r.shift_ops);
+    h.updateValue(r.shift_steps);
+    h.updateValue(r.shift_cycles);
+    h.updateValue(r.sdc_mttf);
+    h.updateValue(r.due_mttf);
+}
+
+std::vector<std::string>
+matrixHashes(const std::vector<WorkloadMatrixRow> &rows,
+             size_t options)
+{
+    std::vector<std::string> hashes;
+    Sha256 combined;
+    for (size_t o = 0; o < options; ++o) {
+        Sha256 h;
+        for (const WorkloadMatrixRow &row : rows) {
+            hashResult(h, row.results[o]);
+            hashResult(combined, row.results[o]);
+        }
+        hashes.push_back(h.hexDigest());
+    }
+    hashes.push_back(combined.hexDigest());
+    return hashes;
+}
+
+TEST(GoldenSim, MatrixDigestsMatchPins)
+{
+    PaperCalibratedErrorModel model;
+    auto options = standardLlcOptions();
+    auto rows = runMatrix(options, &model, kGoldenRequests,
+                          kGoldenWarmup, kGoldenDivisor);
+    auto hashes = matrixHashes(rows, options.size());
+    ASSERT_EQ(hashes.size(), options.size() + 1);
+
+    if (std::getenv("RTM_UPDATE_GOLDEN")) {
+        printf("const char *const kGoldenOptionHashes[] = {\n");
+        for (size_t o = 0; o < options.size(); ++o)
+            printf("    \"%s\", // %s\n", hashes[o].c_str(),
+                   options[o].label.c_str());
+        printf("};\nconst char *const kGoldenCombinedHash =\n"
+               "    \"%s\";\n",
+               hashes.back().c_str());
+        FAIL() << "RTM_UPDATE_GOLDEN set: paste the printed pins "
+                  "into tests/sim_golden_test.cc and re-run";
+    }
+    for (size_t o = 0; o < options.size(); ++o)
+        EXPECT_EQ(hashes[o], kGoldenOptionHashes[o])
+            << "option " << options[o].label;
+    EXPECT_EQ(hashes.back(), kGoldenCombinedHash);
+}
+
+TEST(GoldenSim, MatrixDigestsStableAcrossThreadCounts)
+{
+    PaperCalibratedErrorModel model;
+    auto options = standardLlcOptions();
+
+    ThreadPool::setGlobalThreads(1);
+    auto serial = matrixHashes(
+        runMatrix(options, &model, kGoldenRequests, kGoldenWarmup,
+                  kGoldenDivisor),
+        options.size());
+    ThreadPool::setGlobalThreads(3);
+    auto parallel = matrixHashes(
+        runMatrix(options, &model, kGoldenRequests, kGoldenWarmup,
+                  kGoldenDivisor),
+        options.size());
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+
+    EXPECT_EQ(serial, parallel);
+}
+
+} // namespace
+} // namespace rtm

@@ -76,7 +76,8 @@ ShiftController::ShiftController(const PeccConfig &config,
                                  ShiftPolicy policy,
                                  double peak_ops_per_second, Rng rng,
                                  double mttf_target_s,
-                                 RecoveryConfig recovery)
+                                 RecoveryConfig recovery,
+                                 TelemetryScope telemetry)
     : stripe_(config, model, std::move(rng)),
       timing_(kDefaultClockHz, 0.4e-9, 1.0e-9,
               peccCheckSeconds(config)),
@@ -87,7 +88,7 @@ ShiftController::ShiftController(const PeccConfig &config,
                    ? ShiftPolicy::StepByStep
                    : policy,
                peak_ops_per_second),
-      recovery_(recovery)
+      recovery_(recovery), t_(telemetry.get())
 {
 }
 
@@ -123,8 +124,13 @@ ShiftController::executePart(int direction, int part,
     }
     stats_.busy_cycles += lat;
     res.latency += lat;
-    if (r.detected)
+    if (r.detected) {
         ++stats_.detected_errors;
+        if (t_)
+            t_->event(EventKind::ErrorDetected, "pecc", t_now_,
+                      static_cast<double>(part),
+                      static_cast<double>(r.correction_shifts));
+    }
     if (r.corrected)
         ++stats_.corrected_errors;
     return !r.unrecoverable;
@@ -159,6 +165,9 @@ ShiftController::attemptRecovery(AccessResult &res)
         chargeProbe(r);
         if (!r.detected || r.corrected) {
             ++stats_.recovered_retry;
+            if (t_)
+                t_->event(EventKind::RecoveryRung, "retry", t_now_,
+                          static_cast<double>(attempt + 1));
             return RecoveryRung::Retry;
         }
     }
@@ -174,6 +183,8 @@ ShiftController::attemptRecovery(AccessResult &res)
         chargeProbe(r);
         if (!r.detected || r.corrected) {
             ++stats_.recovered_realign;
+            if (t_)
+                t_->event(EventKind::RecoveryRung, "realign", t_now_);
             return RecoveryRung::Realign;
         }
     }
@@ -189,6 +200,8 @@ ShiftController::attemptRecovery(AccessResult &res)
         stripe_.loadData(image);
         chargeRecovery(recovery_.scrub_cycles, res);
         ++stats_.recovered_scrub;
+        if (t_)
+            t_->event(EventKind::RecoveryRung, "scrub", t_now_);
         return RecoveryRung::Scrub;
     }
     return RecoveryRung::None;
@@ -197,11 +210,32 @@ ShiftController::attemptRecovery(AccessResult &res)
 void
 ShiftController::reclassifyAsDue(RecoveryRung rung)
 {
+    // A rung event for this episode was already traced, so the
+    // reversal is traced too: reconciliation computes each bucket as
+    // count("<rung>") - count("reclassified-<rung>").
     switch (rung) {
-      case RecoveryRung::Retry: --stats_.recovered_retry; break;
-      case RecoveryRung::Realign: --stats_.recovered_realign; break;
-      case RecoveryRung::Scrub: --stats_.recovered_scrub; break;
-      case RecoveryRung::None: break;
+      case RecoveryRung::Retry:
+        --stats_.recovered_retry;
+        if (t_)
+            t_->event(EventKind::RecoveryRung, "reclassified-retry",
+                      t_now_);
+        break;
+      case RecoveryRung::Realign:
+        --stats_.recovered_realign;
+        if (t_)
+            t_->event(EventKind::RecoveryRung, "reclassified-realign",
+                      t_now_);
+        break;
+      case RecoveryRung::Scrub:
+        --stats_.recovered_scrub;
+        if (t_)
+            t_->event(EventKind::RecoveryRung, "reclassified-scrub",
+                      t_now_);
+        break;
+      case RecoveryRung::None:
+        if (t_)
+            t_->event(EventKind::RecoveryRung, "due", t_now_);
+        break;
     }
     ++stats_.unrecoverable;
 }
@@ -210,6 +244,8 @@ AccessResult
 ShiftController::seek(int index, Cycles now_cycles)
 {
     AccessResult res;
+    if (t_)
+        t_now_ = now_cycles;
     int target = stripe_.layout().offsetForIndex(index);
     if (target == stripe_.believedOffset()) {
         res.position_ok = stripe_.positionError() == 0;
@@ -240,6 +276,8 @@ ShiftController::seek(int index, Cycles now_cycles)
             recovered_by = attemptRecovery(res);
             if (recovered_by == RecoveryRung::None) {
                 ++stats_.unrecoverable;
+                if (t_)
+                    t_->event(EventKind::RecoveryRung, "due", t_now_);
                 res.due = true;
                 res.position_ok = stripe_.positionError() == 0;
                 return res;

@@ -22,6 +22,7 @@
 #include "control/planner.hh"
 #include "control/sts.hh"
 #include "util/stats.hh"
+#include "util/telemetry.hh"
 
 namespace rtm
 {
@@ -116,13 +117,17 @@ class ShiftController
      * @param mttf_target_s reliability budget for the planner
      * @param recovery escalation-ladder configuration (default:
      *                 ladder off, legacy immediate-DUE behaviour)
+     * @param telemetry observability sink (default: disabled).
+     *                 Detection and recovery-ladder events are
+     *                 traced; results are bit-identical either way.
      */
     ShiftController(const PeccConfig &config,
                     const PositionErrorModel *model,
                     ShiftPolicy policy, double peak_ops_per_second,
                     Rng rng,
                     double mttf_target_s = kDefaultSafeMttfSeconds,
-                    RecoveryConfig recovery = RecoveryConfig{});
+                    RecoveryConfig recovery = RecoveryConfig{},
+                    TelemetryScope telemetry = {});
 
     /** Initialise code and data (ideal chip-test path). */
     void initialize();
@@ -163,6 +168,11 @@ class ShiftController
     ShiftAdapter adapter_;
     RecoveryConfig recovery_;
     ControllerStats stats_;
+
+    /** Telemetry sink (null = disabled) and the timestamp of the
+     *  in-flight seek, stamped on ladder events. */
+    Telemetry *t_ = nullptr;
+    Cycles t_now_ = 0;
 
     /** Move to the offset serving (segment-local) index r. */
     AccessResult seek(int index, Cycles now_cycles);

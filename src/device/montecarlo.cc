@@ -184,6 +184,8 @@ PositionErrorMonteCarlo::classify(double deviation, ErrorPdf &pdf)
 ErrorPdf
 PositionErrorMonteCarlo::run(int distance, uint64_t trials)
 {
+    ScopedPhase phase("mc.run");
+    const double t0 = telemetry_ ? telemetryNowSeconds() : 0.0;
     // The shard count depends only on the trial count and each shard
     // owns an RNG forked deterministically from rng_ in shard order,
     // so the result is a pure function of (seed, trials) no matter
@@ -214,12 +216,33 @@ PositionErrorMonteCarlo::run(int distance, uint64_t trials)
             acc.merge(part);
         });
     pdf.distance = distance;
+    if (telemetry_) {
+        // Recorded post-reduce on the calling thread: the workers
+        // never see the sink, so no synchronisation is needed and
+        // the merge discipline stays with shardedMapReduce.
+        telemetry_->counter("device.mc.runs").add();
+        telemetry_->counter("device.mc.trials").add(trials);
+        telemetry_->gauge("device.mc.last_distance")
+            .set(static_cast<double>(distance));
+        telemetry_->gauge("device.mc.deviation_mean")
+            .set(pdf.deviation.mean());
+        telemetry_->gauge("device.mc.deviation_stddev")
+            .set(pdf.deviation.stddev());
+        telemetry_->gauge("device.mc.step_jitter").set(step_jitter_);
+        telemetry_->gauge("device.mc.resync_rho").set(resync_rho_);
+        const double wall = telemetryNowSeconds() - t0;
+        telemetry_->event(EventKind::Span, "mc.run",
+                          static_cast<uint64_t>(t0 * 1e6),
+                          wall * 1e6, static_cast<double>(distance));
+    }
     return pdf;
 }
 
 FittedErrorModel
 PositionErrorMonteCarlo::fitModel(uint64_t trials_per_distance)
 {
+    ScopedPhase phase("mc.fit");
+    const double t0 = telemetry_ ? telemetryNowSeconds() : 0.0;
     // Fit sigma_step / rho / drift from measured moments at short and
     // long distances. With AR(1) variance
     //   var(N) = s^2 (1 - rho^N) / (1 - rho),
@@ -264,6 +287,20 @@ PositionErrorMonteCarlo::fitModel(uint64_t trials_per_distance)
     // Stationary drift: mean(1) = drift (first step has no memory).
     fit.drift = m.d1.mean();
     fit.notch_half_width = notchHalfWidth(params_);
+    if (telemetry_) {
+        telemetry_->counter("device.mc.fits").add();
+        telemetry_->counter("device.mc.trials")
+            .add(2 * trials_per_distance);
+        telemetry_->gauge("device.mc.fit.sigma_step")
+            .set(fit.sigma_step);
+        telemetry_->gauge("device.mc.fit.resync_rho")
+            .set(fit.resync_rho);
+        telemetry_->gauge("device.mc.fit.drift").set(fit.drift);
+        const double wall = telemetryNowSeconds() - t0;
+        telemetry_->event(EventKind::Span, "mc.fit",
+                          static_cast<uint64_t>(t0 * 1e6),
+                          wall * 1e6);
+    }
     return FittedErrorModel(fit);
 }
 

@@ -23,6 +23,7 @@
 #include "device/timing.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
+#include "util/telemetry.hh"
 
 namespace rtm
 {
@@ -125,6 +126,17 @@ class PositionErrorMonteCarlo
      */
     double computeStepJitter() const;
 
+    /**
+     * Attach an observability sink: run()/fitModel() record trial
+     * counts, deviation moments, and wall-clock spans (on the
+     * calling thread, after the sharded reduce — never from
+     * workers). Results are bit-identical either way.
+     */
+    void setTelemetry(TelemetryScope telemetry)
+    {
+        telemetry_ = telemetry.get();
+    }
+
   private:
     DeviceParams params_;
     ShiftTiming timing_;
@@ -136,6 +148,9 @@ class PositionErrorMonteCarlo
     double step_jitter_ = 0.0;
     double trial_jitter_ = 0.0;
     double trial_drift_ = 0.0;
+
+    /** Observability sink (null = disabled). */
+    Telemetry *telemetry_ = nullptr;
 
     /** Classify a continuous deviation into Fig. 4 bins. */
     void classify(double deviation, ErrorPdf &pdf) const;

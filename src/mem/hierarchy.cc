@@ -51,6 +51,7 @@ Hierarchy::Hierarchy(const HierarchyConfig &config,
         bank.head_policy = config_.head_policy;
         bank.model_contention = config_.model_contention;
         bank.use_plan_memo = config_.use_plan_memo;
+        bank.telemetry = config_.telemetry;
         rm_bank_ = std::make_unique<RmBank>(bank, model, l3_params_);
     }
 }
@@ -70,6 +71,41 @@ Hierarchy::l2(int cluster) const
         cluster >= static_cast<int>(l2_.size()))
         rtm_panic("cluster %d out of range", cluster);
     return *l2_[static_cast<size_t>(cluster)];
+}
+
+void
+Hierarchy::exportTelemetry(Telemetry &sink) const
+{
+    auto level = [&sink](const char *name, const CacheStats &s) {
+        std::string prefix = std::string("mem.") + name + ".";
+        sink.counter(prefix + "accesses").add(s.accesses());
+        sink.counter(prefix + "hits").add(s.accesses() - s.misses());
+        sink.counter(prefix + "misses").add(s.misses());
+        sink.counter(prefix + "writebacks").add(s.writebacks);
+    };
+    CacheStats l1_sum;
+    for (const auto &c : l1_) {
+        const CacheStats &s = c->stats();
+        l1_sum.reads += s.reads;
+        l1_sum.writes += s.writes;
+        l1_sum.read_misses += s.read_misses;
+        l1_sum.write_misses += s.write_misses;
+        l1_sum.writebacks += s.writebacks;
+    }
+    CacheStats l2_sum;
+    for (const auto &c : l2_) {
+        const CacheStats &s = c->stats();
+        l2_sum.reads += s.reads;
+        l2_sum.writes += s.writes;
+        l2_sum.read_misses += s.read_misses;
+        l2_sum.write_misses += s.write_misses;
+        l2_sum.writebacks += s.writebacks;
+    }
+    level("l1", l1_sum);
+    level("l2", l2_sum);
+    level("l3", l3_->stats());
+    sink.counter("mem.dram.accesses").add(dram_accesses_);
+    sink.gauge("mem.dram.energy_joules").set(dram_energy_);
 }
 
 double

@@ -68,6 +68,13 @@ struct HierarchyConfig
      * 1 = full-size Table 4 capacities.
      */
     uint64_t capacity_divisor = 1;
+
+    /**
+     * Observability sink, forwarded to the racetrack bank and used
+     * by exportTelemetry for per-level cache counters. Disabled
+     * (null) by default; results are bit-identical either way.
+     */
+    TelemetryScope telemetry = {};
 };
 
 /**
@@ -113,6 +120,15 @@ class Hierarchy
     double totalLeakageWatts() const;
 
     const HierarchyConfig &config() const { return config_; }
+
+    /**
+     * Export cumulative per-level hit/miss/writeback counters (L1
+     * summed across cores, L2 across clusters, L3, DRAM) into
+     * `sink`'s registry. End-of-run snapshot: cheaper than
+     * per-access instrumentation and exactly consistent with the
+     * CacheStats ledgers.
+     */
+    void exportTelemetry(Telemetry &sink) const;
 
   private:
     HierarchyConfig config_;

@@ -95,6 +95,19 @@ RmBank::RmBank(const RmBankConfig &config,
     worst_case_distance_ =
         planner_.safeDistance(config_.peak_ops_per_second);
     invalidatePlanMemo();
+
+    if (config_.telemetry) {
+        Telemetry &t = *config_.telemetry.get();
+        t_events_ = &t;
+        t_accesses_ = &t.counter("mem.rm_bank.accesses");
+        t_shift_ops_ = &t.counter("mem.rm_bank.shift_ops");
+        t_shift_steps_ = &t.counter("mem.rm_bank.shift_steps");
+        t_remaps_ = &t.counter("mem.rm_bank.remapped_accesses");
+        t_due_reports_ = &t.counter("mem.rm_bank.due_reports");
+        t_retired_ = &t.counter("mem.rm_bank.groups_retired");
+        t_shift_latency_ = &t.histogram(
+            "mem.rm_bank.shift_latency_cycles", powerOfTwoEdges(4096));
+    }
 }
 
 /**
@@ -237,6 +250,11 @@ RmBank::applyHeadPolicy(uint64_t group, Cycles now)
             static_cast<uint64_t>(dist);
         stats_.shift_energy +=
             static_cast<double>(dist) * one_step_energy_;
+        if (t_events_) {
+            // Mirror the ledger exactly: drift shifts count too.
+            t_shift_ops_->add(static_cast<uint64_t>(dist));
+            t_shift_steps_->add(static_cast<uint64_t>(dist));
+        }
         if (memo_enabled_) {
             const PlanCost &dm =
                 drift_memo_[static_cast<size_t>(dist)];
@@ -297,8 +315,15 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
         // target. The frame keeps its segment-local slot, so only
         // the group (and its head state) changes.
         uint64_t serving = servingGroupFor(frame_index);
-        if (serving != group)
+        if (serving != group) {
             ++stats_.remapped_accesses;
+            if (t_events_) {
+                t_remaps_->add();
+                t_events_->event(EventKind::FrameRemapped, "rm_bank",
+                                 now, static_cast<double>(group),
+                                 static_cast<double>(serving));
+            }
+        }
         group = serving;
     }
     applyHeadPolicy(group, now);
@@ -309,6 +334,8 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
     ShiftCost cost;
     ++stats_.accesses;
     ++group_stats_[group].accesses;
+    if (t_accesses_)
+        t_accesses_->add();
     // Contention: wait out the group's previous shift sequence.
     if (config_.model_contention && busy_until_[group] > now) {
         cost.stall = busy_until_[group] - now;
@@ -408,6 +435,14 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
         static_cast<uint64_t>(cost.total_steps);
     stats_.shift_cycles += cost.latency;
     stats_.shift_energy += cost.energy;
+    if (t_events_) {
+        t_shift_ops_->add(static_cast<uint64_t>(cost.sub_shifts));
+        t_shift_steps_->add(static_cast<uint64_t>(cost.total_steps));
+        t_shift_latency_->record(static_cast<double>(cost.latency));
+        t_events_->event(EventKind::ShiftIssued, "rm_bank", now,
+                         static_cast<double>(distance),
+                         static_cast<double>(cost.latency));
+    }
     return cost;
 }
 
@@ -434,6 +469,8 @@ RmBank::reportUnrecoverable(uint64_t frame_index)
         rtm_panic("frame %llu out of range",
                   static_cast<unsigned long long>(frame_index));
     ++stats_.due_reports;
+    if (t_due_reports_)
+        t_due_reports_->add();
     if (config_.group_retry_budget <= 0)
         return false; // degradation disabled
     uint64_t group = groupOf(frame_index);
@@ -459,6 +496,14 @@ RmBank::reportUnrecoverable(uint64_t frame_index)
     degraded_[group] = 1;
     remap_[group] = target;
     ++stats_.degraded_groups;
+    if (t_events_) {
+        t_retired_->add();
+        t_events_->event(EventKind::GroupRetired, "rm_bank",
+                         last_shift_ == kNeverShifted ? 0
+                                                      : last_shift_,
+                         static_cast<double>(group),
+                         static_cast<double>(target));
+    }
     if (target == group && !warned_all_degraded_) {
         rtm_warn("all %llu stripe groups degraded; bank serves "
                  "frames in place (no healthy remap target)",

@@ -32,6 +32,7 @@
 #include "model/reliability.hh"
 #include "model/tech.hh"
 #include "util/stats.hh"
+#include "util/telemetry.hh"
 
 namespace rtm
 {
@@ -137,6 +138,14 @@ struct RmBankConfig
      * state, golden cross-checks, baseline benchmarking).
      */
     bool use_plan_memo = true;
+
+    /**
+     * Observability sink. Disabled (null) by default; when set the
+     * bank registers counters/histograms once at construction and
+     * pushes shift/degradation events. Instrumentation only reads
+     * simulator state, so results are bit-identical either way.
+     */
+    TelemetryScope telemetry = {};
 };
 
 /**
@@ -288,6 +297,17 @@ class RmBank
     bool warned_all_degraded_ = false;
 
     RmBankStats stats_;
+
+    // Telemetry handles: registered once at construction, null when
+    // the scope is disabled (the hot path branches on t_events_).
+    Telemetry *t_events_ = nullptr;
+    Counter *t_accesses_ = nullptr;
+    Counter *t_shift_ops_ = nullptr;
+    Counter *t_shift_steps_ = nullptr;
+    Counter *t_remaps_ = nullptr;
+    Counter *t_due_reports_ = nullptr;
+    Counter *t_retired_ = nullptr;
+    LatencyHistogram *t_shift_latency_ = nullptr;
 
     uint64_t groupOf(uint64_t frame) const;
     int indexInGroup(uint64_t frame) const;

@@ -44,8 +44,11 @@ CampaignLedger::merge(const CampaignLedger &other)
 CampaignCellResult
 runFaultDrill(const ScenarioSpec &spec,
               const WorkloadProfile &profile,
-              const CampaignConfig &config, uint64_t cell_seed)
+              const CampaignConfig &config, uint64_t cell_seed,
+              TelemetryScope telemetry)
 {
+    ScopedPhase cell_phase("campaign.cell");
+    const double cell_start = telemetry ? telemetryNowSeconds() : 0.0;
     CampaignCellResult res;
     res.scenario = spec.name;
     res.workload = profile.name;
@@ -59,13 +62,20 @@ runFaultDrill(const ScenarioSpec &spec,
     Rng cell_rng(cell_seed);
     ShiftController ctl(config.pecc, scenario.get(), config.policy,
                         config.peak_ops_per_second, cell_rng.fork(),
-                        kDefaultSafeMttfSeconds, config.recovery);
+                        kDefaultSafeMttfSeconds, config.recovery,
+                        telemetry);
     ctl.initialize();
 
     WorkloadGenerator gen(profile, config.workload_cores,
                           mixSeed(cell_seed, 1));
     const int num_segments = config.pecc.num_segments;
     const int seg_len = config.pecc.seg_len;
+    LatencyHistogram *t_lat =
+        telemetry ? &telemetry->histogram(
+                        "campaign.access_latency_cycles",
+                        powerOfTwoEdges(65536.0))
+                  : nullptr;
+    uint64_t seen_injected = 0;
     Cycles now = 0;
     Cycles prev_recovery = 0;
     for (uint64_t i = 0; i < config.accesses_per_cell; ++i) {
@@ -83,6 +93,17 @@ runFaultDrill(const ScenarioSpec &spec,
                 : ctl.read(seg, idx, now);
         now += r.latency + req.gap_instructions + 1;
         res.access_latency.add(static_cast<double>(r.latency));
+        if (telemetry) {
+            t_lat->record(static_cast<double>(r.latency));
+            // Ground-truth injections that landed during this
+            // access: one ErrorInjected event each, reconciled
+            // against the scenario ledger by the tests.
+            const InjectionLedger &il = scenario->ledger();
+            for (; seen_injected < il.injected; ++seen_injected)
+                telemetry->event(EventKind::ErrorInjected,
+                                 "scenario", now,
+                                 static_cast<double>(i));
+        }
         const ControllerStats &cs = ctl.stats();
         if (cs.recovery_cycles > prev_recovery) {
             res.recovery_latency.add(static_cast<double>(
@@ -123,6 +144,7 @@ runFaultDrill(const ScenarioSpec &spec,
     // Fault scenarios perturb bank state mid-run; exercise the live
     // planner rather than the steady-state plan memo.
     bank_config.use_plan_memo = false;
+    bank_config.telemetry = telemetry;
     TechParams tech = l3For(MemTech::Racetrack);
     RmBank bank(bank_config, scaled.get(), tech);
     Rng bank_rng(mixSeed(cell_seed, 2));
@@ -151,6 +173,40 @@ runFaultDrill(const ScenarioSpec &spec,
         res.violation = "cell ended misaligned";
     }
     res.contained = res.violation.empty();
+
+    if (telemetry) {
+        // Counters exported from the reconciled ledger itself — one
+        // source of truth, two views — so the JSON export can never
+        // disagree with CampaignResult totals.
+        Telemetry &t = *telemetry.get();
+        t.counter("campaign.cells").add();
+        t.counter("campaign.accesses").add(res.ledger.accesses);
+        t.counter("campaign.injected_faults")
+            .add(res.ledger.injected_faults);
+        t.counter("campaign.detected").add(res.ledger.detected);
+        t.counter("campaign.corrected").add(res.ledger.corrected);
+        t.counter("campaign.recovered_retry")
+            .add(res.ledger.recovered_retry);
+        t.counter("campaign.recovered_realign")
+            .add(res.ledger.recovered_realign);
+        t.counter("campaign.recovered_scrub")
+            .add(res.ledger.recovered_scrub);
+        t.counter("campaign.due").add(res.ledger.due);
+        t.counter("campaign.sdc").add(res.ledger.sdc);
+        t.counter("campaign.bank.due_reports")
+            .add(res.bank_due_reports);
+        t.counter("campaign.bank.degraded_groups")
+            .add(res.bank_degraded_groups);
+        t.counter("campaign.bank.remapped_accesses")
+            .add(res.bank_remapped_accesses);
+        if (!res.contained)
+            t.counter("campaign.violations").add();
+        const double wall = telemetryNowSeconds() - cell_start;
+        t.histogram("campaign.cell_wall_ms", powerOfTwoEdges(65536.0))
+            .record(wall * 1e3);
+        t.event(EventKind::Span, "campaign.cell",
+                static_cast<uint64_t>(cell_start * 1e6), wall * 1e6);
+    }
     return res;
 }
 
@@ -159,6 +215,7 @@ runCampaign(const std::vector<ScenarioSpec> &scenarios,
             const std::vector<std::string> &workloads,
             const CampaignConfig &config)
 {
+    ScopedPhase run_phase("campaign.run");
     if (scenarios.empty() || workloads.empty())
         rtm_fatal("campaign needs at least one scenario/workload");
     std::vector<WorkloadProfile> profiles;
@@ -171,13 +228,16 @@ runCampaign(const std::vector<ScenarioSpec> &scenarios,
     out.cells.resize(n);
     // One cell per slot: the seed depends only on (campaign seed,
     // cell index), so any RTM_THREADS produces identical results.
+    TelemetryShards shards(config.telemetry, n,
+                           config.telemetry_ring_capacity);
     parallelFor(n, [&](size_t i) {
         size_t si = i / workloads.size();
         size_t wi = i % workloads.size();
         out.cells[i] =
             runFaultDrill(scenarios[si], profiles[wi], config,
-                          mixSeed(config.seed, i));
+                          mixSeed(config.seed, i), shards.shard(i));
     });
+    shards.mergeIntoRoot();
     for (const CampaignCellResult &cell : out.cells) {
         out.totals.merge(cell.ledger);
         if (cell.contained)

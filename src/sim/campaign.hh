@@ -59,6 +59,22 @@ struct CampaignConfig
     double bank_due_prob = 0.01;
     /** DUE reports a group tolerates before it is retired. */
     int group_retry_budget = 2;
+
+    /**
+     * Observability sink for the whole campaign: each cell writes a
+     * private shard (injection/detection/ladder events, counters
+     * mirroring the ledger, per-cell wall-clock) merged in cell
+     * order, so the export is bit-identical at any RTM_THREADS.
+     * Disabled (null) by default.
+     */
+    TelemetryScope telemetry = {};
+
+    /**
+     * Per-cell event-ring capacity. Event *counts* survive ring
+     * overwrite either way; raise this when a consumer needs every
+     * individual event retained (e.g. the reconciliation tests).
+     */
+    size_t telemetry_ring_capacity = Telemetry::kDefaultRingCapacity;
 };
 
 /** Reconciled per-cell (and campaign-total) fault ledger. */
@@ -127,7 +143,8 @@ struct CampaignResult
 CampaignCellResult runFaultDrill(const ScenarioSpec &spec,
                                  const WorkloadProfile &profile,
                                  const CampaignConfig &config,
-                                 uint64_t cell_seed);
+                                 uint64_t cell_seed,
+                                 TelemetryScope telemetry = {});
 
 /**
  * Sweep scenarios x workloads in parallel (global pool). Workload

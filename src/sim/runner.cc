@@ -49,8 +49,10 @@ scaledProfile(WorkloadProfile profile, uint64_t divisor)
 std::vector<WorkloadMatrixRow>
 runMatrix(const std::vector<LlcOption> &options,
           const PositionErrorModel *model, uint64_t requests,
-          uint64_t warmup, uint64_t capacity_divisor)
+          uint64_t warmup, uint64_t capacity_divisor,
+          TelemetryScope telemetry)
 {
+    ScopedPhase matrix_phase("runner.matrix");
     // Every (workload, option) cell is an independent simulation:
     // simulate() builds its own hierarchy and RNG state per call and
     // only reads the shared error model (const, stateless for the
@@ -63,7 +65,11 @@ runMatrix(const std::vector<LlcOption> &options,
         rows[w].profile = profiles[w];
         rows[w].results.resize(options.size());
     }
-    parallelFor(profiles.size() * options.size(), [&](size_t cell) {
+    const size_t cells = profiles.size() * options.size();
+    TelemetryShards shards(telemetry, cells);
+    const double matrix_start = telemetryNowSeconds();
+    parallelFor(cells, [&](size_t cell) {
+        ScopedPhase cell_phase("runner.cell");
         size_t w = cell / options.size();
         size_t o = cell % options.size();
         const auto &opt = options[o];
@@ -75,8 +81,23 @@ runMatrix(const std::vector<LlcOption> &options,
         cfg.hierarchy.capacity_divisor = capacity_divisor;
         cfg.mem_requests = requests;
         cfg.warmup_requests = warmup;
+        TelemetryScope shard = shards.shard(cell);
+        cfg.telemetry = shard;
+        const double t0 = shard ? telemetryNowSeconds() : 0.0;
         rows[w].results[o] = simulate(run_profile, cfg, model);
+        if (shard) {
+            const double wall = telemetryNowSeconds() - t0;
+            shard->histogram("runner.cell_wall_ms",
+                             powerOfTwoEdges(65536.0))
+                .record(wall * 1e3);
+            shard->counter("runner.cells").add();
+            shard->event(EventKind::Span, "runner.cell",
+                         static_cast<uint64_t>(
+                             (t0 - matrix_start) * 1e6),
+                         wall * 1e6, static_cast<double>(cell));
+        }
     });
+    shards.mergeIntoRoot();
     return rows;
 }
 

@@ -57,11 +57,16 @@ WorkloadProfile scaledProfile(WorkloadProfile profile,
  * @param requests memory requests per run
  * @param warmup   warmup requests per run
  * @param capacity_divisor uniform hierarchy/working-set shrink
+ * @param telemetry optional observability sink: each cell writes a
+ *                 private shard (per-cell wall-clock spans, sim
+ *                 counters) merged into the sink in cell order, so
+ *                 the export is bit-identical at any RTM_THREADS.
  */
 std::vector<WorkloadMatrixRow>
 runMatrix(const std::vector<LlcOption> &options,
           const PositionErrorModel *model, uint64_t requests,
-          uint64_t warmup = 20000, uint64_t capacity_divisor = 1);
+          uint64_t warmup = 20000, uint64_t capacity_divisor = 1,
+          TelemetryScope telemetry = {});
 
 /** Geometric mean over positive values. */
 double geomean(const std::vector<double> &values);

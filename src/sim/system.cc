@@ -28,7 +28,10 @@ SimResult
 runSim(const std::string &name, const SimConfig &config,
        const PositionErrorModel *model, NextFn &&next)
 {
-    Hierarchy hierarchy(config.hierarchy, model);
+    HierarchyConfig hcfg = config.hierarchy;
+    if (config.telemetry)
+        hcfg.telemetry = config.telemetry;
+    Hierarchy hierarchy(hcfg, model);
 
     // Per-core local time; the simulator interleaves requests
     // round-robin and advances each core independently, then takes
@@ -43,13 +46,16 @@ runSim(const std::string &name, const SimConfig &config,
     res.scheme = config.hierarchy.scheme;
 
     // Warmup: touch caches without accounting.
-    for (uint64_t i = 0; i < config.warmup_requests; ++i) {
-        const MemRequest &req = next();
-        auto c = static_cast<size_t>(req.core);
-        core_time[c] += req.gap_instructions;
-        HierarchyAccess acc = hierarchy.access(
-            req.core, req.addr, req.is_write, core_time[c]);
-        core_time[c] += acc.latency;
+    {
+        ScopedPhase phase("sim.warmup");
+        for (uint64_t i = 0; i < config.warmup_requests; ++i) {
+            const MemRequest &req = next();
+            auto c = static_cast<size_t>(req.core);
+            core_time[c] += req.gap_instructions;
+            HierarchyAccess acc = hierarchy.access(
+                req.core, req.addr, req.is_write, core_time[c]);
+            core_time[c] += acc.latency;
+        }
     }
 
     // Snapshot counters after warmup so deltas are measured.
@@ -62,18 +68,49 @@ runSim(const std::string &name, const SimConfig &config,
         warm_rm = hierarchy.rmBank()->stats();
     std::vector<Cycles> start_time = core_time;
 
+    // Telemetry hooks on the measured loop: an access-latency
+    // histogram and LLC miss-burst events. All guarded on the null
+    // handle, and they only *read* the access outcome.
+    Telemetry *t = config.telemetry.get();
+    LatencyHistogram *lat_hist =
+        t ? &t->histogram("sim.access_latency_cycles",
+                          powerOfTwoEdges(65536.0))
+          : nullptr;
+    constexpr uint64_t kBurstLen = 8; //!< misses before "burst"
+    uint64_t miss_run = 0;
+    Cycles burst_end = 0;
+
     Joules dynamic_energy = 0.0;
-    for (uint64_t i = 0; i < config.mem_requests; ++i) {
-        const MemRequest &req = next();
-        auto c = static_cast<size_t>(req.core);
-        core_time[c] += req.gap_instructions;
-        res.instructions += req.gap_instructions + 1;
-        ++res.mem_ops;
-        HierarchyAccess acc = hierarchy.access(
-            req.core, req.addr, req.is_write, core_time[c]);
-        core_time[c] += acc.latency;
-        dynamic_energy += acc.energy;
+    {
+        ScopedPhase phase("sim.measure");
+        for (uint64_t i = 0; i < config.mem_requests; ++i) {
+            const MemRequest &req = next();
+            auto c = static_cast<size_t>(req.core);
+            core_time[c] += req.gap_instructions;
+            res.instructions += req.gap_instructions + 1;
+            ++res.mem_ops;
+            HierarchyAccess acc = hierarchy.access(
+                req.core, req.addr, req.is_write, core_time[c]);
+            core_time[c] += acc.latency;
+            dynamic_energy += acc.energy;
+            if (t) {
+                lat_hist->record(static_cast<double>(acc.latency));
+                if (acc.dram_access) {
+                    ++miss_run;
+                    burst_end = core_time[c];
+                } else if (miss_run > 0) {
+                    if (miss_run >= kBurstLen)
+                        t->event(EventKind::CacheMissBurst, "llc",
+                                 burst_end,
+                                 static_cast<double>(miss_run));
+                    miss_run = 0;
+                }
+            }
+        }
     }
+    if (t && miss_run >= kBurstLen)
+        t->event(EventKind::CacheMissBurst, "llc", burst_end,
+                 static_cast<double>(miss_run));
 
     Cycles max_elapsed = 0;
     for (size_t c = 0; c < core_time.size(); ++c)
@@ -113,6 +150,25 @@ runSim(const std::string &name, const SimConfig &config,
     } else {
         res.sdc_mttf = std::numeric_limits<double>::infinity();
         res.due_mttf = std::numeric_limits<double>::infinity();
+    }
+
+    if (t) {
+        // Measured-phase counters, exported from the final SimResult
+        // so the two views can never disagree. The mem.* counters
+        // from exportTelemetry cover the whole run (warmup
+        // included).
+        t->counter("sim.requests").add(res.mem_ops);
+        t->counter("sim.instructions").add(res.instructions);
+        t->counter("sim.cycles").add(res.cycles);
+        t->counter("sim.llc.accesses").add(res.llc_accesses);
+        t->counter("sim.llc.misses").add(res.llc_misses);
+        t->counter("sim.dram.accesses").add(res.dram_accesses);
+        t->counter("sim.rm.shift_ops").add(res.shift_ops);
+        t->counter("sim.rm.shift_steps").add(res.shift_steps);
+        t->counter("sim.rm.shift_cycles").add(res.shift_cycles);
+        t->gauge("sim.ipc").set(res.ipc());
+        t->gauge("sim.seconds").set(res.seconds);
+        hierarchy.exportTelemetry(*t);
     }
     return res;
 }

@@ -76,6 +76,14 @@ struct SimConfig
     uint64_t mem_requests = 200000; //!< requests to simulate
     uint64_t warmup_requests = 20000;
     uint64_t seed = 42;
+
+    /**
+     * Observability sink for this run: forwarded into the hierarchy
+     * (and the racetrack bank), plus sim-level counters, an access
+     * latency histogram, and LLC miss-burst events. Disabled (null)
+     * by default; SimResult is bit-identical either way.
+     */
+    TelemetryScope telemetry = {};
 };
 
 /**

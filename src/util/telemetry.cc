@@ -1,0 +1,501 @@
+#include "telemetry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace rtm
+{
+
+// --- LatencyHistogram ------------------------------------------------
+
+LatencyHistogram::LatencyHistogram(std::vector<double> edges)
+    : edges_(std::move(edges))
+{
+    if (edges_.empty())
+        rtm_panic("LatencyHistogram needs at least one edge");
+    for (size_t i = 1; i < edges_.size(); ++i) {
+        if (!(edges_[i - 1] < edges_[i]))
+            rtm_panic("histogram edges must be strictly increasing");
+    }
+    counts_.assign(edges_.size() + 1, 0);
+}
+
+void
+LatencyHistogram::record(double value, uint64_t weight)
+{
+    size_t bucket = static_cast<size_t>(
+        std::upper_bound(edges_.begin(), edges_.end(), value) -
+        edges_.begin());
+    counts_[bucket] += weight;
+    total_ += weight;
+    sum_ += value * static_cast<double>(weight);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (edges_ != other.edges_)
+        rtm_panic("LatencyHistogram::merge: bucket edges differ");
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+std::vector<double>
+powerOfTwoEdges(double hi)
+{
+    std::vector<double> edges;
+    for (double e = 1.0; e <= hi; e *= 2.0)
+        edges.push_back(e);
+    if (edges.empty())
+        edges.push_back(1.0);
+    return edges;
+}
+
+// --- events ----------------------------------------------------------
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::ShiftIssued: return "shift_issued";
+      case EventKind::ErrorInjected: return "error_injected";
+      case EventKind::ErrorDetected: return "error_detected";
+      case EventKind::RecoveryRung: return "recovery_rung";
+      case EventKind::GroupRetired: return "group_retired";
+      case EventKind::FrameRemapped: return "frame_remapped";
+      case EventKind::CacheMissBurst: return "cache_miss_burst";
+      case EventKind::Span: return "span";
+      case EventKind::Phase: return "phase";
+      case EventKind::Custom: return "custom";
+      case EventKind::kCount: break;
+    }
+    return "?";
+}
+
+// --- Telemetry -------------------------------------------------------
+
+Telemetry::Telemetry(size_t ring_capacity, uint32_t lane)
+    : lane_(lane), ring_capacity_(std::max<size_t>(ring_capacity, 1))
+{
+    // The ring is pre-sized so event() never allocates; push order is
+    // tracked by `pushed_` and the head index.
+    ring_.reserve(ring_capacity_);
+}
+
+Counter &
+Telemetry::counter(const std::string &path)
+{
+    return counters_[path]; // map nodes are reference-stable
+}
+
+Gauge &
+Telemetry::gauge(const std::string &path)
+{
+    return gauges_[path];
+}
+
+LatencyHistogram &
+Telemetry::histogram(const std::string &path,
+                     const std::vector<double> &edges)
+{
+    auto it = histograms_.find(path);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(path, LatencyHistogram(edges))
+                 .first;
+    } else if (it->second.edges() != edges) {
+        rtm_panic("histogram '%s' re-registered with different "
+                  "edges",
+                  path.c_str());
+    }
+    return it->second;
+}
+
+void
+Telemetry::event(EventKind kind, const char *name,
+                 uint64_t timestamp, double a0, double a1)
+{
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.lane = lane_;
+    ev.timestamp = timestamp;
+    ev.seq = pushed_;
+    ev.name = name;
+    ev.a0 = a0;
+    ev.a1 = a1;
+    if (ring_.size() < ring_capacity_) {
+        ring_.push_back(ev);
+    } else {
+        ring_[ring_head_] = ev;
+        ring_head_ = (ring_head_ + 1) % ring_capacity_;
+    }
+    ++pushed_;
+    ++kind_totals_[static_cast<size_t>(kind)];
+}
+
+uint64_t
+Telemetry::eventsDropped() const
+{
+    return pushed_ - static_cast<uint64_t>(ring_.size());
+}
+
+std::vector<TraceEvent>
+Telemetry::ringEvents() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(
+            ring_[(ring_head_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+Telemetry::merge(const Telemetry &shard)
+{
+    for (const auto &[path, c] : shard.counters_)
+        counters_[path].value_ += c.value_;
+    for (const auto &[path, g] : shard.gauges_) {
+        if (g.set_)
+            gauges_[path].set(g.value_);
+    }
+    for (const auto &[path, h] : shard.histograms_) {
+        histogram(path, h.edges()).merge(h);
+    }
+    // Events append in the shard's push order with their original
+    // lane; kind totals fold even for events the shard's ring
+    // dropped, so reconciliation counts survive the merge.
+    for (const TraceEvent &ev : shard.ringEvents()) {
+        TraceEvent copy = ev;
+        copy.seq = pushed_;
+        if (ring_.size() < ring_capacity_) {
+            ring_.push_back(copy);
+        } else {
+            ring_[ring_head_] = copy;
+            ring_head_ = (ring_head_ + 1) % ring_capacity_;
+        }
+        ++pushed_;
+    }
+    uint64_t ring_merged =
+        static_cast<uint64_t>(shard.ring_.size());
+    uint64_t shard_dropped = shard.pushed_ - ring_merged;
+    pushed_ += shard_dropped; // account drops without replaying them
+    for (size_t k = 0; k < static_cast<size_t>(EventKind::kCount);
+         ++k) {
+        kind_totals_[k] += shard.kind_totals_[k];
+    }
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (paths/names are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Print a double as JSON (no NaN/Inf — clamp to null). */
+void
+printJsonNumber(std::FILE *f, double v)
+{
+    if (std::isfinite(v))
+        std::fprintf(f, "%.17g", v);
+    else
+        std::fprintf(f, "null");
+}
+
+} // anonymous namespace
+
+bool
+Telemetry::writeMetricsJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n  \"counters\": {");
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        std::fprintf(f, "%s\n    \"%s\": %llu",
+                     first ? "" : ",", jsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(c.value()));
+        first = false;
+    }
+    std::fprintf(f, "\n  },\n  \"gauges\": {");
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        std::fprintf(f, "%s\n    \"%s\": ", first ? "" : ",",
+                     jsonEscape(name).c_str());
+        printJsonNumber(f, g.value());
+        first = false;
+    }
+    std::fprintf(f, "\n  },\n  \"histograms\": {");
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        std::fprintf(f, "%s\n    \"%s\": {\"edges\": [",
+                     first ? "" : ",", jsonEscape(name).c_str());
+        for (size_t i = 0; i < h.edges().size(); ++i) {
+            if (i)
+                std::fprintf(f, ", ");
+            printJsonNumber(f, h.edges()[i]);
+        }
+        std::fprintf(f, "], \"counts\": [");
+        for (size_t i = 0; i < h.buckets(); ++i) {
+            std::fprintf(f, "%s%llu", i ? ", " : "",
+                         static_cast<unsigned long long>(
+                             h.count(i)));
+        }
+        std::fprintf(f, "], \"total\": %llu, \"sum\": ",
+                     static_cast<unsigned long long>(h.total()));
+        printJsonNumber(f, h.sum());
+        std::fprintf(f, "}");
+        first = false;
+    }
+    std::fprintf(f, "\n  },\n  \"events\": {\n    \"pushed\": {");
+    first = true;
+    for (size_t k = 0; k < static_cast<size_t>(EventKind::kCount);
+         ++k) {
+        if (kind_totals_[k] == 0)
+            continue;
+        std::fprintf(f, "%s\n      \"%s\": %llu",
+                     first ? "" : ",",
+                     eventKindName(static_cast<EventKind>(k)),
+                     static_cast<unsigned long long>(
+                         kind_totals_[k]));
+        first = false;
+    }
+    std::fprintf(f,
+                 "\n    },\n    \"total\": %llu,\n"
+                 "    \"dropped\": %llu,\n    \"retained\": %llu\n"
+                 "  }\n}\n",
+                 static_cast<unsigned long long>(pushed_),
+                 static_cast<unsigned long long>(eventsDropped()),
+                 static_cast<unsigned long long>(ring_.size()));
+    std::fclose(f);
+    return true;
+}
+
+bool
+Telemetry::writeChromeTrace(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(
+        f,
+        "{\"traceEvents\": [\n"
+        "  {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \"sim-time (cycles)\"}},\n"
+        "  {\"ph\": \"M\", \"pid\": 2, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \"wall-clock (us)\"}}");
+    for (const TraceEvent &ev : ringEvents()) {
+        bool wall = ev.kind == EventKind::Span ||
+                    ev.kind == EventKind::Phase;
+        std::fprintf(
+            f,
+            ",\n  {\"name\": \"%s.%s\", \"cat\": \"%s\", "
+            "\"ph\": \"%s\", \"ts\": %llu, ",
+            eventKindName(ev.kind), jsonEscape(ev.name).c_str(),
+            eventKindName(ev.kind), wall ? "X" : "i",
+            static_cast<unsigned long long>(ev.timestamp));
+        if (wall)
+            std::fprintf(f, "\"dur\": %.3f, ", ev.a0);
+        else
+            std::fprintf(f, "\"s\": \"t\", ");
+        std::fprintf(f,
+                     "\"pid\": %d, \"tid\": %u, \"args\": "
+                     "{\"a0\": ",
+                     wall ? 2 : 1, ev.lane);
+        printJsonNumber(f, ev.a0);
+        std::fprintf(f, ", \"a1\": ");
+        printJsonNumber(f, ev.a1);
+        std::fprintf(f, ", \"seq\": %llu}}",
+                     static_cast<unsigned long long>(ev.seq));
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return true;
+}
+
+// --- TelemetryShards -------------------------------------------------
+
+TelemetryShards::TelemetryShards(TelemetryScope root, size_t shards,
+                                 size_t ring_capacity)
+    : root_(root)
+{
+    if (!root_)
+        return; // disabled: every shard scope stays null
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Telemetry>(
+            ring_capacity, static_cast<uint32_t>(i)));
+}
+
+TelemetryScope
+TelemetryShards::shard(size_t i)
+{
+    if (!root_)
+        return {};
+    return TelemetryScope(shards_.at(i).get());
+}
+
+void
+TelemetryShards::mergeIntoRoot()
+{
+    if (!root_)
+        return;
+    for (const auto &shard : shards_)
+        root_->merge(*shard);
+}
+
+// --- Profiler --------------------------------------------------------
+
+namespace
+{
+
+int g_profile_override = -1; // -1 = follow env, else 0/1
+
+bool
+profileEnvEnabled()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("RTM_PROFILE");
+        return v != nullptr && v[0] != '\0' &&
+               std::strcmp(v, "0") != 0;
+    }();
+    return enabled;
+}
+
+void
+profilerAtExit()
+{
+    Profiler::instance().report(stderr);
+}
+
+} // anonymous namespace
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+bool
+Profiler::enabled()
+{
+    if (g_profile_override >= 0)
+        return g_profile_override != 0;
+    return profileEnvEnabled();
+}
+
+void
+Profiler::setEnabledForTest(bool on)
+{
+    g_profile_override = on ? 1 : 0;
+}
+
+void
+Profiler::add(const char *phase, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (phases_.empty() && profileEnvEnabled()) {
+        // First phase under RTM_PROFILE: arm the exit report.
+        std::atexit(profilerAtExit);
+    }
+    PhaseTotals &t = phases_[phase];
+    t.seconds += seconds;
+    ++t.calls;
+}
+
+double
+Profiler::seconds(const std::string &phase) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0.0 : it->second.seconds;
+}
+
+uint64_t
+Profiler::calls(const std::string &phase) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0 : it->second.calls;
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    phases_.clear();
+}
+
+void
+Profiler::report(std::FILE *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (phases_.empty())
+        return;
+    std::fprintf(out, "\n[RTM_PROFILE] wall time per phase:\n");
+    size_t width = 0;
+    for (const auto &[name, t] : phases_)
+        width = std::max(width, name.size());
+    for (const auto &[name, t] : phases_) {
+        std::fprintf(out, "  %-*s %10.3f s  (%llu calls)\n",
+                     static_cast<int>(width), name.c_str(),
+                     t.seconds,
+                     static_cast<unsigned long long>(t.calls));
+    }
+}
+
+double
+telemetryNowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+ScopedPhase::ScopedPhase(const char *phase)
+    : phase_(Profiler::enabled() ? phase : nullptr)
+{
+    if (phase_)
+        start_ = telemetryNowSeconds();
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    if (phase_)
+        Profiler::instance().add(phase_,
+                                 telemetryNowSeconds() - start_);
+}
+
+} // namespace rtm

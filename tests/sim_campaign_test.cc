@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "sim/campaign.hh"
 #include "util/parallel.hh"
+#include "util/telemetry.hh"
 
 namespace rtm
 {
@@ -112,6 +115,147 @@ TEST(Campaign, BitIdenticalAcrossThreadCounts)
         EXPECT_EQ(a.contained, b.contained);
     }
     expectLedgersEqual(serial.totals, parallel.totals);
+}
+
+TEST(Campaign, TelemetryReconcilesWithLedgers)
+{
+    CampaignConfig config = quickConfig();
+    config.accesses_per_cell = 1000;
+    // Per-cell ring large enough that no event is ever overwritten:
+    // the rung reconciliation below scans individual ring events.
+    config.telemetry_ring_capacity = 1 << 15;
+    Telemetry telemetry(1 << 20);
+    config.telemetry = &telemetry;
+
+    CampaignResult r =
+        runCampaign(standardScenarios(), {"swaptions", "canneal"},
+                    config);
+    ASSERT_EQ(r.cells.size(), 10u);
+    ASSERT_EQ(telemetry.eventsDropped(), 0u);
+
+    auto counter = [&](const char *name) {
+        return telemetry.counters().at(name).value();
+    };
+
+    // Counters are exported from the reconciled ledger itself, so
+    // the JSON view can never disagree with CampaignResult totals.
+    EXPECT_EQ(counter("campaign.cells"), r.cells.size());
+    EXPECT_EQ(counter("campaign.accesses"), r.totals.accesses);
+    EXPECT_EQ(counter("campaign.injected_faults"),
+              r.totals.injected_faults);
+    EXPECT_EQ(counter("campaign.detected"), r.totals.detected);
+    EXPECT_EQ(counter("campaign.corrected"), r.totals.corrected);
+    EXPECT_EQ(counter("campaign.recovered_retry"),
+              r.totals.recovered_retry);
+    EXPECT_EQ(counter("campaign.recovered_realign"),
+              r.totals.recovered_realign);
+    EXPECT_EQ(counter("campaign.recovered_scrub"),
+              r.totals.recovered_scrub);
+    EXPECT_EQ(counter("campaign.due"), r.totals.due);
+    EXPECT_EQ(counter("campaign.sdc"), r.totals.sdc);
+    EXPECT_EQ(telemetry.counters().count("campaign.violations"), 0u);
+
+    // Event streams are emitted at the injection/detection sites,
+    // *independently* of the ledger bookkeeping — their totals must
+    // land on exactly the same numbers.
+    EXPECT_EQ(telemetry.eventCount(EventKind::ErrorInjected),
+              r.totals.injected_faults);
+    EXPECT_EQ(telemetry.eventCount(EventKind::ErrorDetected),
+              r.totals.detected);
+
+    // Recovery-ladder rungs: a rung event fires when a rung claims
+    // the error; if a later DUE reclassifies the episode the
+    // controller emits a paired "reclassified-<rung>" event. Net
+    // counts must equal the ControllerStats ledger buckets.
+    std::map<std::string, uint64_t> rung;
+    for (const TraceEvent &e : telemetry.ringEvents())
+        if (e.kind == EventKind::RecoveryRung)
+            ++rung[e.name];
+    auto rungCount = [&](const char *name) -> uint64_t {
+        auto it = rung.find(name);
+        return it == rung.end() ? 0 : it->second;
+    };
+    EXPECT_EQ(rungCount("retry") - rungCount("reclassified-retry"),
+              r.totals.recovered_retry);
+    EXPECT_EQ(rungCount("realign") -
+                  rungCount("reclassified-realign"),
+              r.totals.recovered_realign);
+    EXPECT_EQ(rungCount("scrub") - rungCount("reclassified-scrub"),
+              r.totals.recovered_scrub);
+    EXPECT_EQ(rungCount("due") + rungCount("reclassified-retry") +
+                  rungCount("reclassified-realign") +
+                  rungCount("reclassified-scrub"),
+              r.totals.due);
+
+    // Bank degradation drill: retirement/remap events and the
+    // bank-layer counters reconcile with the RmBankStats ledgers.
+    uint64_t degraded = 0, bank_due = 0, remapped = 0;
+    for (const CampaignCellResult &cell : r.cells) {
+        degraded += cell.bank_degraded_groups;
+        bank_due += cell.bank_due_reports;
+        remapped += cell.bank_remapped_accesses;
+    }
+    EXPECT_GT(bank_due, 0u);
+    EXPECT_EQ(telemetry.eventCount(EventKind::GroupRetired),
+              degraded);
+    EXPECT_EQ(telemetry.eventCount(EventKind::FrameRemapped),
+              remapped);
+    EXPECT_EQ(counter("campaign.bank.degraded_groups"), degraded);
+    EXPECT_EQ(counter("campaign.bank.due_reports"), bank_due);
+    EXPECT_EQ(counter("campaign.bank.remapped_accesses"), remapped);
+    EXPECT_EQ(counter("mem.rm_bank.due_reports"), bank_due);
+    EXPECT_EQ(counter("mem.rm_bank.groups_retired"), degraded);
+    EXPECT_EQ(counter("mem.rm_bank.remapped_accesses"), remapped);
+
+    // One wall-clock span per cell.
+    EXPECT_EQ(telemetry.eventCount(EventKind::Span),
+              r.cells.size());
+}
+
+TEST(Campaign, TelemetryMergeDeterministicAcrossThreadCounts)
+{
+    // Same discipline as the result ledgers: shard-per-cell merged
+    // in cell order, so every deterministic quantity (counters and
+    // event counts; wall-clock spans and histograms are exempt) is
+    // bit-identical for any RTM_THREADS.
+    std::vector<ScenarioSpec> scenarios = standardScenarios();
+    std::vector<std::string> workloads = {"swaptions", "ferret"};
+    CampaignConfig config = quickConfig();
+
+    auto rungNames = [](const Telemetry &t) {
+        std::map<std::string, uint64_t> rung;
+        for (const TraceEvent &e : t.ringEvents())
+            if (e.kind == EventKind::RecoveryRung)
+                ++rung[e.name];
+        return rung;
+    };
+
+    ThreadPool::setGlobalThreads(1);
+    Telemetry serial_t(1 << 18);
+    config.telemetry = &serial_t;
+    runCampaign(scenarios, workloads, config);
+
+    ThreadPool::setGlobalThreads(3);
+    Telemetry parallel_t(1 << 18);
+    config.telemetry = &parallel_t;
+    runCampaign(scenarios, workloads, config);
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+
+    auto sc = serial_t.counters();
+    auto pc = parallel_t.counters();
+    ASSERT_EQ(sc.size(), pc.size());
+    for (const auto &kv : sc) {
+        ASSERT_EQ(pc.count(kv.first), 1u) << kv.first;
+        EXPECT_EQ(kv.second.value(), pc.at(kv.first).value())
+            << kv.first;
+    }
+    for (int k = 0; k < static_cast<int>(EventKind::kCount); ++k) {
+        EventKind kind = static_cast<EventKind>(k);
+        EXPECT_EQ(serial_t.eventCount(kind),
+                  parallel_t.eventCount(kind))
+            << eventKindName(kind);
+    }
+    EXPECT_EQ(rungNames(serial_t), rungNames(parallel_t));
 }
 
 TEST(Campaign, DegradationDrillRetiresGroupsGracefully)

@@ -33,6 +33,7 @@
 #include "util/hash.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
+#include "util/telemetry.hh"
 
 namespace rtm
 {
@@ -331,6 +332,49 @@ TEST(GoldenSim, MatrixDigestsMatchPins)
         EXPECT_EQ(hashes[o], kGoldenOptionHashes[o])
             << "option " << options[o].label;
     EXPECT_EQ(hashes.back(), kGoldenCombinedHash);
+}
+
+TEST(GoldenSim, TelemetryOnDoesNotPerturbResults)
+{
+    // Instrumentation only *reads* simulator state, so a fully
+    // instrumented sweep must reproduce the telemetry-off sweep bit
+    // for bit: every SimResult field equal and the SHA-256 digests
+    // still matching the pinned constants.
+    PaperCalibratedErrorModel model;
+    auto options = standardLlcOptions();
+
+    auto plain = runMatrix(options, &model, kGoldenRequests,
+                           kGoldenWarmup, kGoldenDivisor);
+    Telemetry telemetry(1 << 14);
+    auto traced = runMatrix(options, &model, kGoldenRequests,
+                            kGoldenWarmup, kGoldenDivisor,
+                            &telemetry);
+
+    ASSERT_EQ(plain.size(), traced.size());
+    for (size_t w = 0; w < plain.size(); ++w) {
+        ASSERT_EQ(plain[w].results.size(),
+                  traced[w].results.size());
+        for (size_t o = 0; o < plain[w].results.size(); ++o)
+            expectResultsIdentical(plain[w].results[o],
+                                   traced[w].results[o]);
+    }
+
+    auto traced_hashes = matrixHashes(traced, options.size());
+    for (size_t o = 0; o < options.size(); ++o)
+        EXPECT_EQ(traced_hashes[o], kGoldenOptionHashes[o])
+            << "option " << options[o].label << " (telemetry on)";
+    EXPECT_EQ(traced_hashes.back(), kGoldenCombinedHash);
+
+    // And the sink actually observed the sweep: one sim.requests
+    // increment of kGoldenRequests per cell, shift events from the
+    // racetrack options, per-cell wall-clock spans.
+    const size_t cells = plain.size() * options.size();
+    EXPECT_EQ(telemetry.counters().at("sim.requests").value(),
+              cells * kGoldenRequests);
+    EXPECT_EQ(telemetry.counters().at("runner.cells").value(), cells);
+    EXPECT_EQ(telemetry.eventCount(EventKind::Span),
+              static_cast<uint64_t>(cells));
+    EXPECT_GT(telemetry.eventCount(EventKind::ShiftIssued), 0u);
 }
 
 TEST(GoldenSim, MatrixDigestsStableAcrossThreadCounts)

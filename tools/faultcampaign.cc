@@ -12,6 +12,13 @@
  *   faultcampaign [--accesses N] [--seed K] [--scale S]
  *                 [--budget R] [--workloads a,b,c]
  *                 [--out BENCH_fault_campaign.json]
+ *                 [--metrics OUT.json] [--trace OUT.trace.json]
+ *
+ * --metrics writes the telemetry registry (counters mirroring the
+ * reconciled ledger, latency histograms, per-cell wall-clock) as
+ * JSON; --trace writes the traced events (injections, detections,
+ * recovery rungs, group retirements, cell spans) in Chrome
+ * trace_event format.
  *
  * Exit status is 0 iff every cell contained its faults (no crash,
  * hang, ledger mismatch, or unexplained misalignment).
@@ -85,6 +92,11 @@ main(int argc, char **argv)
     std::vector<std::string> workloads =
         splitList(get("workloads", "swaptions,canneal,ferret"));
     std::string out_path = get("out", "BENCH_fault_campaign.json");
+    std::string metrics_path = get("metrics", "");
+    std::string trace_path = get("trace", "");
+    Telemetry telemetry(1 << 15);
+    if (!metrics_path.empty() || !trace_path.empty())
+        config.telemetry = &telemetry;
 
     std::vector<ScenarioSpec> scenarios = standardScenarios();
     std::printf("fault campaign: %zu scenarios x %zu workloads, "
@@ -122,6 +134,23 @@ main(int argc, char **argv)
     if (!writeCampaignJson(result, out_path)) {
         std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
         return 1;
+    }
+    if (!metrics_path.empty()) {
+        if (!telemetry.writeMetricsJson(metrics_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::printf("metrics: %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        if (!telemetry.writeChromeTrace(trace_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("trace:   %s (chrome://tracing)\n",
+                    trace_path.c_str());
     }
     std::printf("\n%llu/%zu cells contained; report: %s\n",
                 static_cast<unsigned long long>(

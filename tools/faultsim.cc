@@ -14,6 +14,11 @@
  *
  *   faultsim [--scheme secded|sed|baseline|pecc-o] [--scale S]
  *            [--ops N] [--lseg L] [--seed K]
+ *            [--metrics OUT.json] [--trace OUT.trace.json]
+ *
+ * --metrics writes outcome counters and the shift-distance histogram
+ * as JSON; --trace writes per-outcome events in Chrome trace_event
+ * format.
  */
 
 #include <cmath>
@@ -28,6 +33,7 @@
 #include "model/reliability.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace rtm;
 
@@ -107,6 +113,17 @@ main(int argc, char **argv)
     IntTally distances;
     double exp_corrected = 0.0, exp_due = 0.0, exp_sdc = 0.0;
 
+    std::string metrics_path = get("metrics", "");
+    std::string trace_path = get("trace", "");
+    Telemetry telemetry(1 << 15);
+    Telemetry *t_sink =
+        metrics_path.empty() && trace_path.empty() ? nullptr
+                                                   : &telemetry;
+    LatencyHistogram *t_dist =
+        t_sink ? &t_sink->histogram("faultsim.shift_distance",
+                                    powerOfTwoEdges(64.0))
+               : nullptr;
+
     for (uint64_t i = 0; i < ops; ++i) {
         int target = static_cast<int>(dice.uniformInt(
             static_cast<uint64_t>(lseg)));
@@ -129,8 +146,16 @@ main(int argc, char **argv)
         exp_sdc += std::exp(r.log_sdc);
 
         ProtectedShiftResult res = stripe.seekIndex(target);
+        if (t_sink) {
+            t_dist->record(static_cast<double>(distance));
+            if (res.detected)
+                t_sink->event(EventKind::ErrorDetected, "stripe", i,
+                              static_cast<double>(distance));
+        }
         if (res.unrecoverable) {
             ++due;
+            if (t_sink)
+                t_sink->event(EventKind::RecoveryRung, "due", i);
             stripe.initializeIdeal(); // rebuild and continue
             continue;
         }
@@ -142,6 +167,19 @@ main(int argc, char **argv)
         } else {
             ++clean;
         }
+    }
+
+    if (t_sink) {
+        t_sink->counter("faultsim.ops").add(ops);
+        t_sink->counter("faultsim.corrected").add(corrected);
+        t_sink->counter("faultsim.due").add(due);
+        t_sink->counter("faultsim.silent").add(silent);
+        t_sink->counter("faultsim.clean").add(clean);
+        t_sink->gauge("faultsim.scale").set(scale);
+        t_sink->gauge("faultsim.expected_corrected")
+            .set(exp_corrected);
+        t_sink->gauge("faultsim.expected_due").set(exp_due);
+        t_sink->gauge("faultsim.expected_sdc").set(exp_sdc);
     }
 
     TextTable t({"outcome", "measured", "analytic expectation",
@@ -167,5 +205,23 @@ main(int argc, char **argv)
                 "reliability model against the functional stack; "
                 "the paper-scale MTTF figures rest on exactly that "
                 "model evaluated at the unscaled rates.\n");
+
+    if (!metrics_path.empty()) {
+        if (!telemetry.writeMetricsJson(metrics_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::printf("metrics: %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        if (!telemetry.writeChromeTrace(trace_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("trace:   %s (chrome://tracing)\n",
+                    trace_path.c_str());
+    }
     return 0;
 }

@@ -19,6 +19,11 @@
  *   --requests N      memory requests              (default 60000)
  *   --divisor D       capacity divisor             (default 16)
  *   --seed N          RNG seed                     (default 42)
+ *   --metrics PATH    write the telemetry registry as JSON
+ *   --trace-out PATH  write traced events in Chrome trace_event
+ *                     format (open in chrome://tracing / Perfetto);
+ *                     named --trace-out because --trace already
+ *                     selects the input trace file
  *
  * `plan` options:
  *   --lseg N          segment length               (default 8)
@@ -123,6 +128,12 @@ cmdRun(int argc, char **argv)
     cfg.seed = std::strtoull(flag(flags, "seed", "42").c_str(),
                              nullptr, 10);
 
+    const std::string metrics_path = flag(flags, "metrics", "");
+    const std::string trace_out = flag(flags, "trace-out", "");
+    Telemetry telemetry(1 << 15);
+    if (!metrics_path.empty() || !trace_out.empty())
+        cfg.telemetry = &telemetry;
+
     PaperCalibratedErrorModel model;
     SimResult r;
     if (flags.count("trace")) {
@@ -165,6 +176,24 @@ cmdRun(int argc, char **argv)
                 r.leakage_energy, r.dram_energy);
     std::printf("SDC MTTF        %s\n", sdc);
     std::printf("DUE MTTF        %s\n", due);
+
+    if (!metrics_path.empty()) {
+        if (!telemetry.writeMetricsJson(metrics_path)) {
+            std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::printf("metrics         %s\n", metrics_path.c_str());
+    }
+    if (!trace_out.empty()) {
+        if (!telemetry.writeChromeTrace(trace_out)) {
+            std::fprintf(stderr, "cannot write trace to '%s'\n",
+                         trace_out.c_str());
+            return 1;
+        }
+        std::printf("trace           %s (chrome://tracing)\n",
+                    trace_out.c_str());
+    }
     return 0;
 }
 
@@ -262,6 +291,7 @@ usage()
         "  rtmsim run [--workload N|--trace P] [--tech T] "
         "[--scheme S]\n"
         "             [--requests N] [--divisor D] [--seed N]\n"
+        "             [--metrics OUT.json] [--trace-out OUT.json]\n"
         "  rtmsim rates\n"
         "  rtmsim plan [--lseg N] [--intensity OPS]\n"
         "  rtmsim stripe [--segments N] [--lseg N] [--strength M] "

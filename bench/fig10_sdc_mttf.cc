@@ -28,8 +28,7 @@ main()
         {"SED p-ECC", MemTech::Racetrack, Scheme::SedPecc},
         {"SECDED p-ECC", MemTech::Racetrack, Scheme::SecdedPecc},
     };
-    auto rows = runMatrix(options, &model, kBenchRequests,
-                          kBenchWarmup, kBenchDivisor);
+    auto rows = runBenchMatrix(benchMatrixSpec(options), &model);
 
     TextTable t({"workload", "Baseline", "SED p-ECC",
                  "SECDED p-ECC"});

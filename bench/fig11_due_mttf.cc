@@ -32,8 +32,7 @@ main()
         {"p-ECC-S adaptive", MemTech::Racetrack,
          Scheme::PeccSAdaptive},
     };
-    auto rows = runMatrix(options, &model, kBenchRequests,
-                          kBenchWarmup, kBenchDivisor);
+    auto rows = runBenchMatrix(benchMatrixSpec(options), &model);
 
     TextTable t({"workload", "SED", "SECDED", "p-ECC-O", "S-worst",
                  "S-adaptive"});

@@ -23,9 +23,8 @@ main()
     reportParallelism();
 
     PaperCalibratedErrorModel model;
-    auto rows = runMatrix(racetrackSchemeOptions(), &model,
-                          kBenchRequests, kBenchWarmup,
-                          kBenchDivisor);
+    auto rows = runBenchMatrix(
+        benchMatrixSpec(racetrackSchemeOptions()), &model);
 
     TextTable t({"workload", "baseline", "p-ECC-O", "S-adaptive",
                  "S-worst"});

@@ -23,9 +23,9 @@ main()
     reportParallelism();
 
     PaperCalibratedErrorModel model;
-    auto options = standardLlcOptions();
-    auto rows = runMatrix(options, &model, kBenchRequests,
-                          kBenchWarmup, kBenchDivisor);
+    ExperimentSpec spec = benchMatrixSpec(standardLlcOptions());
+    const auto &options = spec.matrix.options;
+    auto rows = runBenchMatrix(spec, &model);
 
     std::vector<std::string> header = {"workload"};
     for (const auto &o : options)

@@ -152,8 +152,10 @@ measure(bool quick)
     }
     rep.matrix_reference_s = nowSeconds() - t0;
 
+    ExperimentSpec spec =
+        benchMatrixSpec(options, m_requests, m_warmup, 32);
     t0 = nowSeconds();
-    auto rows = runMatrix(options, &model, m_requests, m_warmup, 32);
+    auto rows = runBenchMatrix(spec, &model);
     rep.matrix_optimized_s = nowSeconds() - t0;
     (void)rows;
 

@@ -33,6 +33,16 @@ enum class MemTech
 /** Human-readable technology name. */
 const char *memTechName(MemTech tech);
 
+/**
+ * Stable machine-readable token, the inverse of techFromToken:
+ * "sram" | "sttram" | "rm" | "rm-ideal". Used by the CLI flags and
+ * the experiment-spec JSON schema.
+ */
+const char *techToken(MemTech tech);
+
+/** Parse a technology token; false (out untouched) when unknown. */
+bool techFromToken(const std::string &token, MemTech *out);
+
 /** Timing/energy/capacity description of one cache technology. */
 struct TechParams
 {
@@ -95,6 +105,17 @@ enum class Scheme
 
 /** Human-readable scheme name. */
 const char *schemeName(Scheme scheme);
+
+/**
+ * Stable machine-readable token, the inverse of schemeFromToken:
+ * "baseline" | "sts" | "sed" | "secded" | "pecc-o" | "worst" |
+ * "adaptive". Used by the CLI flags and the experiment-spec JSON
+ * schema.
+ */
+const char *schemeToken(Scheme scheme);
+
+/** Parse a scheme token; false (out untouched) when unknown. */
+bool schemeFromToken(const std::string &token, Scheme *out);
 
 /** Table 5 row for a scheme (Baseline/Sed map to cheapest entries). */
 ProtectionOverheads overheadsFor(Scheme scheme);

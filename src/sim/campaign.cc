@@ -1,8 +1,7 @@
 #include "campaign.hh"
 
-#include <cstdio>
-
 #include "model/tech.hh"
+#include "sim/experiment.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -210,6 +209,46 @@ runFaultDrill(const ScenarioSpec &spec,
     return res;
 }
 
+void
+appendCampaignJobs(ExperimentEngine &engine, CampaignResult *out,
+                   const std::vector<ScenarioSpec> &scenarios,
+                   const std::vector<WorkloadProfile> &profiles,
+                   const CampaignConfig &config)
+{
+    // One cell per slot: the seed depends only on (campaign seed,
+    // cell index), so any RTM_THREADS — and any interleaving with
+    // other jobs on the engine — produces identical results.
+    const size_t n = scenarios.size() * profiles.size();
+    const size_t base = out->cells.size();
+    out->cells.resize(base + n);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t si = i / profiles.size();
+        const size_t wi = i % profiles.size();
+        CampaignCellResult *slot = &out->cells[base + i];
+        const ScenarioSpec spec = scenarios[si];
+        const WorkloadProfile profile = profiles[wi];
+        const uint64_t cell_seed = mixSeed(config.seed, i);
+        const CampaignConfig cell_config = config;
+        engine.addJob([slot, spec, profile, cell_config,
+                       cell_seed](TelemetryScope shard) {
+            *slot = runFaultDrill(spec, profile, cell_config,
+                                  cell_seed, shard);
+        });
+    }
+}
+
+void
+finalizeCampaignTotals(CampaignResult *out)
+{
+    out->totals = CampaignLedger();
+    out->contained_cells = 0;
+    for (const CampaignCellResult &cell : out->cells) {
+        out->totals.merge(cell.ledger);
+        if (cell.contained)
+            ++out->contained_cells;
+    }
+}
+
 CampaignResult
 runCampaign(const std::vector<ScenarioSpec> &scenarios,
             const std::vector<std::string> &workloads,
@@ -224,98 +263,73 @@ runCampaign(const std::vector<ScenarioSpec> &scenarios,
         profiles.push_back(parsecProfile(name));
 
     CampaignResult out;
-    size_t n = scenarios.size() * workloads.size();
-    out.cells.resize(n);
-    // One cell per slot: the seed depends only on (campaign seed,
-    // cell index), so any RTM_THREADS produces identical results.
-    TelemetryShards shards(config.telemetry, n,
-                           config.telemetry_ring_capacity);
-    parallelFor(n, [&](size_t i) {
-        size_t si = i / workloads.size();
-        size_t wi = i % workloads.size();
-        out.cells[i] =
-            runFaultDrill(scenarios[si], profiles[wi], config,
-                          mixSeed(config.seed, i), shards.shard(i));
-    });
-    shards.mergeIntoRoot();
-    for (const CampaignCellResult &cell : out.cells) {
-        out.totals.merge(cell.ledger);
-        if (cell.contained)
-            ++out.contained_cells;
-    }
+    ExperimentEngine engine(config.telemetry_ring_capacity);
+    appendCampaignJobs(engine, &out, scenarios, profiles, config);
+    engine.run(config.telemetry);
+    finalizeCampaignTotals(&out);
     return out;
+}
+
+JsonValue
+campaignResultToJson(const CampaignResult &result)
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue cells = JsonValue::array();
+    for (const CampaignCellResult &c : result.cells) {
+        const CampaignLedger &l = c.ledger;
+        JsonValue v = JsonValue::object();
+        v.set("scenario", c.scenario);
+        v.set("workload", c.workload);
+        v.set("accesses", l.accesses);
+        v.set("injected_faults", l.injected_faults);
+        v.set("detected", l.detected);
+        v.set("corrected", l.corrected);
+        v.set("recovered_retry", l.recovered_retry);
+        v.set("recovered_realign", l.recovered_realign);
+        v.set("recovered_scrub", l.recovered_scrub);
+        v.set("due", l.due);
+        v.set("sdc", l.sdc);
+        v.set("mean_access_cycles", c.access_latency.mean());
+        v.set("mean_recovery_cycles", c.recovery_latency.mean());
+        v.set("bank_degraded_groups", c.bank_degraded_groups);
+        v.set("degraded_capacity_fraction",
+              c.degraded_capacity_fraction);
+        v.set("contained", c.contained);
+        v.set("violation", c.violation);
+        cells.push(std::move(v));
+    }
+    doc.set("cells", std::move(cells));
+    const CampaignLedger &t = result.totals;
+    JsonValue totals = JsonValue::object();
+    totals.set("accesses", t.accesses);
+    totals.set("injected_samples", t.injected_samples);
+    totals.set("injected_faults", t.injected_faults);
+    totals.set("injected_step_errors", t.injected_step_errors);
+    totals.set("injected_stops", t.injected_stops);
+    totals.set("detected", t.detected);
+    totals.set("corrected", t.corrected);
+    totals.set("recovered_retry", t.recovered_retry);
+    totals.set("recovered_realign", t.recovered_realign);
+    totals.set("recovered_scrub", t.recovered_scrub);
+    totals.set("due", t.due);
+    totals.set("sdc", t.sdc);
+    doc.set("totals", std::move(totals));
+    doc.set("contained_cells", result.contained_cells);
+    doc.set("total_cells",
+            static_cast<uint64_t>(result.cells.size()));
+    doc.set("containment_coverage",
+            result.cells.empty()
+                ? 1.0
+                : static_cast<double>(result.contained_cells) /
+                      static_cast<double>(result.cells.size()));
+    return doc;
 }
 
 bool
 writeCampaignJson(const CampaignResult &result,
                   const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return false;
-    auto u64 = [](uint64_t v) {
-        return static_cast<unsigned long long>(v);
-    };
-    std::fprintf(f, "{\n  \"cells\": [\n");
-    for (size_t i = 0; i < result.cells.size(); ++i) {
-        const CampaignCellResult &c = result.cells[i];
-        const CampaignLedger &l = c.ledger;
-        std::fprintf(
-            f,
-            "    {\"scenario\": \"%s\", \"workload\": \"%s\", "
-            "\"accesses\": %llu, "
-            "\"injected_faults\": %llu, \"detected\": %llu, "
-            "\"corrected\": %llu, \"recovered_retry\": %llu, "
-            "\"recovered_realign\": %llu, \"recovered_scrub\": %llu, "
-            "\"due\": %llu, \"sdc\": %llu, "
-            "\"mean_access_cycles\": %.3f, "
-            "\"mean_recovery_cycles\": %.3f, "
-            "\"bank_degraded_groups\": %llu, "
-            "\"degraded_capacity_fraction\": %.6f, "
-            "\"contained\": %s, \"violation\": \"%s\"}%s\n",
-            c.scenario.c_str(), c.workload.c_str(),
-            u64(l.accesses), u64(l.injected_faults),
-            u64(l.detected), u64(l.corrected),
-            u64(l.recovered_retry), u64(l.recovered_realign),
-            u64(l.recovered_scrub), u64(l.due), u64(l.sdc),
-            c.access_latency.mean(), c.recovery_latency.mean(),
-            u64(c.bank_degraded_groups),
-            c.degraded_capacity_fraction,
-            c.contained ? "true" : "false", c.violation.c_str(),
-            i + 1 < result.cells.size() ? "," : "");
-    }
-    const CampaignLedger &t = result.totals;
-    std::fprintf(
-        f,
-        "  ],\n  \"totals\": {\n"
-        "    \"accesses\": %llu,\n"
-        "    \"injected_samples\": %llu,\n"
-        "    \"injected_faults\": %llu,\n"
-        "    \"injected_step_errors\": %llu,\n"
-        "    \"injected_stops\": %llu,\n"
-        "    \"detected\": %llu,\n"
-        "    \"corrected\": %llu,\n"
-        "    \"recovered_retry\": %llu,\n"
-        "    \"recovered_realign\": %llu,\n"
-        "    \"recovered_scrub\": %llu,\n"
-        "    \"due\": %llu,\n"
-        "    \"sdc\": %llu\n"
-        "  },\n"
-        "  \"contained_cells\": %llu,\n"
-        "  \"total_cells\": %llu,\n"
-        "  \"containment_coverage\": %.6f\n}\n",
-        u64(t.accesses), u64(t.injected_samples),
-        u64(t.injected_faults), u64(t.injected_step_errors),
-        u64(t.injected_stops), u64(t.detected), u64(t.corrected),
-        u64(t.recovered_retry), u64(t.recovered_realign),
-        u64(t.recovered_scrub), u64(t.due), u64(t.sdc),
-        u64(result.contained_cells), u64(result.cells.size()),
-        result.cells.empty()
-            ? 1.0
-            : static_cast<double>(result.contained_cells) /
-                  static_cast<double>(result.cells.size()));
-    std::fclose(f);
-    return true;
+    return saveJsonFile(path, campaignResultToJson(result));
 }
 
 } // namespace rtm

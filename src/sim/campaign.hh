@@ -29,10 +29,13 @@
 #include "device/fault_scenario.hh"
 #include "mem/rm_bank.hh"
 #include "trace/workload.hh"
+#include "util/serde.hh"
 #include "util/stats.hh"
 
 namespace rtm
 {
+
+class ExperimentEngine;
 
 /** Configuration of one fault-injection campaign. */
 struct CampaignConfig
@@ -154,6 +157,28 @@ CampaignCellResult runFaultDrill(const ScenarioSpec &spec,
 CampaignResult runCampaign(const std::vector<ScenarioSpec> &scenarios,
                            const std::vector<std::string> &workloads,
                            const CampaignConfig &config);
+
+/**
+ * Queue one drill per (scenario, profile) pair on `engine`
+ * (scenario-major, the runCampaign order) without running them;
+ * `out->cells` is sized here and filled when the engine runs. Cell
+ * seeds depend only on (config.seed, pair index), so results are
+ * bit-identical however the jobs interleave with the rest of the job
+ * set. Call finalizeCampaignTotals after the engine has run.
+ *
+ * `out` must stay at a stable address until the engine has run.
+ */
+void appendCampaignJobs(ExperimentEngine &engine,
+                        CampaignResult *out,
+                        const std::vector<ScenarioSpec> &scenarios,
+                        const std::vector<WorkloadProfile> &profiles,
+                        const CampaignConfig &config);
+
+/** Recompute totals/contained_cells from the finished cells. */
+void finalizeCampaignTotals(CampaignResult *out);
+
+/** The campaign result as a JSON document (serde layer). */
+JsonValue campaignResultToJson(const CampaignResult &result);
 
 /** Write the campaign result as JSON; returns false on I/O error. */
 bool writeCampaignJson(const CampaignResult &result,

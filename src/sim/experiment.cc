@@ -1,0 +1,933 @@
+#include "experiment.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "codec/protected_stripe.hh"
+#include "model/reliability.hh"
+#include "model/tech.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace rtm
+{
+
+namespace
+{
+
+// --- enum <-> token maps (spec schema) -------------------------------
+
+const char *
+scenarioKindToken(ScenarioKind kind)
+{
+    switch (kind) {
+      case ScenarioKind::Iid: return "iid";
+      case ScenarioKind::Burst: return "burst";
+      case ScenarioKind::StuckStripe: return "stuck-stripe";
+      case ScenarioKind::Droop: return "droop";
+      case ScenarioKind::Skew: return "skew";
+    }
+    return "?";
+}
+
+bool
+scenarioKindFromToken(const std::string &token, ScenarioKind *out)
+{
+    if (token == "iid")
+        *out = ScenarioKind::Iid;
+    else if (token == "burst")
+        *out = ScenarioKind::Burst;
+    else if (token == "stuck-stripe")
+        *out = ScenarioKind::StuckStripe;
+    else if (token == "droop")
+        *out = ScenarioKind::Droop;
+    else if (token == "skew")
+        *out = ScenarioKind::Skew;
+    else
+        return false;
+    return true;
+}
+
+const char *
+peccVariantToken(PeccVariant variant)
+{
+    switch (variant) {
+      case PeccVariant::None: return "none";
+      case PeccVariant::Standard: return "std";
+      case PeccVariant::OverheadRegion: return "overhead";
+    }
+    return "?";
+}
+
+bool
+peccVariantFromToken(const std::string &token, PeccVariant *out)
+{
+    if (token == "none")
+        *out = PeccVariant::None;
+    else if (token == "std")
+        *out = PeccVariant::Standard;
+    else if (token == "overhead")
+        *out = PeccVariant::OverheadRegion;
+    else
+        return false;
+    return true;
+}
+
+const char *
+shiftPolicyToken(ShiftPolicy policy)
+{
+    switch (policy) {
+      case ShiftPolicy::Unconstrained: return "unconstrained";
+      case ShiftPolicy::StepByStep: return "step";
+      case ShiftPolicy::WorstCase: return "worst";
+      case ShiftPolicy::Adaptive: return "adaptive";
+    }
+    return "?";
+}
+
+bool
+shiftPolicyFromToken(const std::string &token, ShiftPolicy *out)
+{
+    if (token == "unconstrained")
+        *out = ShiftPolicy::Unconstrained;
+    else if (token == "step")
+        *out = ShiftPolicy::StepByStep;
+    else if (token == "worst")
+        *out = ShiftPolicy::WorstCase;
+    else if (token == "adaptive")
+        *out = ShiftPolicy::Adaptive;
+    else
+        return false;
+    return true;
+}
+
+bool
+knownProfileName(const std::string &name)
+{
+    for (const WorkloadProfile &p : parsecProfiles())
+        if (p.name == name)
+            return true;
+    return false;
+}
+
+/** The faultcampaign tool's historical default workload trio. */
+std::vector<std::string>
+defaultCampaignWorkloads()
+{
+    return {"swaptions", "canneal", "ferret"};
+}
+
+// --- spec emission ---------------------------------------------------
+
+JsonValue
+scenarioToJson(const ScenarioSpec &s)
+{
+    JsonValue v = JsonValue::object();
+    v.set("kind", scenarioKindToken(s.kind));
+    v.set("name", s.name);
+    v.set("burst_period", s.burst_period);
+    v.set("burst_len", s.burst_len);
+    v.set("burst_multiplier", s.burst_multiplier);
+    v.set("stuck_after", s.stuck_after);
+    v.set("stuck_len", s.stuck_len);
+    v.set("droop_period", s.droop_period);
+    v.set("droop_len", s.droop_len);
+    v.set("droop_undershoot_prob", s.droop_undershoot_prob);
+    v.set("stripe_id", s.stripe_id);
+    v.set("skew_sigma", s.skew_sigma);
+    return v;
+}
+
+JsonValue
+optionToJson(const LlcOption &o)
+{
+    JsonValue v = JsonValue::object();
+    v.set("label", o.label);
+    v.set("tech", techToken(o.tech));
+    v.set("scheme", schemeToken(o.scheme));
+    return v;
+}
+
+JsonValue
+stringArray(const std::vector<std::string> &items)
+{
+    JsonValue v = JsonValue::array();
+    for (const std::string &s : items)
+        v.push(s);
+    return v;
+}
+
+// --- spec parsing ----------------------------------------------------
+
+void
+parseWorkloadList(SpecReader &r, const char *key,
+                  std::vector<std::string> *out)
+{
+    const JsonValue *arr = r.child(key, JsonType::Array);
+    if (!arr)
+        return;
+    out->clear();
+    for (size_t i = 0; i < arr->size(); ++i) {
+        const JsonValue &item = arr->at(i);
+        if (!item.isString()) {
+            r.fail(key, "expected string workload name, got " +
+                            std::string(jsonTypeName(item.type())));
+            continue;
+        }
+        if (!knownProfileName(item.asString())) {
+            r.fail(key, "unknown workload '" + item.asString() + "'");
+            continue;
+        }
+        out->push_back(item.asString());
+    }
+}
+
+void
+parseOptionList(SpecReader &r, std::vector<LlcOption> *out,
+                std::string *diag)
+{
+    const JsonValue *arr = r.child("options", JsonType::Array);
+    if (!arr)
+        return;
+    out->clear();
+    for (size_t i = 0; i < arr->size(); ++i) {
+        const JsonValue &item = arr->at(i);
+        std::string path =
+            r.path() + ".options[" + std::to_string(i) + "]";
+        if (item.isString()) {
+            // Catalogue shortcuts, resolved at parse time so the
+            // emitted spec is always an explicit list.
+            if (item.asString() == "standard") {
+                for (const LlcOption &o : standardLlcOptions())
+                    out->push_back(o);
+            } else if (item.asString() == "racetrack") {
+                for (const LlcOption &o : racetrackSchemeOptions())
+                    out->push_back(o);
+            } else {
+                r.fail("options",
+                       "unknown option shortcut '" +
+                           item.asString() +
+                           "' (want \"standard\" or \"racetrack\")");
+            }
+            continue;
+        }
+        SpecReader o(item, path, diag);
+        LlcOption opt;
+        opt.tech = MemTech::Racetrack;
+        opt.scheme = Scheme::PeccSAdaptive;
+        std::string tech_token = techToken(opt.tech);
+        std::string scheme_token = schemeToken(opt.scheme);
+        o.readString("tech", &tech_token);
+        o.readString("scheme", &scheme_token);
+        if (!techFromToken(tech_token, &opt.tech))
+            o.fail("tech", "unknown tech '" + tech_token + "'");
+        if (!schemeFromToken(scheme_token, &opt.scheme))
+            o.fail("scheme",
+                   "unknown scheme '" + scheme_token + "'");
+        opt.label = std::string(memTechName(opt.tech)) + " " +
+                    schemeName(opt.scheme);
+        o.readString("label", &opt.label);
+        o.rejectUnknownKeys({"label", "tech", "scheme"});
+        out->push_back(opt);
+    }
+}
+
+ScenarioSpec
+parseScenario(const JsonValue &v, const std::string &path,
+              std::string *diag)
+{
+    ScenarioSpec s;
+    SpecReader r(v, path, diag);
+    std::string kind_token = scenarioKindToken(s.kind);
+    r.readString("kind", &kind_token);
+    if (!scenarioKindFromToken(kind_token, &s.kind))
+        r.fail("kind",
+               "unknown scenario kind '" + kind_token + "'");
+    s.name = scenarioKindToken(s.kind);
+    r.readString("name", &s.name);
+    r.readU64("burst_period", &s.burst_period);
+    r.readU64("burst_len", &s.burst_len);
+    r.readDouble("burst_multiplier", &s.burst_multiplier);
+    r.readU64("stuck_after", &s.stuck_after);
+    r.readU64("stuck_len", &s.stuck_len);
+    r.readU64("droop_period", &s.droop_period);
+    r.readU64("droop_len", &s.droop_len);
+    r.readDouble("droop_undershoot_prob",
+                 &s.droop_undershoot_prob);
+    r.readU64("stripe_id", &s.stripe_id);
+    r.readDouble("skew_sigma", &s.skew_sigma);
+    r.rejectUnknownKeys({"kind", "name", "burst_period",
+                         "burst_len", "burst_multiplier",
+                         "stuck_after", "stuck_len", "droop_period",
+                         "droop_len", "droop_undershoot_prob",
+                         "stripe_id", "skew_sigma"});
+    return s;
+}
+
+void
+parseMatrixSection(const JsonValue &v, MatrixSpec *m,
+                   std::string *diag)
+{
+    SpecReader r(v, "matrix", diag);
+    r.readBool("enabled", &m->enabled);
+    const bool had_warmup = r.has("warmup");
+    r.readU64("requests", &m->requests);
+    r.readU64("warmup", &m->warmup);
+    // The rtmsim convention: an unstated warmup tracks the request
+    // count (one tenth), so shrinking a spec's requests on the command
+    // line keeps the run proportioned.
+    if (!had_warmup)
+        m->warmup = m->requests / 10;
+    r.readU64("divisor", &m->divisor);
+    r.readU64("seed", &m->seed);
+    parseWorkloadList(r, "workloads", &m->workloads);
+    parseOptionList(r, &m->options, diag);
+    if (m->requests == 0)
+        r.fail("requests", "must be >= 1");
+    if (m->divisor == 0)
+        r.fail("divisor", "must be >= 1");
+    r.rejectUnknownKeys({"enabled", "requests", "warmup", "divisor",
+                         "seed", "workloads", "options"});
+}
+
+void
+parseCampaignSection(const JsonValue &v, CampaignSpec *c,
+                     std::string *diag)
+{
+    SpecReader r(v, "campaign", diag);
+    CampaignConfig &cfg = c->config;
+    r.readBool("enabled", &c->enabled);
+    r.readU64("accesses", &cfg.accesses_per_cell);
+    r.readU64("seed", &cfg.seed);
+    r.readDouble("scale", &cfg.scale);
+    std::string policy_token = shiftPolicyToken(cfg.policy);
+    r.readString("policy", &policy_token);
+    if (!shiftPolicyFromToken(policy_token, &cfg.policy))
+        r.fail("policy", "unknown policy '" + policy_token + "'");
+    r.readDouble("peak_ops_per_second", &cfg.peak_ops_per_second);
+    r.readInt("workload_cores", &cfg.workload_cores);
+    uint64_t ring = cfg.telemetry_ring_capacity;
+    r.readU64("ring_capacity", &ring);
+    cfg.telemetry_ring_capacity = static_cast<size_t>(ring);
+
+    if (const JsonValue *p = r.child("pecc", JsonType::Object)) {
+        SpecReader pr(*p, "campaign.pecc", diag);
+        pr.readInt("segments", &cfg.pecc.num_segments);
+        pr.readInt("lseg", &cfg.pecc.seg_len);
+        pr.readInt("correct", &cfg.pecc.correct);
+        std::string variant_token =
+            peccVariantToken(cfg.pecc.variant);
+        pr.readString("variant", &variant_token);
+        if (!peccVariantFromToken(variant_token, &cfg.pecc.variant))
+            pr.fail("variant",
+                    "unknown variant '" + variant_token + "'");
+        pr.rejectUnknownKeys(
+            {"segments", "lseg", "correct", "variant"});
+        if (cfg.pecc.num_segments < 1)
+            pr.fail("segments", "must be >= 1");
+        if (cfg.pecc.seg_len < 2)
+            pr.fail("lseg", "must be >= 2");
+    }
+    if (const JsonValue *rec = r.child("recovery", JsonType::Object)) {
+        SpecReader rr(*rec, "campaign.recovery", diag);
+        rr.readInt("retry_budget", &cfg.recovery.retry_budget);
+        rr.readBool("sts_realign", &cfg.recovery.sts_realign);
+        rr.readBool("allow_scrub", &cfg.recovery.allow_scrub);
+        rr.readInt("max_replans", &cfg.recovery.max_replans);
+        uint64_t scrub = cfg.recovery.scrub_cycles;
+        rr.readU64("scrub_cycles", &scrub);
+        cfg.recovery.scrub_cycles = scrub;
+        rr.rejectUnknownKeys({"retry_budget", "sts_realign",
+                              "allow_scrub", "max_replans",
+                              "scrub_cycles"});
+    }
+    if (const JsonValue *b = r.child("bank", JsonType::Object)) {
+        SpecReader br(*b, "campaign.bank", diag);
+        br.readU64("frames", &cfg.bank_frames);
+        br.readDouble("due_prob", &cfg.bank_due_prob);
+        br.readInt("retry_budget", &cfg.group_retry_budget);
+        br.rejectUnknownKeys({"frames", "due_prob", "retry_budget"});
+        if (cfg.bank_frames == 0)
+            br.fail("frames", "must be >= 1");
+    }
+    if (const JsonValue *arr = r.child("scenarios", JsonType::Array)) {
+        c->scenarios.clear();
+        for (size_t i = 0; i < arr->size(); ++i) {
+            const JsonValue &item = arr->at(i);
+            if (item.isString()) {
+                if (item.asString() == "standard") {
+                    for (const ScenarioSpec &s : standardScenarios())
+                        c->scenarios.push_back(s);
+                } else {
+                    r.fail("scenarios",
+                           "unknown scenario shortcut '" +
+                               item.asString() +
+                               "' (want \"standard\")");
+                }
+                continue;
+            }
+            c->scenarios.push_back(parseScenario(
+                item,
+                "campaign.scenarios[" + std::to_string(i) + "]",
+                diag));
+        }
+    }
+    parseWorkloadList(r, "workloads", &c->workloads);
+    if (cfg.accesses_per_cell == 0)
+        r.fail("accesses", "must be >= 1");
+    if (cfg.scale <= 0.0)
+        r.fail("scale", "must be > 0");
+    r.rejectUnknownKeys({"enabled", "accesses", "seed", "scale",
+                         "policy", "peak_ops_per_second",
+                         "workload_cores", "ring_capacity", "pecc",
+                         "recovery", "bank", "scenarios",
+                         "workloads"});
+}
+
+void
+parseStressSection(const JsonValue &v, StressSpec *s,
+                   std::string *diag)
+{
+    SpecReader r(v, "stress", diag);
+    r.readBool("enabled", &s->enabled);
+    r.readString("scheme", &s->scheme);
+    r.readDouble("scale", &s->scale);
+    r.readU64("ops", &s->ops);
+    r.readInt("lseg", &s->lseg);
+    r.readU64("seed", &s->seed);
+    Scheme scheme;
+    PeccConfig cfg;
+    if (!stressSchemeConfig(s->scheme, &scheme, &cfg))
+        r.fail("scheme", "unknown scheme '" + s->scheme + "'");
+    if (s->scale <= 0.0)
+        r.fail("scale", "must be > 0");
+    if (s->lseg < 2)
+        r.fail("lseg", "must be >= 2");
+    r.rejectUnknownKeys(
+        {"enabled", "scheme", "scale", "ops", "lseg", "seed"});
+}
+
+} // anonymous namespace
+
+// --- engine ----------------------------------------------------------
+
+void
+ExperimentEngine::run(TelemetryScope root)
+{
+    std::vector<std::function<void(TelemetryScope)>> jobs =
+        std::move(jobs_);
+    jobs_.clear();
+    // One shard per job: shards merge into the root in job order, so
+    // the exported telemetry is bit-identical at any RTM_THREADS.
+    TelemetryShards shards(root, jobs.size(), ring_capacity_);
+    parallelFor(jobs.size(),
+                [&](size_t i) { jobs[i](shards.shard(i)); });
+    shards.mergeIntoRoot();
+}
+
+// --- spec ------------------------------------------------------------
+
+bool
+CampaignSpec::operator==(const CampaignSpec &o) const
+{
+    const CampaignConfig &a = config;
+    const CampaignConfig &b = o.config;
+    return enabled == o.enabled && scenarios == o.scenarios &&
+           workloads == o.workloads &&
+           a.accesses_per_cell == b.accesses_per_cell &&
+           a.seed == b.seed && a.scale == b.scale &&
+           a.pecc.num_segments == b.pecc.num_segments &&
+           a.pecc.seg_len == b.pecc.seg_len &&
+           a.pecc.correct == b.pecc.correct &&
+           a.pecc.variant == b.pecc.variant &&
+           a.recovery.retry_budget == b.recovery.retry_budget &&
+           a.recovery.sts_realign == b.recovery.sts_realign &&
+           a.recovery.allow_scrub == b.recovery.allow_scrub &&
+           a.recovery.max_replans == b.recovery.max_replans &&
+           a.recovery.scrub_cycles == b.recovery.scrub_cycles &&
+           a.policy == b.policy &&
+           a.peak_ops_per_second == b.peak_ops_per_second &&
+           a.workload_cores == b.workload_cores &&
+           a.bank_frames == b.bank_frames &&
+           a.bank_due_prob == b.bank_due_prob &&
+           a.group_retry_budget == b.group_retry_budget &&
+           a.telemetry_ring_capacity == b.telemetry_ring_capacity;
+}
+
+void
+normalizeExperimentSpec(ExperimentSpec *spec)
+{
+    if (spec->matrix.workloads.empty())
+        for (const WorkloadProfile &p : parsecProfiles())
+            spec->matrix.workloads.push_back(p.name);
+    if (spec->matrix.options.empty())
+        spec->matrix.options = standardLlcOptions();
+    if (spec->campaign.scenarios.empty())
+        spec->campaign.scenarios = standardScenarios();
+    if (spec->campaign.workloads.empty())
+        spec->campaign.workloads = defaultCampaignWorkloads();
+}
+
+JsonValue
+experimentSpecToJson(const ExperimentSpec &spec_in)
+{
+    ExperimentSpec spec = spec_in;
+    normalizeExperimentSpec(&spec);
+
+    JsonValue doc = JsonValue::object();
+    doc.set("name", spec.name);
+
+    JsonValue m = JsonValue::object();
+    m.set("enabled", spec.matrix.enabled);
+    m.set("requests", spec.matrix.requests);
+    m.set("warmup", spec.matrix.warmup);
+    m.set("divisor", spec.matrix.divisor);
+    m.set("seed", spec.matrix.seed);
+    m.set("workloads", stringArray(spec.matrix.workloads));
+    JsonValue opts = JsonValue::array();
+    for (const LlcOption &o : spec.matrix.options)
+        opts.push(optionToJson(o));
+    m.set("options", std::move(opts));
+    doc.set("matrix", std::move(m));
+
+    const CampaignConfig &cfg = spec.campaign.config;
+    JsonValue c = JsonValue::object();
+    c.set("enabled", spec.campaign.enabled);
+    c.set("accesses", cfg.accesses_per_cell);
+    c.set("seed", cfg.seed);
+    c.set("scale", cfg.scale);
+    c.set("policy", shiftPolicyToken(cfg.policy));
+    c.set("peak_ops_per_second", cfg.peak_ops_per_second);
+    c.set("workload_cores", cfg.workload_cores);
+    c.set("ring_capacity",
+          static_cast<uint64_t>(cfg.telemetry_ring_capacity));
+    JsonValue pecc = JsonValue::object();
+    pecc.set("segments", cfg.pecc.num_segments);
+    pecc.set("lseg", cfg.pecc.seg_len);
+    pecc.set("correct", cfg.pecc.correct);
+    pecc.set("variant", peccVariantToken(cfg.pecc.variant));
+    c.set("pecc", std::move(pecc));
+    JsonValue rec = JsonValue::object();
+    rec.set("retry_budget", cfg.recovery.retry_budget);
+    rec.set("sts_realign", cfg.recovery.sts_realign);
+    rec.set("allow_scrub", cfg.recovery.allow_scrub);
+    rec.set("max_replans", cfg.recovery.max_replans);
+    rec.set("scrub_cycles",
+            static_cast<uint64_t>(cfg.recovery.scrub_cycles));
+    c.set("recovery", std::move(rec));
+    JsonValue bank = JsonValue::object();
+    bank.set("frames", cfg.bank_frames);
+    bank.set("due_prob", cfg.bank_due_prob);
+    bank.set("retry_budget", cfg.group_retry_budget);
+    c.set("bank", std::move(bank));
+    JsonValue scenarios = JsonValue::array();
+    for (const ScenarioSpec &s : spec.campaign.scenarios)
+        scenarios.push(scenarioToJson(s));
+    c.set("scenarios", std::move(scenarios));
+    c.set("workloads", stringArray(spec.campaign.workloads));
+    doc.set("campaign", std::move(c));
+
+    JsonValue st = JsonValue::object();
+    st.set("enabled", spec.stress.enabled);
+    st.set("scheme", spec.stress.scheme);
+    st.set("scale", spec.stress.scale);
+    st.set("ops", spec.stress.ops);
+    st.set("lseg", spec.stress.lseg);
+    st.set("seed", spec.stress.seed);
+    doc.set("stress", std::move(st));
+
+    JsonValue tel = JsonValue::object();
+    tel.set("metrics", spec.metrics_path);
+    tel.set("trace", spec.trace_path);
+    doc.set("telemetry", std::move(tel));
+    doc.set("output", spec.output_path);
+    return doc;
+}
+
+bool
+experimentSpecFromJson(const JsonValue &doc, ExperimentSpec *spec,
+                       std::string *diag)
+{
+    std::string local;
+    std::string *d = diag ? diag : &local;
+    d->clear();
+
+    ExperimentSpec out;
+    SpecReader top(doc, "", d);
+    top.readString("name", &out.name);
+    if (const JsonValue *m = top.child("matrix", JsonType::Object))
+        parseMatrixSection(*m, &out.matrix, d);
+    if (const JsonValue *c = top.child("campaign", JsonType::Object))
+        parseCampaignSection(*c, &out.campaign, d);
+    if (const JsonValue *s = top.child("stress", JsonType::Object))
+        parseStressSection(*s, &out.stress, d);
+    if (const JsonValue *t =
+            top.child("telemetry", JsonType::Object)) {
+        SpecReader tr(*t, "telemetry", d);
+        tr.readString("metrics", &out.metrics_path);
+        tr.readString("trace", &out.trace_path);
+        tr.rejectUnknownKeys({"metrics", "trace"});
+    }
+    top.readString("output", &out.output_path);
+    top.rejectUnknownKeys({"name", "matrix", "campaign", "stress",
+                           "telemetry", "output"});
+    if (!d->empty())
+        return false;
+    normalizeExperimentSpec(&out);
+    *spec = std::move(out);
+    return true;
+}
+
+bool
+loadExperimentSpec(const std::string &path, ExperimentSpec *spec,
+                   std::string *diag)
+{
+    JsonValue doc;
+    if (!loadJsonFile(path, &doc, diag))
+        return false;
+    std::string parse_diag;
+    if (!experimentSpecFromJson(doc, spec, &parse_diag)) {
+        if (diag) {
+            *diag = path + ": " + parse_diag;
+            size_t pos = 0;
+            // Prefix every diagnostic line with the file path.
+            while ((pos = diag->find('\n', pos)) !=
+                   std::string::npos) {
+                diag->replace(pos, 1, "\n" + path + ": ");
+                pos += path.size() + 3;
+            }
+        }
+        return false;
+    }
+    return true;
+}
+
+// --- expansion -------------------------------------------------------
+
+std::string
+ExperimentCell::label() const
+{
+    switch (kind) {
+      case Kind::Matrix:
+        return workload + "/" + option.label;
+      case Kind::Campaign:
+        return scenario.name + "/" + workload;
+      case Kind::Stress:
+        return "stress";
+    }
+    return "?";
+}
+
+std::vector<ExperimentCell>
+expandCells(const ExperimentSpec &spec_in)
+{
+    ExperimentSpec spec = spec_in;
+    normalizeExperimentSpec(&spec);
+    std::vector<ExperimentCell> cells;
+    if (spec.matrix.enabled) {
+        const size_t no = spec.matrix.options.size();
+        for (size_t w = 0; w < spec.matrix.workloads.size(); ++w) {
+            for (size_t o = 0; o < no; ++o) {
+                ExperimentCell cell;
+                cell.kind = ExperimentCell::Kind::Matrix;
+                cell.local_index = w * no + o;
+                cell.workload = spec.matrix.workloads[w];
+                cell.option = spec.matrix.options[o];
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    if (spec.campaign.enabled) {
+        const size_t nw = spec.campaign.workloads.size();
+        for (size_t s = 0; s < spec.campaign.scenarios.size(); ++s) {
+            for (size_t w = 0; w < nw; ++w) {
+                ExperimentCell cell;
+                cell.kind = ExperimentCell::Kind::Campaign;
+                cell.local_index = s * nw + w;
+                cell.workload = spec.campaign.workloads[w];
+                cell.scenario = spec.campaign.scenarios[s];
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    if (spec.stress.enabled) {
+        ExperimentCell cell;
+        cell.kind = ExperimentCell::Kind::Stress;
+        cell.local_index = 0;
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+// --- stress drill ----------------------------------------------------
+
+bool
+stressSchemeConfig(const std::string &token, Scheme *scheme,
+                   PeccConfig *config)
+{
+    // The stripe drill shares one stripe between two ports; seg_len
+    // is the caller's (the --lseg flag / stress.lseg field).
+    config->num_segments = 2;
+    if (token == "baseline") {
+        *scheme = Scheme::Baseline;
+        config->correct = 1;
+        config->variant = PeccVariant::None;
+    } else if (token == "sed") {
+        *scheme = Scheme::SedPecc;
+        config->correct = 0;
+        config->variant = PeccVariant::Standard;
+    } else if (token == "pecc-o") {
+        *scheme = Scheme::PeccO;
+        config->correct = 1;
+        config->variant = PeccVariant::OverheadRegion;
+    } else if (token == "secded") {
+        *scheme = Scheme::SecdedPecc;
+        config->correct = 1;
+        config->variant = PeccVariant::Standard;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+StressResult
+runStressDrill(const StressSpec &spec, TelemetryScope telemetry)
+{
+    ScopedPhase drill_phase("experiment.stress");
+    StressResult out;
+    PeccConfig cfg;
+    cfg.seg_len = spec.lseg;
+    if (!stressSchemeConfig(spec.scheme, &out.scheme, &cfg))
+        rtm_fatal("unknown stress scheme '%s'",
+                  spec.scheme.c_str());
+    out.pecc = cfg;
+
+    auto base = std::make_shared<PaperCalibratedErrorModel>();
+    ScaledErrorModel model(base, spec.scale);
+    ReliabilityModel analytic(&model, out.scheme);
+
+    ProtectedStripe stripe(cfg, &model, Rng(spec.seed));
+    stripe.initializeIdeal();
+
+    Rng dice(spec.seed ^ 0xfeedbeef);
+    LatencyHistogram *t_dist =
+        telemetry ? &telemetry->histogram("faultsim.shift_distance",
+                                          powerOfTwoEdges(64.0))
+                  : nullptr;
+
+    const int lseg = spec.lseg;
+    for (uint64_t i = 0; i < spec.ops; ++i) {
+        int target = static_cast<int>(
+            dice.uniformInt(static_cast<uint64_t>(lseg)));
+        int cur_idx = lseg - 1 - stripe.believedOffset();
+        int distance = std::abs(target - cur_idx);
+        if (distance == 0)
+            continue;
+        out.distances.add(distance);
+
+        // Accumulate the analytic expectation for this op. The
+        // OverheadRegion variant decomposes into 1-step shifts.
+        std::vector<int> parts =
+            cfg.variant == PeccVariant::OverheadRegion
+                ? std::vector<int>(static_cast<size_t>(distance), 1)
+                : std::vector<int>{distance};
+        ShiftReliability r = analytic.sequence(parts);
+        out.exp_corrected += std::exp(r.log_corrected);
+        out.exp_due += std::exp(r.log_due);
+        out.exp_sdc += std::exp(r.log_sdc);
+
+        ProtectedShiftResult res = stripe.seekIndex(target);
+        if (telemetry) {
+            t_dist->record(static_cast<double>(distance));
+            if (res.detected)
+                telemetry->event(EventKind::ErrorDetected, "stripe",
+                                 i, static_cast<double>(distance));
+        }
+        if (res.unrecoverable) {
+            ++out.due;
+            if (telemetry)
+                telemetry->event(EventKind::RecoveryRung, "due", i);
+            stripe.initializeIdeal(); // rebuild and continue
+            continue;
+        }
+        if (res.corrected) {
+            ++out.corrected;
+        } else if (stripe.positionError() != 0) {
+            ++out.silent;
+            stripe.initializeIdeal(); // reset the silent drift
+        } else {
+            ++out.clean;
+        }
+    }
+
+    if (telemetry) {
+        Telemetry &t = *telemetry.get();
+        t.counter("faultsim.ops").add(spec.ops);
+        t.counter("faultsim.corrected").add(out.corrected);
+        t.counter("faultsim.due").add(out.due);
+        t.counter("faultsim.silent").add(out.silent);
+        t.counter("faultsim.clean").add(out.clean);
+        t.gauge("faultsim.scale").set(spec.scale);
+        t.gauge("faultsim.expected_corrected").set(out.exp_corrected);
+        t.gauge("faultsim.expected_due").set(out.exp_due);
+        t.gauge("faultsim.expected_sdc").set(out.exp_sdc);
+    }
+    return out;
+}
+
+// --- whole-spec runs -------------------------------------------------
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec_in,
+              const PositionErrorModel *model,
+              TelemetryScope telemetry)
+{
+    ScopedPhase run_phase("experiment.run");
+    ExperimentResult res;
+    res.spec = spec_in;
+    normalizeExperimentSpec(&res.spec);
+    const ExperimentSpec &spec = res.spec;
+
+    ExperimentEngine engine;
+    PaperCalibratedErrorModel default_model;
+    const PositionErrorModel *matrix_model =
+        model ? model : &default_model;
+
+    if (spec.matrix.enabled) {
+        res.has_matrix = true;
+        std::vector<WorkloadProfile> profiles;
+        profiles.reserve(spec.matrix.workloads.size());
+        for (const std::string &name : spec.matrix.workloads)
+            profiles.push_back(parsecProfile(name));
+        appendMatrixJobs(engine, &res.matrix, profiles,
+                         spec.matrix.options, matrix_model,
+                         spec.matrix.requests, spec.matrix.warmup,
+                         spec.matrix.divisor, spec.matrix.seed);
+    }
+    if (spec.campaign.enabled) {
+        res.has_campaign = true;
+        engine.requestRingCapacity(
+            spec.campaign.config.telemetry_ring_capacity);
+        std::vector<WorkloadProfile> profiles;
+        profiles.reserve(spec.campaign.workloads.size());
+        for (const std::string &name : spec.campaign.workloads)
+            profiles.push_back(parsecProfile(name));
+        appendCampaignJobs(engine, &res.campaign,
+                           spec.campaign.scenarios, profiles,
+                           spec.campaign.config);
+    }
+    if (spec.stress.enabled) {
+        res.has_stress = true;
+        StressResult *slot = &res.stress;
+        const StressSpec stress = spec.stress;
+        engine.addJob([slot, stress](TelemetryScope t) {
+            *slot = runStressDrill(stress, t);
+        });
+    }
+
+    res.cells = engine.jobCount();
+    engine.run(telemetry);
+    if (res.has_campaign)
+        finalizeCampaignTotals(&res.campaign);
+    return res;
+}
+
+// --- result export ---------------------------------------------------
+
+namespace
+{
+
+/** MTTFs can be +inf (non-racetrack options); JSON has no inf. */
+JsonValue
+finiteOrNull(double v)
+{
+    return std::isfinite(v) ? JsonValue(v) : JsonValue();
+}
+
+JsonValue
+simResultToJson(const std::string &workload, const LlcOption &opt,
+                const SimResult &r)
+{
+    JsonValue v = JsonValue::object();
+    v.set("workload", workload);
+    v.set("option", opt.label);
+    v.set("tech", techToken(opt.tech));
+    v.set("scheme", schemeToken(opt.scheme));
+    v.set("instructions", r.instructions);
+    v.set("mem_ops", r.mem_ops);
+    v.set("cycles", static_cast<uint64_t>(r.cycles));
+    v.set("seconds", r.seconds);
+    v.set("ipc", r.ipc());
+    v.set("llc_accesses", r.llc_accesses);
+    v.set("llc_misses", r.llc_misses);
+    v.set("dram_accesses", r.dram_accesses);
+    v.set("shift_ops", r.shift_ops);
+    v.set("shift_steps", r.shift_steps);
+    v.set("shift_cycles", static_cast<uint64_t>(r.shift_cycles));
+    v.set("cache_dynamic_energy", r.cache_dynamic_energy);
+    v.set("llc_shift_energy", r.llc_shift_energy);
+    v.set("dram_energy", r.dram_energy);
+    v.set("leakage_energy", r.leakage_energy);
+    v.set("total_energy", r.totalEnergy());
+    v.set("sdc_mttf", finiteOrNull(r.sdc_mttf));
+    v.set("due_mttf", finiteOrNull(r.due_mttf));
+    return v;
+}
+
+JsonValue
+stressResultToJson(const StressResult &r)
+{
+    JsonValue v = JsonValue::object();
+    v.set("scheme", schemeToken(r.scheme));
+    v.set("corrected", r.corrected);
+    v.set("due", r.due);
+    v.set("silent", r.silent);
+    v.set("clean", r.clean);
+    v.set("expected_corrected", r.exp_corrected);
+    v.set("expected_due", r.exp_due);
+    v.set("expected_sdc", r.exp_sdc);
+    v.set("mean_shift_distance", r.distances.mean());
+    return v;
+}
+
+} // anonymous namespace
+
+JsonValue
+experimentResultToJson(const ExperimentResult &result)
+{
+    const ExperimentSpec &spec = result.spec;
+    JsonValue doc = JsonValue::object();
+    doc.set("name", spec.name);
+    doc.set("cells", static_cast<uint64_t>(result.cells));
+    doc.set("spec", experimentSpecToJson(spec));
+    if (result.has_matrix) {
+        JsonValue m = JsonValue::object();
+        m.set("workloads", stringArray(spec.matrix.workloads));
+        JsonValue opts = JsonValue::array();
+        for (const LlcOption &o : spec.matrix.options)
+            opts.push(optionToJson(o));
+        m.set("options", std::move(opts));
+        JsonValue results = JsonValue::array();
+        for (const WorkloadMatrixRow &row : result.matrix)
+            for (size_t o = 0; o < row.results.size(); ++o)
+                results.push(simResultToJson(
+                    row.profile.name, spec.matrix.options[o],
+                    row.results[o]));
+        m.set("results", std::move(results));
+        doc.set("matrix", std::move(m));
+    }
+    if (result.has_campaign)
+        doc.set("campaign", campaignResultToJson(result.campaign));
+    if (result.has_stress)
+        doc.set("stress", stressResultToJson(result.stress));
+    return doc;
+}
+
+bool
+writeExperimentJson(const ExperimentResult &result,
+                    const std::string &path)
+{
+    return saveJsonFile(path, experimentResultToJson(result));
+}
+
+} // namespace rtm

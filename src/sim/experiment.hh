@@ -1,0 +1,314 @@
+/**
+ * @file
+ * The unified experiment engine: one declarative run definition and
+ * one scheduler for everything the paper's evaluation sweeps.
+ *
+ * An ExperimentSpec describes a whole evaluation as data — the
+ * technology/scheme axes and workload set of a matrix sweep
+ * (Figs. 14/16-18), the scenario catalogue of a fault-injection
+ * campaign, the stripe-level stress drill faultsim runs, telemetry
+ * sinks and seeds — and round-trips losslessly through JSON
+ * (util/serde.hh). A spec expands into a flat cell list, and every
+ * cell — matrix, campaign and stress alike — is scheduled as one job
+ * set on the global thread pool by the ExperimentEngine: no
+ * per-matrix barrier, campaign and matrix cells interleave freely,
+ * yet results and merged telemetry are bit-identical at any
+ * RTM_THREADS because each cell derives its RNG streams from the
+ * spec alone and per-cell telemetry shards merge in cell order.
+ *
+ * runMatrix (sim/runner.hh) and runCampaign (sim/campaign.hh) are
+ * thin wrappers over this engine, so the golden SHA-256 digests of
+ * tests/sim_golden_test.cc pin the engine path too.
+ */
+
+#ifndef RTM_SIM_EXPERIMENT_HH
+#define RTM_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+#include "sim/runner.hh"
+#include "util/serde.hh"
+
+namespace rtm
+{
+
+/**
+ * Deterministic job-set scheduler on the global ThreadPool.
+ *
+ * Jobs are independent cells; each gets a private telemetry shard
+ * (lane = job index) and the shards merge into the root sink in job
+ * order after the parallel region, so counters/events are
+ * bit-identical for any RTM_THREADS. Jobs are claimed dynamically —
+ * there is no barrier between the groups a caller appends, which is
+ * what lets matrix and campaign cells interleave.
+ */
+class ExperimentEngine
+{
+  public:
+    explicit ExperimentEngine(
+        size_t ring_capacity = Telemetry::kDefaultRingCapacity)
+        : ring_capacity_(ring_capacity)
+    {
+    }
+
+    /** Raise the per-shard event-ring capacity (max of requests). */
+    void requestRingCapacity(size_t capacity)
+    {
+        if (capacity > ring_capacity_)
+            ring_capacity_ = capacity;
+    }
+
+    /** Queue one cell. The body receives its telemetry shard. */
+    void addJob(std::function<void(TelemetryScope)> body)
+    {
+        jobs_.push_back(std::move(body));
+    }
+
+    size_t jobCount() const { return jobs_.size(); }
+
+    /**
+     * Run every queued job on the global pool, then merge the
+     * telemetry shards into `root` in job order. One-shot: the job
+     * list is consumed.
+     */
+    void run(TelemetryScope root);
+
+  private:
+    size_t ring_capacity_;
+    std::vector<std::function<void(TelemetryScope)>> jobs_;
+};
+
+/** Matrix section of a spec: workloads x (tech, scheme) options. */
+struct MatrixSpec
+{
+    bool enabled = true;
+    uint64_t requests = 60000;
+    uint64_t warmup = 6000;
+    uint64_t divisor = 16; //!< hierarchy/working-set shrink
+    uint64_t seed = 42;
+    /** Workload names; empty = every parsecProfiles() entry. */
+    std::vector<std::string> workloads;
+    /** LLC options; empty = standardLlcOptions(). */
+    std::vector<LlcOption> options;
+
+    bool operator==(const MatrixSpec &o) const
+    {
+        return enabled == o.enabled && requests == o.requests &&
+               warmup == o.warmup && divisor == o.divisor &&
+               seed == o.seed && workloads == o.workloads &&
+               options == o.options;
+    }
+    bool operator!=(const MatrixSpec &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/** Campaign section: fault scenarios x workloads (sim/campaign.hh). */
+struct CampaignSpec
+{
+    bool enabled = false;
+    /** Per-cell drill configuration (telemetry wiring ignored). */
+    CampaignConfig config;
+    /** Scenario list; empty = standardScenarios(). */
+    std::vector<ScenarioSpec> scenarios;
+    /** Workload names; empty = swaptions, canneal, ferret. */
+    std::vector<std::string> workloads;
+
+    bool operator==(const CampaignSpec &o) const;
+    bool operator!=(const CampaignSpec &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/**
+ * Stress section: the stripe-level fault-injection drill faultsim
+ * runs — randomized seeks on one protected stripe with scaled error
+ * rates, reconciled against the closed-form ReliabilityModel.
+ */
+struct StressSpec
+{
+    bool enabled = false;
+    /** Scheme token: baseline | sed | secded | pecc-o. */
+    std::string scheme = "secded";
+    double scale = 500.0; //!< error-rate acceleration
+    uint64_t ops = 200000;
+    int lseg = 8;
+    uint64_t seed = 1;
+
+    bool operator==(const StressSpec &o) const
+    {
+        return enabled == o.enabled && scheme == o.scheme &&
+               scale == o.scale && ops == o.ops &&
+               lseg == o.lseg && seed == o.seed;
+    }
+    bool operator!=(const StressSpec &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/** One declarative experiment: every section plus output sinks. */
+struct ExperimentSpec
+{
+    std::string name = "experiment";
+    MatrixSpec matrix;
+    CampaignSpec campaign;
+    StressSpec stress;
+
+    // Output sinks (empty = disabled).
+    std::string metrics_path; //!< telemetry registry JSON
+    std::string trace_path;   //!< Chrome trace_event JSON
+    std::string output_path;  //!< unified result JSON
+
+    bool operator==(const ExperimentSpec &o) const
+    {
+        return name == o.name && matrix == o.matrix &&
+               campaign == o.campaign && stress == o.stress &&
+               metrics_path == o.metrics_path &&
+               trace_path == o.trace_path &&
+               output_path == o.output_path;
+    }
+    bool operator!=(const ExperimentSpec &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/**
+ * Resolve every defaulted axis to its explicit catalogue (empty
+ * matrix workloads -> all PARSEC profiles, empty options -> the
+ * standard LLC set, empty scenarios -> the standard catalogue, empty
+ * campaign workloads -> the faultcampaign trio), so expansion and
+ * emission are deterministic and emitted specs are self-contained.
+ */
+void normalizeExperimentSpec(ExperimentSpec *spec);
+
+/** Emit a (normalized copy of the) spec; parse restores it. */
+JsonValue experimentSpecToJson(const ExperimentSpec &spec);
+
+/**
+ * Parse a spec document. Returns false with newline-separated
+ * dotted-path diagnostics on any malformed, mistyped or unknown
+ * field; the result is normalized (parse -> emit -> parse is the
+ * identity).
+ */
+bool experimentSpecFromJson(const JsonValue &doc,
+                            ExperimentSpec *spec,
+                            std::string *diag);
+
+/** Load + parse a spec file (diagnostics carry the path). */
+bool loadExperimentSpec(const std::string &path,
+                        ExperimentSpec *spec, std::string *diag);
+
+/** One expanded cell of a spec (flat, schedule-ready). */
+struct ExperimentCell
+{
+    enum class Kind
+    {
+        Matrix,
+        Campaign,
+        Stress
+    };
+
+    Kind kind = Kind::Matrix;
+    /** Index within the cell's own section (seeding/ordering). */
+    size_t local_index = 0;
+    std::string workload; //!< matrix/campaign cells
+    LlcOption option;     //!< matrix cells
+    ScenarioSpec scenario; //!< campaign cells
+
+    /** Short human-readable cell name for diagnostics. */
+    std::string label() const;
+
+    bool operator==(const ExperimentCell &o) const
+    {
+        return kind == o.kind && local_index == o.local_index &&
+               workload == o.workload && option == o.option &&
+               scenario == o.scenario;
+    }
+    bool operator!=(const ExperimentCell &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/**
+ * Expand a spec into its flat cell list: matrix cells first
+ * (workload-major, matching runMatrix), then campaign cells
+ * (scenario-major, matching runCampaign), then the stress drill.
+ */
+std::vector<ExperimentCell>
+expandCells(const ExperimentSpec &spec);
+
+/** Outcome of the stress drill (counts vs analytic expectation). */
+struct StressResult
+{
+    Scheme scheme = Scheme::SecdedPecc;
+    PeccConfig pecc;
+    uint64_t corrected = 0;
+    uint64_t due = 0;
+    uint64_t silent = 0;
+    uint64_t clean = 0;
+    double exp_corrected = 0.0;
+    double exp_due = 0.0;
+    double exp_sdc = 0.0;
+    IntTally distances; //!< seek distances driven
+};
+
+/**
+ * Resolve a stress scheme token to the (scheme, stripe config) pair
+ * the drill uses; false when the token names no stress scheme.
+ */
+bool stressSchemeConfig(const std::string &token, Scheme *scheme,
+                        PeccConfig *config);
+
+/** Run the stripe-level drill (spec.enabled is not consulted). */
+StressResult runStressDrill(const StressSpec &spec,
+                            TelemetryScope telemetry = {});
+
+/** Everything one spec run produced. */
+struct ExperimentResult
+{
+    ExperimentSpec spec; //!< normalized spec the run used
+
+    bool has_matrix = false;
+    std::vector<WorkloadMatrixRow> matrix; //!< one row per workload
+
+    bool has_campaign = false;
+    CampaignResult campaign;
+
+    bool has_stress = false;
+    StressResult stress;
+
+    size_t cells = 0; //!< total scheduled cells
+};
+
+/**
+ * Run a whole spec on the engine: every enabled section expands into
+ * cells scheduled as ONE job set (matrix and campaign cells
+ * interleave on the pool), bit-identical at any RTM_THREADS.
+ *
+ * @param model position-error model for matrix cells; null uses the
+ *              paper-calibrated model. Campaign/stress cells build
+ *              their own scaled models per cell, as always.
+ */
+ExperimentResult runExperiment(const ExperimentSpec &spec,
+                               const PositionErrorModel *model =
+                                   nullptr,
+                               TelemetryScope telemetry = {});
+
+/** The unified result document (spec + per-section results). */
+JsonValue experimentResultToJson(const ExperimentResult &result);
+
+/** Write experimentResultToJson; false on I/O error. */
+bool writeExperimentJson(const ExperimentResult &result,
+                         const std::string &path);
+
+} // namespace rtm
+
+#endif // RTM_SIM_EXPERIMENT_HH

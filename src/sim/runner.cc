@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/experiment.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -46,6 +47,65 @@ scaledProfile(WorkloadProfile profile, uint64_t divisor)
     return profile;
 }
 
+void
+appendMatrixJobs(ExperimentEngine &engine,
+                 std::vector<WorkloadMatrixRow> *rows,
+                 const std::vector<WorkloadProfile> &profiles,
+                 const std::vector<LlcOption> &options,
+                 const PositionErrorModel *model, uint64_t requests,
+                 uint64_t warmup, uint64_t capacity_divisor,
+                 uint64_t seed)
+{
+    // Every (workload, option) cell is an independent simulation:
+    // simulate() builds its own hierarchy and RNG state per call and
+    // only reads the shared error model (const, stateless for the
+    // models used here). Cells are fanned out over the global pool
+    // and written into pre-sized slots, so the output ordering — and
+    // every result bit — is independent of the worker count.
+    rows->resize(profiles.size());
+    for (size_t w = 0; w < profiles.size(); ++w) {
+        (*rows)[w].profile = profiles[w];
+        (*rows)[w].results.resize(options.size());
+    }
+    const size_t cells = profiles.size() * options.size();
+    const double matrix_start = telemetryNowSeconds();
+    for (size_t cell = 0; cell < cells; ++cell) {
+        const size_t w = cell / options.size();
+        const size_t o = cell % options.size();
+        const LlcOption opt = options[o];
+        const WorkloadProfile profile = profiles[w];
+        SimResult *slot = &(*rows)[w].results[o];
+        engine.addJob([slot, opt, profile, model, requests, warmup,
+                       capacity_divisor, seed, matrix_start,
+                       cell](TelemetryScope shard) {
+            ScopedPhase cell_phase("runner.cell");
+            WorkloadProfile run_profile =
+                scaledProfile(profile, capacity_divisor);
+            SimConfig cfg;
+            cfg.hierarchy.llc_tech = opt.tech;
+            cfg.hierarchy.scheme = opt.scheme;
+            cfg.hierarchy.capacity_divisor = capacity_divisor;
+            cfg.mem_requests = requests;
+            cfg.warmup_requests = warmup;
+            cfg.seed = seed;
+            cfg.telemetry = shard;
+            const double t0 = shard ? telemetryNowSeconds() : 0.0;
+            *slot = simulate(run_profile, cfg, model);
+            if (shard) {
+                const double wall = telemetryNowSeconds() - t0;
+                shard->histogram("runner.cell_wall_ms",
+                                 powerOfTwoEdges(65536.0))
+                    .record(wall * 1e3);
+                shard->counter("runner.cells").add();
+                shard->event(EventKind::Span, "runner.cell",
+                             static_cast<uint64_t>(
+                                 (t0 - matrix_start) * 1e6),
+                             wall * 1e6, static_cast<double>(cell));
+            }
+        });
+    }
+}
+
 std::vector<WorkloadMatrixRow>
 runMatrix(const std::vector<LlcOption> &options,
           const PositionErrorModel *model, uint64_t requests,
@@ -53,51 +113,12 @@ runMatrix(const std::vector<LlcOption> &options,
           TelemetryScope telemetry)
 {
     ScopedPhase matrix_phase("runner.matrix");
-    // Every (workload, option) cell is an independent simulation:
-    // simulate() builds its own hierarchy and RNG state per call and
-    // only reads the shared error model (const, stateless for the
-    // models used here). Cells are fanned out over the global pool
-    // and written into pre-sized slots, so the output ordering — and
-    // every result bit — is independent of the worker count.
-    const std::vector<WorkloadProfile> profiles = parsecProfiles();
-    std::vector<WorkloadMatrixRow> rows(profiles.size());
-    for (size_t w = 0; w < profiles.size(); ++w) {
-        rows[w].profile = profiles[w];
-        rows[w].results.resize(options.size());
-    }
-    const size_t cells = profiles.size() * options.size();
-    TelemetryShards shards(telemetry, cells);
-    const double matrix_start = telemetryNowSeconds();
-    parallelFor(cells, [&](size_t cell) {
-        ScopedPhase cell_phase("runner.cell");
-        size_t w = cell / options.size();
-        size_t o = cell % options.size();
-        const auto &opt = options[o];
-        WorkloadProfile run_profile =
-            scaledProfile(profiles[w], capacity_divisor);
-        SimConfig cfg;
-        cfg.hierarchy.llc_tech = opt.tech;
-        cfg.hierarchy.scheme = opt.scheme;
-        cfg.hierarchy.capacity_divisor = capacity_divisor;
-        cfg.mem_requests = requests;
-        cfg.warmup_requests = warmup;
-        TelemetryScope shard = shards.shard(cell);
-        cfg.telemetry = shard;
-        const double t0 = shard ? telemetryNowSeconds() : 0.0;
-        rows[w].results[o] = simulate(run_profile, cfg, model);
-        if (shard) {
-            const double wall = telemetryNowSeconds() - t0;
-            shard->histogram("runner.cell_wall_ms",
-                             powerOfTwoEdges(65536.0))
-                .record(wall * 1e3);
-            shard->counter("runner.cells").add();
-            shard->event(EventKind::Span, "runner.cell",
-                         static_cast<uint64_t>(
-                             (t0 - matrix_start) * 1e6),
-                         wall * 1e6, static_cast<double>(cell));
-        }
-    });
-    shards.mergeIntoRoot();
+    std::vector<WorkloadMatrixRow> rows;
+    ExperimentEngine engine;
+    appendMatrixJobs(engine, &rows, parsecProfiles(), options,
+                     model, requests, warmup, capacity_divisor,
+                     SimConfig().seed);
+    engine.run(telemetry);
     return rows;
 }
 

@@ -16,12 +16,24 @@
 namespace rtm
 {
 
+class ExperimentEngine;
+
 /** One LLC configuration of the Fig. 16-18 comparison. */
 struct LlcOption
 {
     std::string label;
     MemTech tech = MemTech::SRAM;
     Scheme scheme = Scheme::Baseline;
+
+    bool operator==(const LlcOption &o) const
+    {
+        return label == o.label && tech == o.tech &&
+               scheme == o.scheme;
+    }
+    bool operator!=(const LlcOption &o) const
+    {
+        return !(*this == o);
+    }
 };
 
 /** The paper's standard comparison set (Fig. 16-18 legends). */
@@ -67,6 +79,23 @@ runMatrix(const std::vector<LlcOption> &options,
           const PositionErrorModel *model, uint64_t requests,
           uint64_t warmup = 20000, uint64_t capacity_divisor = 1,
           TelemetryScope telemetry = {});
+
+/**
+ * Queue one matrix cell per (profile, option) pair on `engine`
+ * (workload-major, the runMatrix order) without running them; `rows`
+ * is sized here and filled when the engine runs. This is how matrix
+ * cells join a larger job set (sim/experiment.hh) — runMatrix itself
+ * is a thin append + run wrapper.
+ *
+ * `rows` must stay at a stable address until the engine has run.
+ */
+void appendMatrixJobs(ExperimentEngine &engine,
+                      std::vector<WorkloadMatrixRow> *rows,
+                      const std::vector<WorkloadProfile> &profiles,
+                      const std::vector<LlcOption> &options,
+                      const PositionErrorModel *model,
+                      uint64_t requests, uint64_t warmup,
+                      uint64_t capacity_divisor, uint64_t seed);
 
 /** Geometric mean over positive values. */
 double geomean(const std::vector<double> &values);

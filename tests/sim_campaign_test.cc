@@ -12,6 +12,7 @@
 #include <string>
 
 #include "sim/campaign.hh"
+#include "sim/experiment.hh"
 #include "util/parallel.hh"
 #include "util/telemetry.hh"
 
@@ -115,6 +116,57 @@ TEST(Campaign, BitIdenticalAcrossThreadCounts)
         EXPECT_EQ(a.contained, b.contained);
     }
     expectLedgersEqual(serial.totals, parallel.totals);
+}
+
+TEST(Campaign, CombinedSpecInterleavingIsBitIdentical)
+{
+    // Matrix and campaign cells scheduled as ONE job set on the
+    // shared ExperimentEngine (no per-matrix barrier) must
+    // reproduce the standalone runCampaign result exactly, at
+    // several thread counts: cell seeds depend only on the
+    // campaign seed and cell index, never on job interleaving.
+    ExperimentSpec spec;
+    spec.matrix.requests = 2000;
+    spec.matrix.warmup = 200;
+    spec.matrix.divisor = 32;
+    spec.matrix.workloads = {"swaptions", "canneal"};
+    spec.campaign.enabled = true;
+    spec.campaign.config = quickConfig();
+    spec.campaign.workloads = {"swaptions", "ferret"};
+    normalizeExperimentSpec(&spec);
+    ASSERT_EQ(spec.campaign.scenarios.size(),
+              standardScenarios().size());
+
+    CampaignResult alone =
+        runCampaign(spec.campaign.scenarios,
+                    spec.campaign.workloads, spec.campaign.config);
+
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool::setGlobalThreads(threads);
+        ExperimentResult combined = runExperiment(spec);
+        EXPECT_EQ(combined.cells,
+                  spec.matrix.workloads.size() *
+                          spec.matrix.options.size() +
+                      alone.cells.size());
+        ASSERT_TRUE(combined.has_campaign);
+        ASSERT_EQ(combined.campaign.cells.size(),
+                  alone.cells.size());
+        for (size_t i = 0; i < alone.cells.size(); ++i) {
+            const CampaignCellResult &a = alone.cells[i];
+            const CampaignCellResult &b =
+                combined.campaign.cells[i];
+            EXPECT_EQ(a.scenario, b.scenario);
+            EXPECT_EQ(a.workload, b.workload);
+            expectLedgersEqual(a.ledger, b.ledger);
+            EXPECT_EQ(a.access_latency.mean(),
+                      b.access_latency.mean());
+            EXPECT_EQ(a.contained, b.contained);
+        }
+        expectLedgersEqual(alone.totals, combined.campaign.totals);
+        EXPECT_EQ(alone.contained_cells,
+                  combined.campaign.contained_cells);
+    }
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
 }
 
 TEST(Campaign, TelemetryReconcilesWithLedgers)

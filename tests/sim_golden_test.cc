@@ -26,6 +26,7 @@
 #include "mem/cache.hh"
 #include "mem/rm_bank.hh"
 #include "model/tech.hh"
+#include "sim/experiment.hh"
 #include "sim/reference.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
@@ -375,6 +376,37 @@ TEST(GoldenSim, TelemetryOnDoesNotPerturbResults)
     EXPECT_EQ(telemetry.eventCount(EventKind::Span),
               static_cast<uint64_t>(cells));
     EXPECT_GT(telemetry.eventCount(EventKind::ShiftIssued), 0u);
+}
+
+TEST(GoldenSim, SpecDrivenMatrixMatchesPins)
+{
+    // A declarative ExperimentSpec scheduled on the shared
+    // ExperimentEngine must reproduce the pinned digests exactly —
+    // at one thread, a fixed small count, and the configured count.
+    ExperimentSpec spec;
+    spec.matrix.requests = kGoldenRequests;
+    spec.matrix.warmup = kGoldenWarmup;
+    spec.matrix.divisor = kGoldenDivisor;
+    normalizeExperimentSpec(&spec);
+    auto options = standardLlcOptions();
+    ASSERT_EQ(spec.matrix.options.size(), options.size());
+
+    PaperCalibratedErrorModel model;
+    for (unsigned threads :
+         {1u, 4u, ThreadPool::configuredThreads()}) {
+        ThreadPool::setGlobalThreads(threads);
+        ExperimentResult res = runExperiment(spec, &model);
+        EXPECT_EQ(res.cells,
+                  parsecProfiles().size() * options.size());
+        auto hashes = matrixHashes(res.matrix, options.size());
+        for (size_t o = 0; o < options.size(); ++o)
+            EXPECT_EQ(hashes[o], kGoldenOptionHashes[o])
+                << "option " << options[o].label << " at "
+                << threads << " thread(s)";
+        EXPECT_EQ(hashes.back(), kGoldenCombinedHash)
+            << threads << " thread(s)";
+    }
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
 }
 
 TEST(GoldenSim, MatrixDigestsStableAcrossThreadCounts)

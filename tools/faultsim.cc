@@ -12,9 +12,15 @@
  * for the paper's MTTF figures, where the true rates are far below
  * direct simulation reach.
  *
- *   faultsim [--scheme secded|sed|baseline|pecc-o] [--scale S]
+ *   faultsim [--spec FILE.json]
+ *            [--scheme secded|sed|baseline|pecc-o] [--scale S]
  *            [--ops N] [--lseg L] [--seed K]
  *            [--metrics OUT.json] [--trace OUT.trace.json]
+ *
+ * The drill itself lives in sim/experiment.hh (runStressDrill);
+ * this tool builds a StressSpec from the flags — or the `stress`
+ * section of --spec, with the flags acting as overrides — and
+ * prints the reconciliation table.
  *
  * --metrics writes outcome counters and the shift-distance histogram
  * as JSON; --trace writes per-outcome events in Chrome trace_event
@@ -24,163 +30,65 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
-#include <memory>
 #include <string>
 
-#include "codec/protected_stripe.hh"
-#include "model/reliability.hh"
-#include "util/stats.hh"
+#include "sim/experiment.hh"
+#include "util/serde.hh"
 #include "util/table.hh"
 #include "util/telemetry.hh"
 
 using namespace rtm;
 
-namespace
-{
-
-std::map<std::string, std::string>
-parseFlags(int argc, char **argv)
-{
-    std::map<std::string, std::string> flags;
-    for (int i = 1; i + 1 < argc; i += 2) {
-        if (std::strncmp(argv[i], "--", 2) != 0) {
-            std::fprintf(stderr, "expected --flag, got '%s'\n",
-                         argv[i]);
-            std::exit(2);
-        }
-        flags[argv[i] + 2] = argv[i + 1];
-    }
-    return flags;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    auto flags = parseFlags(argc, argv);
-    auto get = [&](const char *k, const char *fb) {
-        auto it = flags.find(k);
-        return it == flags.end() ? std::string(fb) : it->second;
-    };
+    CliFlags flags = CliFlags::parseOrExit(
+        argc, argv, 1,
+        {"spec", "scheme", "scale", "ops", "lseg", "seed",
+         "metrics", "trace"});
 
-    std::string scheme_name = get("scheme", "secded");
-    double scale = std::atof(get("scale", "500").c_str());
-    uint64_t ops =
-        std::strtoull(get("ops", "200000").c_str(), nullptr, 10);
-    int lseg = std::atoi(get("lseg", "8").c_str());
-    uint64_t seed =
-        std::strtoull(get("seed", "1").c_str(), nullptr, 10);
+    StressSpec spec;
+    std::string metrics_path, trace_path;
+    if (flags.has("spec")) {
+        ExperimentSpec exp;
+        std::string diag;
+        if (!loadExperimentSpec(flags.get("spec", ""), &exp,
+                                &diag)) {
+            std::fprintf(stderr, "%s\n", diag.c_str());
+            return 2;
+        }
+        spec = exp.stress;
+        metrics_path = exp.metrics_path;
+        trace_path = exp.trace_path;
+    }
+    spec.scheme = flags.get("scheme", spec.scheme);
+    spec.scale = flags.getDouble("scale", spec.scale);
+    spec.ops = flags.getU64("ops", spec.ops);
+    spec.lseg = flags.getInt("lseg", spec.lseg);
+    spec.seed = flags.getU64("seed", spec.seed);
+    metrics_path = flags.get("metrics", metrics_path);
+    trace_path = flags.get("trace", trace_path);
 
     Scheme scheme;
     PeccConfig cfg;
-    cfg.num_segments = 2;
-    cfg.seg_len = lseg;
-    if (scheme_name == "baseline") {
-        scheme = Scheme::Baseline;
-        cfg.correct = 1;
-        cfg.variant = PeccVariant::None;
-    } else if (scheme_name == "sed") {
-        scheme = Scheme::SedPecc;
-        cfg.correct = 0;
-        cfg.variant = PeccVariant::Standard;
-    } else if (scheme_name == "pecc-o") {
-        scheme = Scheme::PeccO;
-        cfg.correct = 1;
-        cfg.variant = PeccVariant::OverheadRegion;
-    } else {
-        scheme = Scheme::SecdedPecc;
-        cfg.correct = 1;
-        cfg.variant = PeccVariant::Standard;
+    if (!stressSchemeConfig(spec.scheme, &scheme, &cfg)) {
+        std::fprintf(stderr, "unknown scheme '%s'\n",
+                     spec.scheme.c_str());
+        return 2;
     }
-
-    auto base = std::make_shared<PaperCalibratedErrorModel>();
-    ScaledErrorModel model(base, scale);
-    ReliabilityModel analytic(&model, scheme);
 
     std::printf("fault-injection campaign: %s, rates x%.0f, "
                 "%llu ops, Lseg %d\n\n",
-                schemeName(scheme), scale,
-                static_cast<unsigned long long>(ops), lseg);
+                schemeName(scheme), spec.scale,
+                static_cast<unsigned long long>(spec.ops),
+                spec.lseg);
 
-    ProtectedStripe stripe(cfg, &model, Rng(seed));
-    stripe.initializeIdeal();
-
-    Rng dice(seed ^ 0xfeedbeef);
-    uint64_t corrected = 0, due = 0, silent = 0, clean = 0;
-    IntTally distances;
-    double exp_corrected = 0.0, exp_due = 0.0, exp_sdc = 0.0;
-
-    std::string metrics_path = get("metrics", "");
-    std::string trace_path = get("trace", "");
     Telemetry telemetry(1 << 15);
-    Telemetry *t_sink =
-        metrics_path.empty() && trace_path.empty() ? nullptr
-                                                   : &telemetry;
-    LatencyHistogram *t_dist =
-        t_sink ? &t_sink->histogram("faultsim.shift_distance",
-                                    powerOfTwoEdges(64.0))
-               : nullptr;
+    TelemetryScope sink;
+    if (!metrics_path.empty() || !trace_path.empty())
+        sink = &telemetry;
 
-    for (uint64_t i = 0; i < ops; ++i) {
-        int target = static_cast<int>(dice.uniformInt(
-            static_cast<uint64_t>(lseg)));
-        int cur_idx =
-            lseg - 1 - stripe.believedOffset(); // current index
-        int distance = std::abs(target - cur_idx);
-        if (distance == 0)
-            continue;
-        distances.add(distance);
-
-        // Accumulate the analytic expectation for this op. The
-        // OverheadRegion variant decomposes into 1-step shifts.
-        std::vector<int> parts =
-            cfg.variant == PeccVariant::OverheadRegion
-                ? std::vector<int>(static_cast<size_t>(distance), 1)
-                : std::vector<int>{distance};
-        ShiftReliability r = analytic.sequence(parts);
-        exp_corrected += std::exp(r.log_corrected);
-        exp_due += std::exp(r.log_due);
-        exp_sdc += std::exp(r.log_sdc);
-
-        ProtectedShiftResult res = stripe.seekIndex(target);
-        if (t_sink) {
-            t_dist->record(static_cast<double>(distance));
-            if (res.detected)
-                t_sink->event(EventKind::ErrorDetected, "stripe", i,
-                              static_cast<double>(distance));
-        }
-        if (res.unrecoverable) {
-            ++due;
-            if (t_sink)
-                t_sink->event(EventKind::RecoveryRung, "due", i);
-            stripe.initializeIdeal(); // rebuild and continue
-            continue;
-        }
-        if (res.corrected) {
-            ++corrected;
-        } else if (stripe.positionError() != 0) {
-            ++silent;
-            stripe.initializeIdeal(); // reset the silent drift
-        } else {
-            ++clean;
-        }
-    }
-
-    if (t_sink) {
-        t_sink->counter("faultsim.ops").add(ops);
-        t_sink->counter("faultsim.corrected").add(corrected);
-        t_sink->counter("faultsim.due").add(due);
-        t_sink->counter("faultsim.silent").add(silent);
-        t_sink->counter("faultsim.clean").add(clean);
-        t_sink->gauge("faultsim.scale").set(scale);
-        t_sink->gauge("faultsim.expected_corrected")
-            .set(exp_corrected);
-        t_sink->gauge("faultsim.expected_due").set(exp_due);
-        t_sink->gauge("faultsim.expected_sdc").set(exp_sdc);
-    }
+    StressResult r = runStressDrill(spec, sink);
 
     TextTable t({"outcome", "measured", "analytic expectation",
                  "ratio"});
@@ -193,14 +101,14 @@ main(int argc, char **argv)
                   TextTable::fixed(want, 1),
                   TextTable::fixed(ratio, 2)});
     };
-    row("corrected", corrected, exp_corrected);
-    row("DUE", due, exp_due);
-    row("silent", silent, exp_sdc);
+    row("corrected", r.corrected, r.exp_corrected);
+    row("DUE", r.due, r.exp_due);
+    row("silent", r.silent, r.exp_sdc);
     t.print(stdout);
 
     std::printf("\nclean ops: %llu; mean shift distance %.2f\n",
-                static_cast<unsigned long long>(clean),
-                distances.mean());
+                static_cast<unsigned long long>(r.clean),
+                r.distances.mean());
     std::printf("ratios near 1.00 validate the closed-form "
                 "reliability model against the functional stack; "
                 "the paper-scale MTTF figures rest on exactly that "

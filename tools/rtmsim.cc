@@ -4,13 +4,17 @@
  *
  * Subcommands:
  *
- *   rtmsim run [options]       simulate a workload or trace
+ *   rtmsim run [options]       simulate a workload, trace, or spec
+ *   rtmsim spec [options]      validate / expand an experiment spec
  *   rtmsim rates               print the position-error rate tables
  *   rtmsim plan <distance>     show the planner's adapter table
  *   rtmsim stripe              describe a protected stripe layout
  *   rtmsim help                this text
  *
  * `run` options:
+ *   --spec FILE.json  run a declarative ExperimentSpec (see
+ *                     docs/ARCHITECTURE.md); the flags below become
+ *                     overrides on top of the spec
  *   --workload NAME   PARSEC-like profile (default streamcluster)
  *   --trace PATH      replay a text trace instead of a profile
  *   --tech T          sram | sttram | rm | rm-ideal  (default rm)
@@ -19,11 +23,16 @@
  *   --requests N      memory requests              (default 60000)
  *   --divisor D       capacity divisor             (default 16)
  *   --seed N          RNG seed                     (default 42)
+ *   --out PATH        unified result JSON (spec runs)
  *   --metrics PATH    write the telemetry registry as JSON
  *   --trace-out PATH  write traced events in Chrome trace_event
  *                     format (open in chrome://tracing / Perfetto);
  *                     named --trace-out because --trace already
  *                     selects the input trace file
+ *
+ * `spec` options:
+ *   --file FILE.json  spec to validate (default: built-in defaults)
+ *   --out PATH        write the normalized spec back out
  *
  * `plan` options:
  *   --lseg N          segment length               (default 8)
@@ -36,16 +45,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
-#include <cstring>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "codec/layout.hh"
 #include "control/planner.hh"
 #include "device/error_model.hh"
 #include "model/area.hh"
+#include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "trace/trace_file.hh"
+#include "util/serde.hh"
 #include "util/table.hh"
 
 using namespace rtm;
@@ -53,95 +63,191 @@ using namespace rtm;
 namespace
 {
 
-/** Minimal --flag value parser; flags must come in pairs. */
-std::map<std::string, std::string>
-parseFlags(int argc, char **argv, int first)
-{
-    std::map<std::string, std::string> flags;
-    for (int i = first; i + 1 < argc; i += 2) {
-        if (std::strncmp(argv[i], "--", 2) != 0) {
-            std::fprintf(stderr, "expected --flag, got '%s'\n",
-                         argv[i]);
-            std::exit(2);
-        }
-        flags[argv[i] + 2] = argv[i + 1];
-    }
-    return flags;
-}
-
-std::string
-flag(const std::map<std::string, std::string> &flags,
-     const std::string &name, const std::string &fallback)
-{
-    auto it = flags.find(name);
-    return it == flags.end() ? fallback : it->second;
-}
-
 MemTech
-parseTech(const std::string &s)
+techOrExit(const std::string &s)
 {
-    if (s == "sram")
-        return MemTech::SRAM;
-    if (s == "sttram")
-        return MemTech::STTRAM;
-    if (s == "rm")
-        return MemTech::Racetrack;
-    if (s == "rm-ideal")
-        return MemTech::RacetrackIdeal;
-    std::fprintf(stderr, "unknown tech '%s'\n", s.c_str());
-    std::exit(2);
+    MemTech tech;
+    if (!techFromToken(s, &tech)) {
+        std::fprintf(stderr, "unknown tech '%s'\n", s.c_str());
+        std::exit(2);
+    }
+    return tech;
 }
 
 Scheme
-parseScheme(const std::string &s)
+schemeOrExit(const std::string &s)
 {
-    if (s == "baseline")
-        return Scheme::Baseline;
-    if (s == "sed")
-        return Scheme::SedPecc;
-    if (s == "secded")
-        return Scheme::SecdedPecc;
-    if (s == "pecc-o")
-        return Scheme::PeccO;
-    if (s == "worst")
-        return Scheme::PeccSWorst;
-    if (s == "adaptive")
-        return Scheme::PeccSAdaptive;
-    std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
-    std::exit(2);
+    Scheme scheme;
+    if (!schemeFromToken(s, &scheme)) {
+        std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
+        std::exit(2);
+    }
+    return scheme;
+}
+
+ExperimentSpec
+loadSpecOrExit(const std::string &path)
+{
+    ExperimentSpec spec;
+    std::string diag;
+    if (!loadExperimentSpec(path, &spec, &diag)) {
+        std::fprintf(stderr, "%s\n", diag.c_str());
+        std::exit(2);
+    }
+    return spec;
+}
+
+/** Apply `run` flag overrides on top of a loaded spec. */
+void
+applyRunOverrides(const CliFlags &flags, ExperimentSpec *spec)
+{
+    if (flags.has("requests")) {
+        spec->matrix.requests = flags.getU64("requests", 60000);
+        // Same convention as an unstated spec warmup: track the
+        // request count so overridden runs stay proportioned.
+        spec->matrix.warmup = spec->matrix.requests / 10;
+    }
+    if (flags.has("divisor"))
+        spec->matrix.divisor = flags.getU64("divisor", 16);
+    if (flags.has("seed"))
+        spec->matrix.seed = flags.getU64("seed", 42);
+    if (flags.has("workload"))
+        spec->matrix.workloads = {flags.get("workload", "")};
+    if (flags.has("tech") || flags.has("scheme")) {
+        LlcOption opt;
+        opt.tech = techOrExit(flags.get("tech", "rm"));
+        opt.scheme = schemeOrExit(flags.get("scheme", "adaptive"));
+        opt.label = std::string(memTechName(opt.tech)) + " " +
+                    schemeName(opt.scheme);
+        spec->matrix.options = {opt};
+    }
+    if (flags.has("out"))
+        spec->output_path = flags.get("out", "");
+    if (flags.has("metrics"))
+        spec->metrics_path = flags.get("metrics", "");
+    if (flags.has("trace-out"))
+        spec->trace_path = flags.get("trace-out", "");
+}
+
+int
+runSpec(const ExperimentSpec &spec_in)
+{
+    ExperimentSpec spec = spec_in;
+    normalizeExperimentSpec(&spec);
+
+    Telemetry telemetry(1 << 15);
+    TelemetryScope scope;
+    if (!spec.metrics_path.empty() || !spec.trace_path.empty())
+        scope = &telemetry;
+
+    ExperimentResult result = runExperiment(spec, nullptr, scope);
+
+    std::printf("experiment '%s': %zu cells\n\n",
+                spec.name.c_str(), result.cells);
+    if (result.has_matrix) {
+        TextTable t({"option", "geomean runtime (s)",
+                     "geomean energy (J)"});
+        for (size_t o = 0; o < spec.matrix.options.size(); ++o) {
+            std::vector<double> secs, energy;
+            for (const WorkloadMatrixRow &row : result.matrix) {
+                secs.push_back(row.results[o].seconds);
+                energy.push_back(row.results[o].totalEnergy());
+            }
+            t.addRow({spec.matrix.options[o].label,
+                      TextTable::num(geomean(secs)),
+                      TextTable::num(geomean(energy))});
+        }
+        t.print(stdout);
+        std::printf("\n");
+    }
+    if (result.has_campaign) {
+        std::printf("campaign: %llu/%zu cells contained\n",
+                    static_cast<unsigned long long>(
+                        result.campaign.contained_cells),
+                    result.campaign.cells.size());
+    }
+    if (result.has_stress) {
+        const StressResult &s = result.stress;
+        std::printf("stress (%s): %llu corrected, %llu DUE, "
+                    "%llu silent\n",
+                    schemeName(s.scheme),
+                    static_cast<unsigned long long>(s.corrected),
+                    static_cast<unsigned long long>(s.due),
+                    static_cast<unsigned long long>(s.silent));
+    }
+
+    std::string out_path = spec.output_path.empty()
+                               ? "rtmsim_experiment.json"
+                               : spec.output_path;
+    if (!writeExperimentJson(result, out_path)) {
+        std::fprintf(stderr, "cannot write '%s'\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("report          %s\n", out_path.c_str());
+    if (!spec.metrics_path.empty()) {
+        if (!telemetry.writeMetricsJson(spec.metrics_path)) {
+            std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                         spec.metrics_path.c_str());
+            return 1;
+        }
+        std::printf("metrics         %s\n",
+                    spec.metrics_path.c_str());
+    }
+    if (!spec.trace_path.empty()) {
+        if (!telemetry.writeChromeTrace(spec.trace_path)) {
+            std::fprintf(stderr, "cannot write trace to '%s'\n",
+                         spec.trace_path.c_str());
+            return 1;
+        }
+        std::printf("trace           %s (chrome://tracing)\n",
+                    spec.trace_path.c_str());
+    }
+    if (result.has_campaign && !result.campaign.allContained()) {
+        std::fprintf(stderr, "containment FAILED\n");
+        return 1;
+    }
+    return 0;
 }
 
 int
 cmdRun(int argc, char **argv)
 {
-    auto flags = parseFlags(argc, argv, 2);
-    SimConfig cfg;
-    cfg.hierarchy.llc_tech = parseTech(flag(flags, "tech", "rm"));
-    cfg.hierarchy.scheme =
-        parseScheme(flag(flags, "scheme", "adaptive"));
-    cfg.hierarchy.capacity_divisor =
-        std::strtoull(flag(flags, "divisor", "16").c_str(),
-                      nullptr, 10);
-    cfg.mem_requests = std::strtoull(
-        flag(flags, "requests", "60000").c_str(), nullptr, 10);
-    cfg.warmup_requests = cfg.mem_requests / 10;
-    cfg.seed = std::strtoull(flag(flags, "seed", "42").c_str(),
-                             nullptr, 10);
+    CliFlags flags = CliFlags::parseOrExit(
+        argc, argv, 2,
+        {"spec", "workload", "trace", "tech", "scheme", "requests",
+         "divisor", "seed", "out", "metrics", "trace-out"});
 
-    const std::string metrics_path = flag(flags, "metrics", "");
-    const std::string trace_out = flag(flags, "trace-out", "");
+    if (flags.has("spec")) {
+        ExperimentSpec spec =
+            loadSpecOrExit(flags.get("spec", ""));
+        applyRunOverrides(flags, &spec);
+        return runSpec(spec);
+    }
+
+    SimConfig cfg;
+    cfg.hierarchy.llc_tech = techOrExit(flags.get("tech", "rm"));
+    cfg.hierarchy.scheme =
+        schemeOrExit(flags.get("scheme", "adaptive"));
+    cfg.hierarchy.capacity_divisor = flags.getU64("divisor", 16);
+    cfg.mem_requests = flags.getU64("requests", 60000);
+    cfg.warmup_requests = cfg.mem_requests / 10;
+    cfg.seed = flags.getU64("seed", 42);
+
+    const std::string metrics_path = flags.get("metrics", "");
+    const std::string trace_out = flags.get("trace-out", "");
     Telemetry telemetry(1 << 15);
     if (!metrics_path.empty() || !trace_out.empty())
         cfg.telemetry = &telemetry;
 
     PaperCalibratedErrorModel model;
     SimResult r;
-    if (flags.count("trace")) {
-        auto trace = loadTraceFile(flags.at("trace"));
-        r = simulateTrace(flags.at("trace"), trace, cfg, &model);
+    if (flags.has("trace")) {
+        auto trace = loadTraceFile(flags.get("trace", ""));
+        r = simulateTrace(flags.get("trace", ""), trace, cfg,
+                          &model);
     } else {
-        std::string name =
-            flag(flags, "workload", "streamcluster");
+        std::string name = flags.get("workload", "streamcluster");
         WorkloadProfile profile = scaledProfile(
             parsecProfile(name), cfg.hierarchy.capacity_divisor);
         r = simulate(profile, cfg, &model);
@@ -198,6 +304,45 @@ cmdRun(int argc, char **argv)
 }
 
 int
+cmdSpec(int argc, char **argv)
+{
+    CliFlags flags =
+        CliFlags::parseOrExit(argc, argv, 2, {"file", "out"});
+    ExperimentSpec spec;
+    if (flags.has("file"))
+        spec = loadSpecOrExit(flags.get("file", ""));
+    else
+        normalizeExperimentSpec(&spec);
+
+    std::vector<ExperimentCell> cells = expandCells(spec);
+    size_t matrix = 0, campaign = 0, stress = 0;
+    for (const ExperimentCell &c : cells) {
+        switch (c.kind) {
+          case ExperimentCell::Kind::Matrix: ++matrix; break;
+          case ExperimentCell::Kind::Campaign: ++campaign; break;
+          case ExperimentCell::Kind::Stress: ++stress; break;
+        }
+    }
+    std::printf("spec '%s': %zu cells (%zu matrix, %zu campaign, "
+                "%zu stress)\n",
+                spec.name.c_str(), cells.size(), matrix, campaign,
+                stress);
+    if (flags.has("out")) {
+        const std::string out = flags.get("out", "");
+        if (!saveJsonFile(out, experimentSpecToJson(spec))) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         out.c_str());
+            return 1;
+        }
+        std::printf("normalized spec: %s\n", out.c_str());
+    } else {
+        std::printf("%s\n",
+                    experimentSpecToJson(spec).dump().c_str());
+    }
+    return 0;
+}
+
+int
 cmdRates()
 {
     PaperCalibratedErrorModel model;
@@ -217,10 +362,10 @@ cmdRates()
 int
 cmdPlan(int argc, char **argv)
 {
-    auto flags = parseFlags(argc, argv, 2);
-    int lseg = std::atoi(flag(flags, "lseg", "8").c_str());
-    double intensity =
-        std::atof(flag(flags, "intensity", "83e6").c_str());
+    CliFlags flags = CliFlags::parseOrExit(argc, argv, 2,
+                                           {"lseg", "intensity"});
+    int lseg = flags.getInt("lseg", 8);
+    double intensity = flags.getDouble("intensity", 83e6);
     PaperCalibratedErrorModel model;
     StsTiming timing(kDefaultClockHz, 0.4e-9, 1.0e-9, 0.34e-9);
     ShiftPlanner planner(&model, timing, 1, lseg - 1);
@@ -254,13 +399,13 @@ cmdPlan(int argc, char **argv)
 int
 cmdStripe(int argc, char **argv)
 {
-    auto flags = parseFlags(argc, argv, 2);
+    CliFlags flags = CliFlags::parseOrExit(
+        argc, argv, 2, {"segments", "lseg", "strength", "variant"});
     PeccConfig c;
-    c.num_segments =
-        std::atoi(flag(flags, "segments", "8").c_str());
-    c.seg_len = std::atoi(flag(flags, "lseg", "8").c_str());
-    c.correct = std::atoi(flag(flags, "strength", "1").c_str());
-    std::string variant = flag(flags, "variant", "std");
+    c.num_segments = flags.getInt("segments", 8);
+    c.seg_len = flags.getInt("lseg", 8);
+    c.correct = flags.getInt("strength", 1);
+    std::string variant = flags.get("variant", "std");
     c.variant = variant == "overhead" ? PeccVariant::OverheadRegion
                                       : PeccVariant::Standard;
     PeccLayout lay = computeLayout(c);
@@ -288,10 +433,12 @@ usage()
     std::printf(
         "rtmsim - racetrack memory simulator (ISCA'15 'Hi-fi "
         "Playback' reproduction)\n\n"
-        "  rtmsim run [--workload N|--trace P] [--tech T] "
-        "[--scheme S]\n"
-        "             [--requests N] [--divisor D] [--seed N]\n"
+        "  rtmsim run [--spec FILE.json] [--workload N|--trace P] "
+        "[--tech T] [--scheme S]\n"
+        "             [--requests N] [--divisor D] [--seed N] "
+        "[--out OUT.json]\n"
         "             [--metrics OUT.json] [--trace-out OUT.json]\n"
+        "  rtmsim spec [--file FILE.json] [--out OUT.json]\n"
         "  rtmsim rates\n"
         "  rtmsim plan [--lseg N] [--intensity OPS]\n"
         "  rtmsim stripe [--segments N] [--lseg N] [--strength M] "
@@ -311,6 +458,8 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     if (cmd == "run")
         return cmdRun(argc, argv);
+    if (cmd == "spec")
+        return cmdSpec(argc, argv);
     if (cmd == "rates")
         return cmdRates();
     if (cmd == "plan")

@@ -5,16 +5,30 @@
  * LLC shift-engine access. These guard the simulator's own
  * performance (the workload matrices run millions of these).
  *
- * After the registered benchmarks, main() times the two parallelised
- * hot loops (Monte-Carlo trials and runMatrix) serial vs parallel and
- * against the pre-hoist seed baseline, writing the measurements to
- * BENCH_parallel.json so the perf trajectory is tracked across PRs.
+ * After the registered benchmarks, main() times the parallelised hot
+ * loops — the batched Monte-Carlo kernel at both reproducibility
+ * tiers against the frozen scalar reference, and runMatrix — at
+ * thread counts {1, hw/2, hw}, writing one row per count (with the
+ * pool's *actual* worker count) to BENCH_parallel.json so the perf
+ * trajectory is tracked across PRs.
+ *
+ * `micro_ops --check` skips the timing benchmarks and instead
+ * verifies the tier contract, mirroring sim_hotpath's conventions:
+ * exit 2 when the exact tier diverges from the scalar reference (or
+ * the fast tier is unstable across seeds/thread counts), exit 1 when
+ * the batched kernel fails to beat the scalar path.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "codec/combined.hh"
 #include "codec/protected_stripe.hh"
@@ -195,14 +209,27 @@ now_seconds()
         .count();
 }
 
-/** Monte-Carlo trials/second of run(7, trials) at a thread count. */
+/** Batched-kernel trials/second of run(7, trials) at one tier. */
 double
-mcTrialsPerSec(unsigned threads, uint64_t trials)
+mcTrialsPerSec(unsigned threads, uint64_t trials, McTier tier)
+{
+    ThreadPool::setGlobalThreads(threads);
+    PositionErrorMonteCarlo mc(DeviceParams{}, 5, tier);
+    double t0 = now_seconds();
+    ErrorPdf pdf = mc.run(7, trials);
+    double dt = now_seconds() - t0;
+    benchmark::DoNotOptimize(pdf);
+    return static_cast<double>(trials) / dt;
+}
+
+/** Frozen scalar-reference trials/second at a thread count. */
+double
+mcScalarTrialsPerSec(unsigned threads, uint64_t trials)
 {
     ThreadPool::setGlobalThreads(threads);
     PositionErrorMonteCarlo mc(DeviceParams{}, 5);
     double t0 = now_seconds();
-    ErrorPdf pdf = mc.run(7, trials);
+    ErrorPdf pdf = mc.runScalarReference(7, trials);
     double dt = now_seconds() - t0;
     benchmark::DoNotOptimize(pdf);
     return static_cast<double>(trials) / dt;
@@ -243,22 +270,182 @@ runMatrixSeconds(unsigned threads)
     return dt;
 }
 
+/** Exact equality of two ErrorPdfs, bit-for-bit. */
+bool
+pdfsIdentical(const ErrorPdf &a, const ErrorPdf &b)
+{
+    return a.distance == b.distance && a.trials == b.trials &&
+           a.step_counts.entries() == b.step_counts.entries() &&
+           a.middle_counts.entries() == b.middle_counts.entries() &&
+           a.deviation.count() == b.deviation.count() &&
+           a.deviation.mean() == b.deviation.mean() &&
+           a.deviation.stddev() == b.deviation.stddev();
+}
+
+/**
+ * Tier-contract verification (--check).
+ *
+ * Exit 2 on any divergence: exact-tier run() must be bit-identical
+ * to the frozen scalar reference at every trial count (including
+ * non-granule tails), batch gaussian fills must replay the scalar
+ * draw sequence element-for-element, and the fast tier must be
+ * bit-stable across repeated runs and thread counts. Exit 1 when
+ * the batched kernel is not faster than the scalar reference.
+ */
+int
+checkTiers()
+{
+    // 1. Exact tier == scalar reference, bit for bit, at awkward
+    //    trial counts (sub-batch, over-batch, prime tails).
+    for (uint64_t trials : {uint64_t(1), uint64_t(200),
+                            uint64_t(4097), uint64_t(100003)}) {
+        PositionErrorMonteCarlo batch(DeviceParams{}, 5,
+                                      McTier::Exact);
+        PositionErrorMonteCarlo scalar(DeviceParams{}, 5);
+        ErrorPdf a = batch.run(7, trials);
+        ErrorPdf b = scalar.runScalarReference(7, trials);
+        if (!pdfsIdentical(a, b)) {
+            std::fprintf(stderr,
+                         "FATAL: exact tier diverged from scalar "
+                         "reference at %llu trials\n",
+                         static_cast<unsigned long long>(trials));
+            return 2;
+        }
+    }
+    std::printf("check: exact tier == scalar reference\n");
+
+    // 2. fillGaussian replays gaussian() element-for-element,
+    //    including the odd-count cached-sine handoff.
+    for (size_t n : {size_t(1), size_t(2), size_t(255),
+                     size_t(256), size_t(1000)}) {
+        Rng a(99), b(99);
+        std::vector<double> buf(n);
+        a.fillGaussian(buf.data(), n);
+        for (size_t i = 0; i < n; ++i) {
+            if (buf[i] != b.gaussian()) {
+                std::fprintf(stderr,
+                             "FATAL: fillGaussian[%zu] diverged "
+                             "from gaussian() at n=%zu\n",
+                             i, n);
+                return 2;
+            }
+        }
+        // The next draw must match too (cache state parity).
+        std::array<double, 1> tail;
+        a.fillGaussian(tail.data(), 1);
+        if (tail[0] != b.gaussian()) {
+            std::fprintf(stderr,
+                         "FATAL: fillGaussian cache state diverged "
+                         "after n=%zu\n",
+                         n);
+            return 2;
+        }
+    }
+    std::printf("check: batch gaussian fill == scalar draws\n");
+
+    // 3. Fast tier: bit-stable across runs and thread counts, and
+    //    statistically consistent with the exact tier.
+    const uint64_t ft = 100000;
+    PositionErrorMonteCarlo f1(DeviceParams{}, 5, McTier::Fast);
+    ThreadPool::setGlobalThreads(1);
+    ErrorPdf fa = f1.run(7, ft);
+    PositionErrorMonteCarlo f2(DeviceParams{}, 5, McTier::Fast);
+    ThreadPool::setGlobalThreads(4);
+    ErrorPdf fb = f2.run(7, ft);
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+    if (!pdfsIdentical(fa, fb)) {
+        std::fprintf(stderr, "FATAL: fast tier is not bit-stable "
+                             "across thread counts\n");
+        return 2;
+    }
+    PositionErrorMonteCarlo ex(DeviceParams{}, 5, McTier::Exact);
+    ErrorPdf ea = ex.run(7, ft);
+    // Same distribution, different draws: means agree to a few
+    // standard errors, stddevs to a few percent.
+    double se = ea.deviation.stddev() /
+                std::sqrt(static_cast<double>(ft));
+    if (std::abs(fa.deviation.mean() - ea.deviation.mean()) >
+            8.0 * se ||
+        std::abs(fa.deviation.stddev() - ea.deviation.stddev()) >
+            0.05 * ea.deviation.stddev()) {
+        std::fprintf(stderr, "FATAL: fast tier moments diverged "
+                             "from exact tier\n");
+        return 2;
+    }
+    std::printf("check: fast tier seed/thread-stable, moments "
+                "match exact\n");
+
+    // 4. Perf gate: the batched kernel must beat the scalar
+    //    reference single-threaded. Best of two absorbs cold-start.
+    const uint64_t pt = 400000;
+    double scalar_tps = 0.0, exact_tps = 0.0, fast_tps = 0.0;
+    for (int rep = 0; rep < 2; ++rep) {
+        scalar_tps =
+            std::max(scalar_tps, mcScalarTrialsPerSec(1, pt));
+        exact_tps = std::max(
+            exact_tps, mcTrialsPerSec(1, pt, McTier::Exact));
+        fast_tps = std::max(fast_tps,
+                            mcTrialsPerSec(1, pt, McTier::Fast));
+    }
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+    std::printf("check: scalar %.0f exact %.0f (%.2fx) fast %.0f "
+                "(%.2fx) trials/s\n",
+                scalar_tps, exact_tps, exact_tps / scalar_tps,
+                fast_tps, fast_tps / scalar_tps);
+    if (exact_tps < scalar_tps || fast_tps < scalar_tps) {
+        std::fprintf(stderr, "FAIL: batched kernel slower than "
+                             "scalar reference\n");
+        return 1;
+    }
+    std::printf("check: PASS\n");
+    return 0;
+}
+
 } // namespace
 
-/** Time both parallel loops and emit BENCH_parallel.json. */
+/**
+ * Time the parallel hot loops at thread counts {1, hw/2, hw} and
+ * emit BENCH_parallel.json with one row per distinct count.
+ */
 void
 writeParallelBench()
 {
-    unsigned threads = ThreadPool::configuredThreads();
+    const unsigned configured = ThreadPool::configuredThreads();
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    std::vector<unsigned> counts{1};
+    if (hw / 2 > 1)
+        counts.push_back(hw / 2);
+    if (hw > counts.back())
+        counts.push_back(hw);
+
     const uint64_t mc_trials = 400000;
     const uint64_t seed_trials = 2000; // slow: recompute per trial
+    /** serial_trials_per_sec recorded by the seed-era bench run. */
+    const double kSeedSerialTps = 6390022.0;
 
     double seed_tps = seedBaselineTrialsPerSec(seed_trials);
-    double serial_tps = mcTrialsPerSec(1, mc_trials);
-    double parallel_tps = mcTrialsPerSec(threads, mc_trials);
+
+    struct Row
+    {
+        unsigned requested, actual;
+        double scalar_tps, exact_tps, fast_tps;
+    };
+    std::vector<Row> rows;
+    for (unsigned tc : counts) {
+        Row r;
+        r.requested = tc;
+        ThreadPool::setGlobalThreads(tc);
+        r.actual = ThreadPool::global().threads();
+        r.scalar_tps = mcScalarTrialsPerSec(tc, mc_trials);
+        r.exact_tps = mcTrialsPerSec(tc, mc_trials, McTier::Exact);
+        r.fast_tps = mcTrialsPerSec(tc, mc_trials, McTier::Fast);
+        rows.push_back(r);
+    }
     double matrix_serial_s = runMatrixSeconds(1);
-    double matrix_parallel_s = runMatrixSeconds(threads);
-    ThreadPool::setGlobalThreads(threads);
+    double matrix_parallel_s = runMatrixSeconds(hw);
+    ThreadPool::setGlobalThreads(configured);
 
     std::FILE *f = std::fopen("BENCH_parallel.json", "w");
     if (!f) {
@@ -267,23 +454,42 @@ writeParallelBench()
         return;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
     std::fprintf(f, "  \"monte_carlo\": {\n");
     std::fprintf(f, "    \"trials\": %llu,\n",
                  static_cast<unsigned long long>(mc_trials));
     std::fprintf(f,
                  "    \"seed_baseline_trials_per_sec\": %.0f,\n",
                  seed_tps);
-    std::fprintf(f, "    \"serial_trials_per_sec\": %.0f,\n",
-                 serial_tps);
-    std::fprintf(f, "    \"parallel_trials_per_sec\": %.0f,\n",
-                 parallel_tps);
-    std::fprintf(f, "    \"jitter_hoist_speedup\": %.2f,\n",
-                 serial_tps / seed_tps);
-    std::fprintf(f, "    \"thread_speedup\": %.2f,\n",
-                 parallel_tps / serial_tps);
-    std::fprintf(f, "    \"total_speedup_vs_seed\": %.2f\n",
-                 parallel_tps / seed_tps);
+    std::fprintf(f,
+                 "    \"seed_serial_trials_per_sec\": %.0f,\n",
+                 kSeedSerialTps);
+    std::fprintf(f, "    \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(f, "      {\n");
+        std::fprintf(f, "        \"threads\": %u,\n", r.actual);
+        std::fprintf(f, "        \"requested_threads\": %u,\n",
+                     r.requested);
+        std::fprintf(f,
+                     "        \"scalar_trials_per_sec\": %.0f,\n",
+                     r.scalar_tps);
+        std::fprintf(
+            f, "        \"exact_batch_trials_per_sec\": %.0f,\n",
+            r.exact_tps);
+        std::fprintf(
+            f, "        \"fast_batch_trials_per_sec\": %.0f,\n",
+            r.fast_tps);
+        std::fprintf(
+            f, "        \"exact_speedup_vs_seed_serial\": %.2f,\n",
+            r.exact_tps / kSeedSerialTps);
+        std::fprintf(
+            f, "        \"fast_speedup_vs_seed_serial\": %.2f\n",
+            r.fast_tps / kSeedSerialTps);
+        std::fprintf(f, "      }%s\n",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"run_matrix\": {\n");
     std::fprintf(f, "    \"serial_seconds\": %.3f,\n",
@@ -295,12 +501,15 @@ writeParallelBench()
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
-    std::printf("wrote BENCH_parallel.json: MC %.2fx vs seed "
-                "(hoist %.2fx x threads %.2fx at %u threads), "
-                "runMatrix %.2fx\n",
-                parallel_tps / seed_tps, serial_tps / seed_tps,
-                parallel_tps / serial_tps, threads,
-                matrix_serial_s / matrix_parallel_s);
+    for (const Row &r : rows)
+        std::printf("BENCH_parallel %u threads: scalar %.0f, "
+                    "exact %.0f (%.2fx vs seed serial), fast %.0f "
+                    "(%.2fx)\n",
+                    r.actual, r.scalar_tps, r.exact_tps,
+                    r.exact_tps / kSeedSerialTps, r.fast_tps,
+                    r.fast_tps / kSeedSerialTps);
+    std::printf("runMatrix %.2fx at %u threads\n",
+                matrix_serial_s / matrix_parallel_s, hw);
 }
 
 } // namespace rtm
@@ -308,6 +517,10 @@ writeParallelBench()
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            return rtm::checkTiers();
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

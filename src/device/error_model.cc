@@ -1,5 +1,6 @@
 #include "error_model.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -45,14 +46,31 @@ extrapolate(const double *table, double exponent, int distance)
 
 } // anonymous namespace
 
+void
+PositionErrorModel::logProbStepRange(int distance, int max_magnitude,
+                                     double *plus, double *minus) const
+{
+    for (int m = 1; m <= max_magnitude; ++m) {
+        plus[m - 1] = logProbStep(distance, m);
+        minus[m - 1] = logProbStep(distance, -m);
+    }
+}
+
 double
 PositionErrorModel::logProbSuccess(int distance) const
 {
-    // 1 - sum of all error outcomes, computed in log space.
+    // 1 - sum of all error outcomes, computed in log space. The
+    // whole +/-k ladder comes from one batched range evaluation;
+    // accumulation order matches the historical per-call loop.
+    const int kmax = maxStepError();
     double log_err = kNegInf;
-    for (int k = 1; k <= maxStepError(); ++k) {
-        log_err = logSumExp(log_err, logProbStep(distance, k));
-        log_err = logSumExp(log_err, logProbStep(distance, -k));
+    if (kmax > 0) {
+        std::vector<double> plus(kmax), minus(kmax);
+        logProbStepRange(distance, kmax, plus.data(), minus.data());
+        for (int k = 1; k <= kmax; ++k) {
+            log_err = logSumExp(log_err, plus[k - 1]);
+            log_err = logSumExp(log_err, minus[k - 1]);
+        }
     }
     if (log_err == kNegInf)
         return 0.0;
@@ -64,10 +82,15 @@ PositionErrorModel::logProbSuccess(int distance) const
 double
 PositionErrorModel::logProbAtLeast(int distance, int magnitude) const
 {
+    const int kmax = maxStepError();
     double acc = kNegInf;
-    for (int k = magnitude; k <= maxStepError(); ++k) {
-        acc = logSumExp(acc, logProbStep(distance, k));
-        acc = logSumExp(acc, logProbStep(distance, -k));
+    if (kmax > 0 && magnitude <= kmax) {
+        std::vector<double> plus(kmax), minus(kmax);
+        logProbStepRange(distance, kmax, plus.data(), minus.data());
+        for (int k = std::max(magnitude, 1); k <= kmax; ++k) {
+            acc = logSumExp(acc, plus[k - 1]);
+            acc = logSumExp(acc, minus[k - 1]);
+        }
     }
     return acc;
 }

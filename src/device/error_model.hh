@@ -80,6 +80,17 @@ class PositionErrorModel
      */
     virtual double logProbStepRaw(int distance, int step_error) const;
 
+    /**
+     * Fill plus[m-1] = logProbStep(distance, +m) and
+     * minus[m-1] = logProbStep(distance, -m) for m in
+     * [1, max_magnitude]. The default forwards to the scalar calls;
+     * models whose adjacent outcomes share work (FittedErrorModel's
+     * Gaussian bin boundaries) override it with a batched evaluation
+     * that returns bit-identical values.
+     */
+    virtual void logProbStepRange(int distance, int max_magnitude,
+                                  double *plus, double *minus) const;
+
     /** Log-probability that an N-step shift (with STS) is correct. */
     double logProbSuccess(int distance) const;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "util/logging.hh"
 #include "util/prob.hh"
@@ -96,6 +97,55 @@ FittedErrorModel::logProbStep(int distance, int step_error) const
         return logGaussStep(distance, step_error);
     return logSumExp(logGaussStep(distance, step_error),
                      logSkipStep(distance, step_error));
+}
+
+void
+FittedErrorModel::logProbStepRange(int distance, int max_magnitude,
+                                   double *plus, double *minus) const
+{
+    if (max_magnitude <= 0)
+        return;
+    if (distance <= 0) {
+        for (int m = 0; m < max_magnitude; ++m)
+            plus[m] = minus[m] = kNegInf;
+        return;
+    }
+    const int kmax = max_magnitude;
+    const double w = params_.notch_half_width;
+    const double mu = meanAt(distance);
+    const double sigma = sigmaAt(distance);
+    // Bin boundary ladder: x_k = (k + w - mu) / sigma for
+    // k in [-kmax - 1, kmax]; logGaussStep(k) spans (x_{k-1}, x_k].
+    // Each interior boundary serves two adjacent bins, so the whole
+    // signed ladder costs 2 * kmax + 2 tail evaluations.
+    const size_t nb = 2 * static_cast<size_t>(kmax) + 2;
+    std::vector<double> x(nb), q(nb);
+    for (size_t i = 0; i < nb; ++i) {
+        double k = static_cast<double>(
+            static_cast<int>(i) - kmax - 1);
+        x[i] = (k + w - mu) / sigma;
+    }
+    logNormalTailBatch(x.data(), q.data(), nb);
+    auto gauss = [&](int k) {
+        // q index of boundary x_k is k + kmax + 1.
+        return logDiffExp(q[static_cast<size_t>(k + kmax)],
+                          q[static_cast<size_t>(k + kmax + 1)]);
+    };
+    const double log_event =
+        params_.log_skip_base +
+        params_.skip_growth * static_cast<double>(distance - 1);
+    for (int m = 1; m <= kmax; ++m) {
+        if (m == 1) {
+            plus[0] = gauss(1);
+            minus[0] = gauss(-1);
+            continue;
+        }
+        double events = static_cast<double>(m - 1);
+        plus[m - 1] = logSumExp(gauss(m),
+                                events * log_event + gauss(1));
+        minus[m - 1] = logSumExp(gauss(-m),
+                                 events * log_event + gauss(-1));
+    }
 }
 
 double

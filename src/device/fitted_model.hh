@@ -67,6 +67,17 @@ class FittedErrorModel : public PositionErrorModel
                                int interval_floor) const override;
     double logProbStepRaw(int distance,
                           int step_error) const override;
+
+    /**
+     * Batched override: adjacent Gaussian bins share a boundary
+     * (hi of +k is lo of +(k+1)), so the whole +/-[1, M] ladder
+     * needs only 2M + 2 tail evaluations through
+     * logNormalTailBatch instead of ~6M scalar ones. Values are
+     * bit-identical to the scalar logProbStep.
+     */
+    void logProbStepRange(int distance, int max_magnitude,
+                          double *plus, double *minus) const override;
+
     int maxStepError() const override { return 3; }
 
     /** Deviation std. dev. after an N-step pulse (pitches). */

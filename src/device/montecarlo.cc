@@ -19,6 +19,22 @@ notchHalfWidth(const DeviceParams &p)
     return 0.5 * p.pinning_width / p.pitch();
 }
 
+/**
+ * Shard sizing for the batched kernels. The exact tier keeps the
+ * historical shardSize() split so its per-shard draw streams (and
+ * hence the golden digests) are unchanged; the fast tier aligns
+ * shards to the batch granule so every shard's fill sizes - and
+ * therefore its batch-order draw stream - are a pure function of
+ * (trials, shard index).
+ */
+uint64_t
+mcShardSize(McTier tier, uint64_t trials, size_t shards, size_t s)
+{
+    if (tier == McTier::Fast)
+        return alignedShardSize(trials, shards, s, kMcBatchTrials);
+    return shardSize(trials, shards, s);
+}
+
 } // anonymous namespace
 
 uint64_t
@@ -73,8 +89,8 @@ ErrorPdf::middleProbability(int k) const
 }
 
 PositionErrorMonteCarlo::PositionErrorMonteCarlo(
-    const DeviceParams &params, uint64_t seed)
-    : params_(params), timing_(params), rng_(seed)
+    const DeviceParams &params, uint64_t seed, McTier tier)
+    : params_(params), timing_(params), rng_(seed), tier_(tier)
 {
     // Re-synchronisation strength: the fraction of an arrival-time
     // deviation a notch transit absorbs. A wall that arrives early is
@@ -121,26 +137,34 @@ PositionErrorMonteCarlo::computeStepJitter() const
                           params_.pinning_width, params_.flat_width};
     double t0 = timing_.stepTime(nominal);
 
-    // Numerical sensitivities via central differences.
-    auto perturbed = [&](int which, double rel) {
-        SampledParams s = nominal;
-        switch (which) {
-          case 0: s.wall_width *= (1.0 + rel); break;
-          case 1: s.pinning_depth *= (1.0 + rel); break;
-          case 2: s.pinning_width *= (1.0 + rel); break;
-          default: s.flat_width *= (1.0 + rel); break;
+    // Numerical sensitivities via central differences. The whole
+    // perturbation cluster (4 parameters x 2 sides) goes through one
+    // batched stepTimes call; values are identical to per-sample
+    // stepTime evaluations.
+    constexpr double eps = 1e-4;
+    SampledParams probes[8];
+    for (int i = 0; i < 4; ++i) {
+        for (int side = 0; side < 2; ++side) {
+            double rel = side == 0 ? eps : -eps;
+            SampledParams s = nominal;
+            switch (i) {
+              case 0: s.wall_width *= (1.0 + rel); break;
+              case 1: s.pinning_depth *= (1.0 + rel); break;
+              case 2: s.pinning_width *= (1.0 + rel); break;
+              default: s.flat_width *= (1.0 + rel); break;
+            }
+            probes[2 * i + side] = s;
         }
-        return timing_.stepTime(s);
-    };
+    }
+    double times[8];
+    timing_.stepTimes(probes, times, 8);
     double sigmas[4] = {params_.sigma_wall_width, params_.sigma_depth,
                         params_.sigma_width,
                         params_.sigma_flat * params_.pinning_width /
                             params_.flat_width};
     double var = 0.0;
     for (int i = 0; i < 4; ++i) {
-        double eps = 1e-4;
-        double dt = (perturbed(i, eps) - perturbed(i, -eps)) /
-                    (2.0 * eps);
+        double dt = (times[2 * i] - times[2 * i + 1]) / (2.0 * eps);
         double contrib = dt * sigmas[i] / t0;
         var += contrib * contrib;
     }
@@ -200,16 +224,22 @@ PositionErrorMonteCarlo::run(int distance, uint64_t trials)
     rngs.reserve(shards);
     for (size_t s = 0; s < shards; ++s)
         rngs.push_back(rng_.fork());
+    if (distance < 1)
+        rtm_panic("run: distance must be >= 1");
+    McKernelParams kp{resync_rho_, trial_jitter_, trial_drift_,
+                      notchHalfWidth(params_)};
+    McTier tier = tier_;
     ErrorPdf pdf = shardedMapReduce<ErrorPdf>(
         shards,
         [&](size_t s) {
             ErrorPdf part;
             part.distance = distance;
-            uint64_t n = shardSize(trials, shards, s);
+            uint64_t n = mcShardSize(tier, trials, shards, s);
             part.trials = n;
             Rng rng = rngs[s];
-            for (uint64_t i = 0; i < n; ++i)
-                classify(simulateDeviation(distance, rng), part);
+            mcAccumulate(tier, kp, distance, n, rng,
+                         part.step_counts, part.middle_counts,
+                         part.deviation);
             return part;
         },
         [](ErrorPdf &acc, const ErrorPdf &part) {
@@ -238,6 +268,42 @@ PositionErrorMonteCarlo::run(int distance, uint64_t trials)
     return pdf;
 }
 
+ErrorPdf
+PositionErrorMonteCarlo::runScalarReference(int distance,
+                                            uint64_t trials)
+{
+    // Frozen pre-batching path: per-trial walk + classify over the
+    // same shard structure. Kept callable so tests and micro_ops
+    // --check can assert the exact tier never drifts from it.
+    size_t shards = shardCount(trials);
+    if (shards == 0) {
+        ErrorPdf empty;
+        empty.distance = distance;
+        return empty;
+    }
+    std::vector<Rng> rngs;
+    rngs.reserve(shards);
+    for (size_t s = 0; s < shards; ++s)
+        rngs.push_back(rng_.fork());
+    ErrorPdf pdf = shardedMapReduce<ErrorPdf>(
+        shards,
+        [&](size_t s) {
+            ErrorPdf part;
+            part.distance = distance;
+            uint64_t n = shardSize(trials, shards, s);
+            part.trials = n;
+            Rng rng = rngs[s];
+            for (uint64_t i = 0; i < n; ++i)
+                classify(simulateDeviation(distance, rng), part);
+            return part;
+        },
+        [](ErrorPdf &acc, const ErrorPdf &part) {
+            acc.merge(part);
+        });
+    pdf.distance = distance;
+    return pdf;
+}
+
 FittedErrorModel
 PositionErrorMonteCarlo::fitModel(uint64_t trials_per_distance)
 {
@@ -257,16 +323,17 @@ PositionErrorMonteCarlo::fitModel(uint64_t trials_per_distance)
     rngs.reserve(shards);
     for (size_t s = 0; s < shards; ++s)
         rngs.push_back(rng_.fork());
+    McKernelParams kp{resync_rho_, trial_jitter_, trial_drift_,
+                      notchHalfWidth(params_)};
+    McTier tier = tier_;
     Moments m = shardedMapReduce<Moments>(
         shards,
         [&](size_t s) {
             Moments part;
-            uint64_t n = shardSize(trials_per_distance, shards, s);
+            uint64_t n = mcShardSize(tier, trials_per_distance,
+                                     shards, s);
             Rng rng = rngs[s];
-            for (uint64_t i = 0; i < n; ++i) {
-                part.d1.add(simulateDeviation(1, rng));
-                part.d7.add(simulateDeviation(7, rng));
-            }
+            mcMoments(tier, kp, n, rng, part.d1, part.d7);
             return part;
         },
         [](Moments &acc, const Moments &part) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "device/fitted_model.hh"
+#include "device/mc_kernel.hh"
 #include "device/params.hh"
 #include "device/timing.hh"
 #include "util/rng.hh"
@@ -74,9 +75,11 @@ class PositionErrorMonteCarlo
     /**
      * @param params nominal device parameters
      * @param seed   RNG seed (trials are deterministic given seed)
+     * @param tier   batched-kernel reproducibility tier
      */
     explicit PositionErrorMonteCarlo(const DeviceParams &params,
-                                     uint64_t seed = 12345);
+                                     uint64_t seed = 12345,
+                                     McTier tier = McTier::Exact);
 
     /**
      * Run trials for a given shift distance.
@@ -84,14 +87,30 @@ class PositionErrorMonteCarlo
      * Trials are split into shardCount(trials) shards, each with its
      * own RNG forked deterministically from this object's stream, and
      * fanned out over the global ThreadPool. Results are bit-identical
-     * for a given (seed, trial count) at any RTM_THREADS setting, but
-     * differ from the historical single-stream ordering.
+     * for a given (seed, trial count, tier) at any RTM_THREADS
+     * setting, but differ from the historical single-stream ordering.
+     *
+     * Shards execute through the batched SoA kernels (mc_kernel.hh).
+     * In the exact tier (default) the result is bit-identical to
+     * runScalarReference(); the fast tier draws its noise in batch
+     * order through the branchless vecmath transforms and is pinned
+     * by its own golden digests instead.
      *
      * @param distance steps per shift (>= 1)
      * @param trials   number of Monte-Carlo trials
      * @return per-bin outcome statistics
      */
     ErrorPdf run(int distance, uint64_t trials);
+
+    /**
+     * The pre-batching scalar path, frozen as a reference: identical
+     * shard structure, but each shard walks one trial at a time via
+     * simulateDeviation() + classify(). Exact-tier run() must stay
+     * bit-identical to this; micro_ops --check and the unit tests
+     * enforce it. Consumes the same amount of the seed stream as
+     * run() with the same arguments.
+     */
+    ErrorPdf runScalarReference(int distance, uint64_t trials);
 
     /**
      * Simulate a single pulse; returns the continuous deviation of
@@ -106,6 +125,12 @@ class PositionErrorMonteCarlo
      * global ThreadPool with the same determinism guarantee as run().
      */
     FittedErrorModel fitModel(uint64_t trials_per_distance = 200000);
+
+    /** Reproducibility tier the batched kernels run in. */
+    McTier tier() const { return tier_; }
+
+    /** Switch tiers; takes effect on the next run()/fitModel(). */
+    void setTier(McTier tier) { tier_ = tier; }
 
     /** Re-synchronisation factor per notch transit (model input). */
     double resyncRho() const { return resync_rho_; }
@@ -141,6 +166,7 @@ class PositionErrorMonteCarlo
     DeviceParams params_;
     ShiftTiming timing_;
     Rng rng_;
+    McTier tier_;
     double resync_rho_;
 
     // Per-trial constants hoisted out of simulateDeviation: the

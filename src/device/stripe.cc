@@ -27,11 +27,50 @@ bitChar(Bit b)
     }
 }
 
+namespace
+{
+
+/** Bit::X (value 2, binary 10) replicated into every 2-bit lane. */
+constexpr uint64_t kAllX = 0xaaaaaaaaaaaaaaaaULL;
+constexpr int kSlotsPerWord = 32;
+
+} // anonymous namespace
+
+Bit
+RacetrackStripe::slotGet(int slot) const
+{
+    const uint64_t w = words_[static_cast<size_t>(slot / kSlotsPerWord)];
+    const int sh = (slot % kSlotsPerWord) * 2;
+    return static_cast<Bit>((w >> sh) & 3);
+}
+
+void
+RacetrackStripe::slotSet(int slot, Bit value)
+{
+    uint64_t &w = words_[static_cast<size_t>(slot / kSlotsPerWord)];
+    const int sh = (slot % kSlotsPerWord) * 2;
+    w = (w & ~(3ULL << sh)) |
+        (static_cast<uint64_t>(value) << sh);
+}
+
+void
+RacetrackStripe::fixTail()
+{
+    const int used = slots_ % kSlotsPerWord;
+    if (used == 0)
+        return;
+    const uint64_t mask = (1ULL << (used * 2)) - 1;
+    words_.back() = (words_.back() & mask) | (kAllX & ~mask);
+}
+
 RacetrackStripe::RacetrackStripe(int wire_slots, std::vector<Port> ports,
                                  const PositionErrorModel *model,
                                  Rng rng)
-    : wire_(static_cast<size_t>(wire_slots), Bit::X),
-      ports_(std::move(ports)), model_(model), rng_(rng)
+    : words_(static_cast<size_t>(wire_slots + kSlotsPerWord - 1) /
+                 kSlotsPerWord,
+             kAllX),
+      slots_(wire_slots), ports_(std::move(ports)), model_(model),
+      rng_(rng)
 {
     if (wire_slots <= 0)
         rtm_fatal("stripe needs at least one domain slot");
@@ -58,7 +97,7 @@ RacetrackStripe::poke(int slot, Bit value)
 {
     if (slot < 0 || slot >= wireSlots())
         rtm_panic("poke slot %d out of range", slot);
-    wire_[static_cast<size_t>(slot)] = value;
+    slotSet(slot, value);
 }
 
 Bit
@@ -66,7 +105,7 @@ RacetrackStripe::peek(int slot) const
 {
     if (slot < 0 || slot >= wireSlots())
         rtm_panic("peek slot %d out of range", slot);
-    return wire_[static_cast<size_t>(slot)];
+    return slotGet(slot);
 }
 
 void
@@ -74,21 +113,49 @@ RacetrackStripe::moveTape(int actual)
 {
     if (actual == 0)
         return;
-    int n = wireSlots();
+    const int n = wireSlots();
+    const size_t nw = words_.size();
     if (actual > 0) {
-        int k = std::min(actual, n);
-        // Right shift: slot i receives slot i-k; left end gets X.
-        for (int i = n - 1; i >= k; --i)
-            wire_[i] = wire_[i - k];
-        for (int i = 0; i < k; ++i)
-            wire_[i] = Bit::X;
+        // Right shift: slot i receives slot i-k; the left end gets X.
+        // In packed form that is a funnel shift towards higher bit
+        // positions by 2k; out-of-range source words read as all-X,
+        // which injects the vacated domains for free.
+        const int k = std::min(actual, n);
+        const size_t ws = static_cast<size_t>(k) /
+                          static_cast<size_t>(kSlotsPerWord);
+        const int bs = (k % kSlotsPerWord) * 2;
+        for (size_t j = nw; j-- > 0;) {
+            const uint64_t lo = j >= ws ? words_[j - ws] : kAllX;
+            if (bs == 0) {
+                words_[j] = lo;
+            } else {
+                const uint64_t carry =
+                    j >= ws + 1 ? words_[j - ws - 1] : kAllX;
+                words_[j] = (lo << bs) | (carry >> (64 - bs));
+            }
+        }
     } else {
-        int k = std::min(-actual, n);
-        for (int i = 0; i < n - k; ++i)
-            wire_[i] = wire_[i + k];
-        for (int i = n - k; i < n; ++i)
-            wire_[i] = Bit::X;
+        // Left shift: slot i receives slot i+k. Sources past the end
+        // of the wire read as all-X - both past the word array and
+        // in the last word's pad lanes, which fixTail keeps at X.
+        const int k = std::min(-actual, n);
+        const size_t ws = static_cast<size_t>(k) /
+                          static_cast<size_t>(kSlotsPerWord);
+        const int bs = (k % kSlotsPerWord) * 2;
+        for (size_t j = 0; j < nw; ++j) {
+            const uint64_t lo = j + ws < nw ? words_[j + ws] : kAllX;
+            if (bs == 0) {
+                words_[j] = lo;
+            } else {
+                const uint64_t carry =
+                    j + ws + 1 < nw ? words_[j + ws + 1] : kAllX;
+                words_[j] = (lo >> bs) | (carry << (64 - bs));
+            }
+        }
     }
+    // Domains shifted past the wire end are destroyed; the pad lanes
+    // they crossed into must go back to X.
+    fixTail();
     true_offset_ += actual;
     steps_moved_ += static_cast<uint64_t>(std::abs(actual));
 }
@@ -151,7 +218,7 @@ RacetrackStripe::read(int port_index) const
     const Port &p = port(port_index);
     if (misaligned_)
         return Bit::X;
-    return wire_[static_cast<size_t>(p.wire_slot)];
+    return slotGet(p.wire_slot);
 }
 
 bool
@@ -162,7 +229,7 @@ RacetrackStripe::write(int port_index, Bit value)
         rtm_panic("write through read-only port %d", port_index);
     if (misaligned_)
         return false;
-    wire_[static_cast<size_t>(p.wire_slot)] = value;
+    slotSet(p.wire_slot, value);
     return true;
 }
 
@@ -184,11 +251,11 @@ RacetrackStripe::shiftAndWrite(Bit entering, bool from_left)
         // write port, i.e. slot 0 after a correct 1-step shift.
         int slot = 0;
         if (!misaligned_ && slot < n)
-            wire_[static_cast<size_t>(slot)] = entering;
+            slotSet(slot, entering);
     } else {
         int slot = n - 1;
         if (!misaligned_ && slot >= 0)
-            wire_[static_cast<size_t>(slot)] = entering;
+            slotSet(slot, entering);
     }
     return out;
 }

@@ -16,6 +16,12 @@
  * The stripe itself has no notion of p-ECC or segments; those live in
  * the codec and control layers, which decide where ports are placed
  * and what the believed cumulative offset is.
+ *
+ * Storage is packed: 2 bits per domain, 32 domains per 64-bit word,
+ * so a shift moves whole words with a funnel shift instead of one
+ * byte per domain. Public semantics (tri-state values, data loss at
+ * the ends, X injection) are unchanged from the per-domain
+ * representation.
  */
 
 #ifndef RTM_DEVICE_STRIPE_HH
@@ -74,7 +80,7 @@ class RacetrackStripe
                     const PositionErrorModel *model, Rng rng);
 
     /** Number of domain slots on the wire. */
-    int wireSlots() const { return static_cast<int>(wire_.size()); }
+    int wireSlots() const { return slots_; }
 
     /** Number of attached ports. */
     int portCount() const { return static_cast<int>(ports_.size()); }
@@ -153,7 +159,12 @@ class RacetrackStripe
     uint64_t shiftOps() const { return shift_ops_; }
 
   private:
-    std::vector<Bit> wire_;
+    /** Packed domains: 2 bits per slot, 32 slots per word, slot i in
+     *  bits [2*(i%32), 2*(i%32)+1) of words_[i/32]. Lanes past
+     *  slots_ in the last word always hold Bit::X, so word-level
+     *  shifts pull well-defined values across the wire ends. */
+    std::vector<uint64_t> words_;
+    int slots_;
     std::vector<Port> ports_;
     const PositionErrorModel *model_;
     Rng rng_;
@@ -161,6 +172,12 @@ class RacetrackStripe
     int true_offset_ = 0;
     uint64_t steps_moved_ = 0;
     uint64_t shift_ops_ = 0;
+
+    Bit slotGet(int slot) const;
+    void slotSet(int slot, Bit value);
+
+    /** Restore the all-X invariant on the last word's pad lanes. */
+    void fixTail();
 
     /** Move tape content by the actual distance (with data loss). */
     void moveTape(int actual);

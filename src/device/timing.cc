@@ -73,6 +73,14 @@ ShiftTiming::stepTime(const SampledParams &s) const
     return flatTime(s) + notchTime(s);
 }
 
+void
+ShiftTiming::stepTimes(const SampledParams *s, double *out,
+                       size_t n) const
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = stepTime(s[i]);
+}
+
 double
 ShiftTiming::pulseWidth(int steps) const
 {

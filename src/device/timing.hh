@@ -19,6 +19,8 @@
 #ifndef RTM_DEVICE_TIMING_HH
 #define RTM_DEVICE_TIMING_HH
 
+#include <cstddef>
+
 #include "device/params.hh"
 
 namespace rtm
@@ -47,6 +49,16 @@ class ShiftTiming
 
     /** One-pitch transit time for the given sampled geometry, s. */
     double stepTime(const SampledParams &s) const;
+
+    /**
+     * Evaluate stepTime for n geometries in one call: out[i] =
+     * stepTime(s[i]). Callers that need a cluster of evaluations
+     * (the central-difference sensitivity sweep in the Monte-Carlo
+     * constructor) hand the whole cluster over at once instead of
+     * round-tripping per sample.
+     */
+    void stepTimes(const SampledParams *s, double *out,
+                   size_t n) const;
 
     /** Nominal (mean-geometry) one-pitch transit time, s. */
     double nominalStepTime() const { return nominal_step_time_; }

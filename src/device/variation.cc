@@ -1,5 +1,6 @@
 #include "variation.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -19,6 +20,17 @@ double
 StripeVariationModel::sampleMultiplier(Rng &rng) const
 {
     return std::exp(sigma_ * rng.gaussian());
+}
+
+void
+StripeVariationModel::fillMultipliers(Rng &rng, double *dst,
+                                      size_t n) const
+{
+    // Batched draw, then an exp over the contiguous block; the draw
+    // stream and values match n sampleMultiplier calls exactly.
+    rng.fillGaussian(dst, n);
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = std::exp(sigma_ * dst[i]);
 }
 
 double
@@ -79,13 +91,24 @@ sampleScreening(const StripeVariationModel &model, uint64_t stripes,
     o.threshold = threshold;
     double sum_all = 0.0, sum_kept = 0.0;
     uint64_t kept = 0;
-    for (uint64_t i = 0; i < stripes; ++i) {
-        double m = model.sampleMultiplier(rng);
-        sum_all += m;
-        if (m <= threshold) {
-            sum_kept += m;
-            ++kept;
+    // Multipliers come from the batched fill (same draws as the
+    // scalar loop); accumulation stays in sample order.
+    constexpr uint64_t kBlock = 4096;
+    std::vector<double> mult(static_cast<size_t>(
+        std::min<uint64_t>(kBlock, stripes ? stripes : 1)));
+    for (uint64_t i = 0; i < stripes;) {
+        const size_t block = static_cast<size_t>(
+            std::min<uint64_t>(kBlock, stripes - i));
+        model.fillMultipliers(rng, mult.data(), block);
+        for (size_t j = 0; j < block; ++j) {
+            double m = mult[j];
+            sum_all += m;
+            if (m <= threshold) {
+                sum_kept += m;
+                ++kept;
+            }
         }
+        i += block;
     }
     o.disabled_fraction =
         1.0 - static_cast<double>(kept) /

@@ -48,6 +48,13 @@ class StripeVariationModel
     /** Sample one stripe's rate multiplier. */
     double sampleMultiplier(Rng &rng) const;
 
+    /**
+     * Sample n multipliers into dst, drawing through the batched
+     * Rng::fillGaussian path. Element-for-element identical to n
+     * sampleMultiplier calls on the same stream.
+     */
+    void fillMultipliers(Rng &rng, double *dst, size_t n) const;
+
     /** Mean multiplier E[m] (the chip-rate inflation factor). */
     double meanMultiplier() const;
 

@@ -407,6 +407,28 @@ parseStressSection(const JsonValue &v, StressSpec *s,
         {"enabled", "scheme", "scale", "ops", "lseg", "seed"});
 }
 
+void
+parseMcSection(const JsonValue &v, McSpec *s, std::string *diag)
+{
+    SpecReader r(v, "montecarlo", diag);
+    r.readBool("enabled", &s->enabled);
+    r.readInt("distance", &s->distance);
+    r.readU64("trials", &s->trials);
+    r.readU64("fit_trials", &s->fit_trials);
+    r.readU64("seed", &s->seed);
+    r.readString("tier", &s->tier);
+    McTier tier;
+    if (!mcTierFromToken(s->tier, &tier))
+        r.fail("tier",
+               "unknown tier '" + s->tier + "' (exact | fast)");
+    if (s->distance < 1)
+        r.fail("distance", "must be >= 1");
+    if (s->trials < 1)
+        r.fail("trials", "must be >= 1");
+    r.rejectUnknownKeys({"enabled", "distance", "trials",
+                         "fit_trials", "seed", "tier"});
+}
+
 } // anonymous namespace
 
 // --- engine ----------------------------------------------------------
@@ -536,6 +558,15 @@ experimentSpecToJson(const ExperimentSpec &spec_in)
     st.set("seed", spec.stress.seed);
     doc.set("stress", std::move(st));
 
+    JsonValue mc = JsonValue::object();
+    mc.set("enabled", spec.montecarlo.enabled);
+    mc.set("distance", spec.montecarlo.distance);
+    mc.set("trials", spec.montecarlo.trials);
+    mc.set("fit_trials", spec.montecarlo.fit_trials);
+    mc.set("seed", spec.montecarlo.seed);
+    mc.set("tier", spec.montecarlo.tier);
+    doc.set("montecarlo", std::move(mc));
+
     JsonValue tel = JsonValue::object();
     tel.set("metrics", spec.metrics_path);
     tel.set("trace", spec.trace_path);
@@ -561,6 +592,9 @@ experimentSpecFromJson(const JsonValue &doc, ExperimentSpec *spec,
         parseCampaignSection(*c, &out.campaign, d);
     if (const JsonValue *s = top.child("stress", JsonType::Object))
         parseStressSection(*s, &out.stress, d);
+    if (const JsonValue *m =
+            top.child("montecarlo", JsonType::Object))
+        parseMcSection(*m, &out.montecarlo, d);
     if (const JsonValue *t =
             top.child("telemetry", JsonType::Object)) {
         SpecReader tr(*t, "telemetry", d);
@@ -570,7 +604,7 @@ experimentSpecFromJson(const JsonValue &doc, ExperimentSpec *spec,
     }
     top.readString("output", &out.output_path);
     top.rejectUnknownKeys({"name", "matrix", "campaign", "stress",
-                           "telemetry", "output"});
+                           "montecarlo", "telemetry", "output"});
     if (!d->empty())
         return false;
     normalizeExperimentSpec(&out);
@@ -614,6 +648,8 @@ ExperimentCell::label() const
         return scenario.name + "/" + workload;
       case Kind::Stress:
         return "stress";
+      case Kind::MonteCarlo:
+        return "montecarlo";
     }
     return "?";
 }
@@ -653,6 +689,12 @@ expandCells(const ExperimentSpec &spec_in)
     if (spec.stress.enabled) {
         ExperimentCell cell;
         cell.kind = ExperimentCell::Kind::Stress;
+        cell.local_index = 0;
+        cells.push_back(std::move(cell));
+    }
+    if (spec.montecarlo.enabled) {
+        ExperimentCell cell;
+        cell.kind = ExperimentCell::Kind::MonteCarlo;
         cell.local_index = 0;
         cells.push_back(std::move(cell));
     }
@@ -775,6 +817,38 @@ runStressDrill(const StressSpec &spec, TelemetryScope telemetry)
     return out;
 }
 
+// --- montecarlo cell -------------------------------------------------
+
+McRunResult
+runMcCell(const McSpec &spec, TelemetryScope telemetry)
+{
+    ScopedPhase mc_phase("experiment.mc");
+    McTier tier = McTier::Exact;
+    if (!mcTierFromToken(spec.tier, &tier))
+        rtm_fatal("unknown montecarlo tier '%s'", spec.tier.c_str());
+    McRunResult out;
+    out.distance = spec.distance;
+    out.tier = mcTierToken(tier);
+    // Nominal device, seed and tier from the spec: the cell result
+    // is a pure function of the section. Inside an engine job the
+    // nested shard fan-out runs inline, so the determinism guarantee
+    // of run()/fitModel() carries through the scheduler.
+    PositionErrorMonteCarlo mc(DeviceParams{}, spec.seed, tier);
+    mc.setTelemetry(telemetry);
+    ErrorPdf pdf = mc.run(spec.distance, spec.trials);
+    out.trials = pdf.tallyTrials();
+    out.deviation_mean = pdf.deviation.mean();
+    out.deviation_stddev = pdf.deviation.stddev();
+    out.step_prob_ok = pdf.stepProbability(0);
+    out.step_prob_plus1 = pdf.stepProbability(1);
+    out.step_prob_minus1 = pdf.stepProbability(-1);
+    if (spec.fit_trials > 0) {
+        out.has_fit = true;
+        out.fit = mc.fitModel(spec.fit_trials).params();
+    }
+    return out;
+}
+
 // --- whole-spec runs -------------------------------------------------
 
 ExperimentResult
@@ -822,6 +896,14 @@ runExperiment(const ExperimentSpec &spec_in,
         const StressSpec stress = spec.stress;
         engine.addJob([slot, stress](TelemetryScope t) {
             *slot = runStressDrill(stress, t);
+        });
+    }
+    if (spec.montecarlo.enabled) {
+        res.has_mc = true;
+        McRunResult *slot = &res.mc;
+        const McSpec mc = spec.montecarlo;
+        engine.addJob([slot, mc](TelemetryScope t) {
+            *slot = runMcCell(mc, t);
         });
     }
 
@@ -890,6 +972,29 @@ stressResultToJson(const StressResult &r)
     return v;
 }
 
+JsonValue
+mcResultToJson(const McRunResult &r)
+{
+    JsonValue v = JsonValue::object();
+    v.set("distance", r.distance);
+    v.set("trials", r.trials);
+    v.set("tier", r.tier);
+    v.set("deviation_mean", r.deviation_mean);
+    v.set("deviation_stddev", r.deviation_stddev);
+    v.set("step_prob_ok", r.step_prob_ok);
+    v.set("step_prob_plus1", r.step_prob_plus1);
+    v.set("step_prob_minus1", r.step_prob_minus1);
+    if (r.has_fit) {
+        JsonValue fit = JsonValue::object();
+        fit.set("sigma_step", r.fit.sigma_step);
+        fit.set("resync_rho", r.fit.resync_rho);
+        fit.set("drift", r.fit.drift);
+        fit.set("notch_half_width", r.fit.notch_half_width);
+        v.set("fit", std::move(fit));
+    }
+    return v;
+}
+
 } // anonymous namespace
 
 JsonValue
@@ -920,6 +1025,8 @@ experimentResultToJson(const ExperimentResult &result)
         doc.set("campaign", campaignResultToJson(result.campaign));
     if (result.has_stress)
         doc.set("stress", stressResultToJson(result.stress));
+    if (result.has_mc)
+        doc.set("montecarlo", mcResultToJson(result.mc));
     return doc;
 }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "device/montecarlo.hh"
 #include "sim/campaign.hh"
 #include "sim/runner.hh"
 #include "util/serde.hh"
@@ -152,6 +153,33 @@ struct StressSpec
     }
 };
 
+/**
+ * Monte-Carlo section: one device-level position-error extraction
+ * through the batched kernel, with the reproducibility tier as a
+ * first-class knob ("exact" = bit-identical to the scalar reference,
+ * "fast" = batch-order draws pinned by their own digests).
+ */
+struct McSpec
+{
+    bool enabled = false;
+    int distance = 7;           //!< steps per shift
+    uint64_t trials = 200000;   //!< run() trials
+    uint64_t fit_trials = 0;    //!< fitModel trials (0 = skip fit)
+    uint64_t seed = 12345;
+    std::string tier = "exact"; //!< exact | fast
+
+    bool operator==(const McSpec &o) const
+    {
+        return enabled == o.enabled && distance == o.distance &&
+               trials == o.trials && fit_trials == o.fit_trials &&
+               seed == o.seed && tier == o.tier;
+    }
+    bool operator!=(const McSpec &o) const
+    {
+        return !(*this == o);
+    }
+};
+
 /** One declarative experiment: every section plus output sinks. */
 struct ExperimentSpec
 {
@@ -159,6 +187,7 @@ struct ExperimentSpec
     MatrixSpec matrix;
     CampaignSpec campaign;
     StressSpec stress;
+    McSpec montecarlo;
 
     // Output sinks (empty = disabled).
     std::string metrics_path; //!< telemetry registry JSON
@@ -169,6 +198,7 @@ struct ExperimentSpec
     {
         return name == o.name && matrix == o.matrix &&
                campaign == o.campaign && stress == o.stress &&
+               montecarlo == o.montecarlo &&
                metrics_path == o.metrics_path &&
                trace_path == o.trace_path &&
                output_path == o.output_path;
@@ -212,7 +242,8 @@ struct ExperimentCell
     {
         Matrix,
         Campaign,
-        Stress
+        Stress,
+        MonteCarlo
     };
 
     Kind kind = Kind::Matrix;
@@ -271,6 +302,25 @@ bool stressSchemeConfig(const std::string &token, Scheme *scheme,
 StressResult runStressDrill(const StressSpec &spec,
                             TelemetryScope telemetry = {});
 
+/** Outcome of the Monte-Carlo cell. */
+struct McRunResult
+{
+    int distance = 0;
+    uint64_t trials = 0;
+    std::string tier = "exact";
+    double deviation_mean = 0.0;
+    double deviation_stddev = 0.0;
+    double step_prob_ok = 0.0;      //!< P(step error 0)
+    double step_prob_plus1 = 0.0;   //!< P(step error +1)
+    double step_prob_minus1 = 0.0;  //!< P(step error -1)
+    bool has_fit = false;
+    FittedModelParams fit;          //!< valid when has_fit
+};
+
+/** Run the Monte-Carlo cell (spec.enabled is not consulted). */
+McRunResult runMcCell(const McSpec &spec,
+                      TelemetryScope telemetry = {});
+
 /** Everything one spec run produced. */
 struct ExperimentResult
 {
@@ -284,6 +334,9 @@ struct ExperimentResult
 
     bool has_stress = false;
     StressResult stress;
+
+    bool has_mc = false;
+    McRunResult mc;
 
     size_t cells = 0; //!< total scheduled cells
 };

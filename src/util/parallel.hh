@@ -123,6 +123,26 @@ shardSize(size_t n, size_t shards, size_t s)
     return n / shards + (s < n % shards ? 1 : 0);
 }
 
+/**
+ * Shard sizing for batched kernels: every shard gets a multiple of
+ * `granule` items (so batch loops never run a ragged tail mid-shard)
+ * and the remainder all lands in the last shard. Like shardSize this
+ * is a function of (n, shards, granule) alone, so batched results
+ * stay independent of the worker count. Degenerates to one big last
+ * shard when n < shards * granule.
+ */
+inline size_t
+alignedShardSize(size_t n, size_t shards, size_t s, size_t granule)
+{
+    if (granule <= 1)
+        return shardSize(n, shards, s);
+    size_t whole = (n / granule) / shards; // granules per shard
+    size_t base = whole * granule;
+    if (s + 1 < shards)
+        return base;
+    return n - base * (shards - 1); // remainder rides the last shard
+}
+
 } // namespace rtm
 
 #endif // RTM_UTIL_PARALLEL_HH

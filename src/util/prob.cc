@@ -46,6 +46,13 @@ normalTail(double x)
     return std::exp(logNormalTail(x));
 }
 
+void
+logNormalTailBatch(const double *x, double *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = logNormalTail(x[i]);
+}
+
 double
 logSumExp(double a, double b)
 {

@@ -12,6 +12,7 @@
 #define RTM_UTIL_PROB_HH
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
 
 namespace rtm
@@ -33,6 +34,16 @@ double logNormalTail(double x);
 
 /** Upper-tail probability Q(x); may underflow to 0 for huge x. */
 double normalTail(double x);
+
+/**
+ * Batched log Q(x): out[i] = logNormalTail(x[i]) for i in [0, n),
+ * bit-identical to the scalar calls. The win is call-site shape, not
+ * SIMD: consumers that need Q at a ladder of adjacent bin boundaries
+ * (FittedErrorModel, the analytic SDC/DUE sums) evaluate each
+ * boundary once through this instead of twice through the scalar
+ * entry point, halving the erfc work in the reliability hot path.
+ */
+void logNormalTailBatch(const double *x, double *out, size_t n);
 
 /** log(exp(a) + exp(b)) without overflow/underflow. */
 double logSumExp(double a, double b);

@@ -1,8 +1,10 @@
 #include "rng.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "logging.hh"
+#include "vecmath.hh"
 
 namespace rtm
 {
@@ -116,6 +118,87 @@ Rng::bernoulli(double p)
     if (p >= 1.0)
         return true;
     return uniform() < p;
+}
+
+void
+Rng::fillUniform(double *dst, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = uniform();
+}
+
+void
+Rng::fillGaussian(double *dst, size_t n)
+{
+    size_t i = 0;
+    if (i < n && has_cached_gauss_) {
+        has_cached_gauss_ = false;
+        dst[i++] = cached_gauss_;
+    }
+    // Whole pairs land directly in the output; only an odd tail
+    // touches the cache, exactly like a trailing gaussian() call.
+    while (i + 2 <= n) {
+        double u1;
+        do {
+            u1 = uniform();
+        } while (u1 <= 0.0);
+        double u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * M_PI * u2;
+        dst[i] = r * std::cos(theta);
+        dst[i + 1] = r * std::sin(theta);
+        i += 2;
+    }
+    if (i < n) {
+        double u1;
+        do {
+            u1 = uniform();
+        } while (u1 <= 0.0);
+        double u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * M_PI * u2;
+        cached_gauss_ = r * std::sin(theta);
+        has_cached_gauss_ = true;
+        dst[i] = r * std::cos(theta);
+    }
+}
+
+void
+Rng::fillGaussianFast(double *dst, size_t n)
+{
+    // Block size trades stack footprint against loop overhead; 128
+    // pairs keeps all five lanes inside L1.
+    constexpr size_t kBlockPairs = 128;
+    double u1[kBlockPairs], u2[kBlockPairs], r[kBlockPairs];
+    double ca[kBlockPairs], sa[kBlockPairs];
+
+    size_t i = 0;
+    while (i < n) {
+        size_t want = n - i;
+        size_t pairs = std::min(kBlockPairs, (want + 1) / 2);
+        // The generator recurrence is serial; everything after this
+        // scalar fill is lane-parallel.
+        for (size_t p = 0; p < pairs; ++p) {
+            double a = uniform();
+            u1[p] = a > 0.0 ? a : 0x1.0p-53;
+            u2[p] = uniform();
+        }
+#pragma omp simd
+        for (size_t p = 0; p < pairs; ++p)
+            r[p] = std::sqrt(-2.0 * vecmath::logUnit(u1[p]));
+#pragma omp simd
+        for (size_t p = 0; p < pairs; ++p)
+            ca[p] = r[p] * vecmath::cos2pi(u2[p]);
+#pragma omp simd
+        for (size_t p = 0; p < pairs; ++p)
+            sa[p] = r[p] * vecmath::sin2pi(u2[p]);
+        // Interleave cos-first to match the scalar pair order; an
+        // odd tail stops after the final cosine.
+        size_t emit = std::min(want, 2 * pairs);
+        for (size_t k = 0; k < emit; ++k)
+            dst[i + k] = (k & 1) ? sa[k >> 1] : ca[k >> 1];
+        i += emit;
+    }
 }
 
 Rng

@@ -12,6 +12,7 @@
 #define RTM_UTIL_RNG_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace rtm
@@ -55,6 +56,42 @@ class Rng
 
     /** True with probability p (clamped to [0, 1]). */
     bool bernoulli(double p);
+
+    /** Fill dst[0..n) with uniform() draws, in draw order. */
+    void fillUniform(double *dst, size_t n);
+
+    /**
+     * Fill dst[0..n) with standard normals, element-for-element
+     * identical to n successive gaussian() calls: the same uniforms
+     * are consumed in the same order (including the u1 <= 0
+     * rejection), pairs are emitted cos-first, and the Box-Muller
+     * cache carries across calls exactly like the scalar path, so
+     * interleaving fillGaussian and gaussian() on one stream still
+     * reproduces the scalar sequence bit-for-bit.
+     */
+    void fillGaussian(double *dst, size_t n);
+
+    /**
+     * Fast-order batch of standard normals for the Monte-Carlo fast
+     * tier. Consumes the same uniform pair stream as the scalar path
+     * but differs in three documented ways, each of which removes a
+     * data-dependent branch or a libm call from the transform:
+     *
+     *  - a zero u1 draw is clamped to 2^-53 instead of rejected
+     *    (probability 2^-53 per draw, never observed in practice);
+     *  - log/sin/cos come from the branchless polynomial kernels in
+     *    util/vecmath.hh (|error| ~1e-11), evaluated over whole
+     *    lanes in split, auto-vectorised loops;
+     *  - an odd tail discards the final pair's sine instead of
+     *    caching it, and the scalar Box-Muller cache is neither
+     *    consumed nor updated.
+     *
+     * Output is a pure function of the stream state and n: the same
+     * seed gives the same batch on every platform, preset and
+     * RTM_THREADS setting. Values track gaussian() to ~1e-11 but are
+     * NOT bit-identical; use fillGaussian for the exact tier.
+     */
+    void fillGaussianFast(double *dst, size_t n);
 
     /** Fork an independent stream (seeded from this stream). */
     Rng fork();

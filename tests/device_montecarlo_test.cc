@@ -7,7 +7,9 @@
 
 #include <cmath>
 
+#include "device/fitted_model.hh"
 #include "device/montecarlo.hh"
+#include "util/parallel.hh"
 
 namespace rtm
 {
@@ -144,6 +146,121 @@ TEST(MonteCarlo, DeterministicGivenSeed)
     ErrorPdf pb = b.run(3, 5000);
     EXPECT_DOUBLE_EQ(pa.deviation.mean(), pb.deviation.mean());
     EXPECT_EQ(pa.step_counts.entries(), pb.step_counts.entries());
+}
+
+void
+expectPdfsIdentical(const ErrorPdf &a, const ErrorPdf &b)
+{
+    EXPECT_EQ(a.distance, b.distance);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.step_counts.entries(), b.step_counts.entries());
+    EXPECT_EQ(a.middle_counts.entries(),
+              b.middle_counts.entries());
+    EXPECT_EQ(a.deviation.count(), b.deviation.count());
+    EXPECT_EQ(a.deviation.mean(), b.deviation.mean());
+    EXPECT_EQ(a.deviation.stddev(), b.deviation.stddev());
+}
+
+TEST(MonteCarlo, ExactTierMatchesScalarReferenceBitwise)
+{
+    // The exact-tier contract: the batched kernel replays the
+    // scalar path's draws and arithmetic exactly, so run() is
+    // bit-identical to the frozen reference at any trial count —
+    // including sub-batch, tail-remainder and prime counts.
+    DeviceParams p;
+    for (uint64_t trials : {uint64_t(1), uint64_t(255),
+                            uint64_t(256), uint64_t(4097),
+                            uint64_t(20011)}) {
+        PositionErrorMonteCarlo batch(p, 5, McTier::Exact);
+        PositionErrorMonteCarlo scalar(p, 5);
+        expectPdfsIdentical(batch.run(7, trials),
+                            scalar.runScalarReference(7, trials));
+    }
+}
+
+TEST(MonteCarlo, ExactTierMatchesScalarReferenceAtDistanceOne)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo batch(p, 9, McTier::Exact);
+    PositionErrorMonteCarlo scalar(p, 9);
+    expectPdfsIdentical(batch.run(1, 3001),
+                        scalar.runScalarReference(1, 3001));
+}
+
+TEST(MonteCarlo, FastTierIsBitStableAcrossThreadCounts)
+{
+    // The fast tier reorders draws but aligns its shards to the
+    // batch granule, so the result is a pure function of (seed,
+    // trials) whatever RTM_THREADS says.
+    DeviceParams p;
+    unsigned before = ThreadPool::global().threads();
+    PositionErrorMonteCarlo a(p, 5, McTier::Fast);
+    ThreadPool::setGlobalThreads(1);
+    ErrorPdf pa = a.run(7, 50000);
+    PositionErrorMonteCarlo b(p, 5, McTier::Fast);
+    ThreadPool::setGlobalThreads(4);
+    ErrorPdf pb = b.run(7, 50000);
+    ThreadPool::setGlobalThreads(before);
+    expectPdfsIdentical(pa, pb);
+}
+
+TEST(MonteCarlo, FastTierMomentsTrackExactTier)
+{
+    DeviceParams p;
+    const uint64_t trials = 100000;
+    PositionErrorMonteCarlo fast(p, 5, McTier::Fast);
+    PositionErrorMonteCarlo exact(p, 5, McTier::Exact);
+    ErrorPdf pf = fast.run(7, trials);
+    ErrorPdf pe = exact.run(7, trials);
+    double se = pe.deviation.stddev() /
+                std::sqrt(static_cast<double>(trials));
+    EXPECT_NEAR(pf.deviation.mean(), pe.deviation.mean(),
+                8.0 * se);
+    EXPECT_NEAR(pf.deviation.stddev(), pe.deviation.stddev(),
+                0.05 * pe.deviation.stddev());
+}
+
+TEST(MonteCarlo, FitModelTiersAgree)
+{
+    // The fitted parameters are derived from sample moments, so the
+    // tiers agree statistically; the exact tier is additionally
+    // bit-deterministic given the seed.
+    DeviceParams p;
+    PositionErrorMonteCarlo a(p, 5, McTier::Exact);
+    PositionErrorMonteCarlo b(p, 5, McTier::Exact);
+    FittedErrorModel fa = a.fitModel(20000);
+    FittedErrorModel fb = b.fitModel(20000);
+    EXPECT_DOUBLE_EQ(fa.params().sigma_step,
+                     fb.params().sigma_step);
+    PositionErrorMonteCarlo c(p, 5, McTier::Fast);
+    FittedErrorModel fc = c.fitModel(20000);
+    EXPECT_NEAR(fc.params().sigma_step, fa.params().sigma_step,
+                0.05 * fa.params().sigma_step);
+}
+
+TEST(MonteCarloDeath, MergePanicsOnDistanceMismatch)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p, 8);
+    ErrorPdf a = mc.run(4, 1000);
+    ErrorPdf b = mc.run(5, 1000);
+    EXPECT_DEATH(a.merge(b), "distance");
+}
+
+TEST(MonteCarloDeath, MergePanicsWhenTrialsOutOfSyncWithTallies)
+{
+    DeviceParams p;
+    PositionErrorMonteCarlo mc(p, 8);
+    ErrorPdf a = mc.run(4, 1000);
+    ErrorPdf b = mc.run(4, 1000);
+    // Corrupt the bookkeeping: the trials field no longer matches
+    // the tally totals, which merge() must refuse to paper over.
+    b.trials += 1;
+    EXPECT_DEATH(a.merge(b), "out of sync");
+    ErrorPdf c = mc.run(4, 1000);
+    ErrorPdf d = mc.run(4, 1000);
+    c.trials += 1;
+    EXPECT_DEATH(c.merge(d), "out of sync");
 }
 
 } // namespace

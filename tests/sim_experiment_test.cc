@@ -408,5 +408,84 @@ TEST(ExperimentRun, ResultJsonParsesAndCoversEverySection)
     std::remove(path.c_str());
 }
 
+TEST(ExperimentSpec, MonteCarloSectionRoundTripsAndExpands)
+{
+    ExperimentSpec spec = parseSpecOk(
+        "{\"matrix\": {\"enabled\": false},"
+        " \"montecarlo\": {\"enabled\": true, \"distance\": 4,"
+        "  \"trials\": 5000, \"fit_trials\": 2000,"
+        "  \"seed\": 9, \"tier\": \"fast\"}}");
+    EXPECT_TRUE(spec.montecarlo.enabled);
+    EXPECT_EQ(spec.montecarlo.distance, 4);
+    EXPECT_EQ(spec.montecarlo.trials, 5000u);
+    EXPECT_EQ(spec.montecarlo.fit_trials, 2000u);
+    EXPECT_EQ(spec.montecarlo.seed, 9u);
+    EXPECT_EQ(spec.montecarlo.tier, "fast");
+
+    JsonValue doc = experimentSpecToJson(spec);
+    ExperimentSpec back;
+    std::string diag;
+    ASSERT_TRUE(experimentSpecFromJson(doc, &back, &diag)) << diag;
+    EXPECT_EQ(back, spec);
+
+    // The section expands to exactly one cell, scheduled last.
+    auto cells = expandCells(spec);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].kind, ExperimentCell::Kind::MonteCarlo);
+    EXPECT_EQ(cells[0].label(), "montecarlo");
+}
+
+TEST(ExperimentSpec, MonteCarloSectionRejectsBadFields)
+{
+    std::string diag = parseSpecDiag(
+        "{\"montecarlo\": {\"tier\": \"turbo\"}}");
+    EXPECT_NE(diag.find("turbo"), std::string::npos) << diag;
+    diag = parseSpecDiag("{\"montecarlo\": {\"distance\": 0}}");
+    EXPECT_NE(diag.find("montecarlo.distance"), std::string::npos)
+        << diag;
+    diag = parseSpecDiag("{\"montecarlo\": {\"trils\": 5}}");
+    EXPECT_NE(diag.find("trils"), std::string::npos) << diag;
+}
+
+TEST(ExperimentRun, MonteCarloSectionRunsAndExports)
+{
+    ExperimentSpec spec;
+    spec.name = "mc-export";
+    spec.matrix.enabled = false;
+    spec.montecarlo.enabled = true;
+    spec.montecarlo.distance = 7;
+    spec.montecarlo.trials = 20000;
+    spec.montecarlo.fit_trials = 10000;
+    spec.montecarlo.seed = 5;
+    spec.montecarlo.tier = "exact";
+    normalizeExperimentSpec(&spec);
+
+    ExperimentResult res = runExperiment(spec);
+    EXPECT_EQ(res.cells, 1u);
+    ASSERT_TRUE(res.has_mc);
+    EXPECT_EQ(res.mc.distance, 7);
+    EXPECT_EQ(res.mc.trials, 20000u);
+    EXPECT_EQ(res.mc.tier, "exact");
+    EXPECT_GT(res.mc.deviation_stddev, 0.0);
+    EXPECT_GT(res.mc.step_prob_ok, 0.5);
+    ASSERT_TRUE(res.mc.has_fit);
+    EXPECT_GT(res.mc.fit.sigma_step, 0.0);
+
+    // The engine cell matches a standalone exact-tier run.
+    PositionErrorMonteCarlo alone(DeviceParams{}, 5,
+                                  McTier::Exact);
+    ErrorPdf pdf = alone.run(7, 20000);
+    EXPECT_EQ(res.mc.deviation_mean, pdf.deviation.mean());
+    EXPECT_EQ(res.mc.step_prob_ok, pdf.stepProbability(0));
+
+    JsonValue doc = experimentResultToJson(res);
+    const JsonValue *mc = doc.find("montecarlo");
+    ASSERT_NE(mc, nullptr);
+    EXPECT_EQ(mc->find("tier")->asString(), "exact");
+    EXPECT_TRUE(mc->find("deviation_stddev")->isNumber());
+    ASSERT_NE(mc->find("fit"), nullptr);
+    EXPECT_TRUE(mc->find("fit")->find("sigma_step")->isNumber());
+}
+
 } // namespace
 } // namespace rtm

@@ -429,5 +429,59 @@ TEST(GoldenSim, MatrixDigestsStableAcrossThreadCounts)
     EXPECT_EQ(serial, parallel);
 }
 
+// --- 4. fast-tier pins -----------------------------------------------
+
+/**
+ * The fast Monte-Carlo tier is NOT bit-identical to the scalar
+ * reference (it reorders draws), so the matrix pins above say
+ * nothing about it. It carries its own pinned digest instead: the
+ * output is a pure function of (seed, distance, trials), stable
+ * across thread counts, and this test freezes it. Regenerate with
+ * RTM_UPDATE_GOLDEN=1 after an intentional fast-path change.
+ */
+const char *const kGoldenFastMcHash =
+    "9acd9e237bf8ea72c781f0657d145a86c6e351b78ed97582c240cfc8d58a196e";
+
+std::string
+fastMcDigest(unsigned threads)
+{
+    ThreadPool::setGlobalThreads(threads);
+    PositionErrorMonteCarlo mc(DeviceParams{}, 12345,
+                               McTier::Fast);
+    ErrorPdf pdf = mc.run(7, 100003);
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+    Sha256 h;
+    h.updateValue(static_cast<int32_t>(pdf.distance));
+    h.updateValue(pdf.trials);
+    for (const auto &kv : pdf.step_counts.entries()) {
+        h.updateValue(kv.first);
+        h.updateValue(kv.second);
+    }
+    for (const auto &kv : pdf.middle_counts.entries()) {
+        h.updateValue(kv.first);
+        h.updateValue(kv.second);
+    }
+    h.updateValue(pdf.deviation.count());
+    h.updateValue(pdf.deviation.mean());
+    h.updateValue(pdf.deviation.stddev());
+    return h.hexDigest();
+}
+
+TEST(GoldenSim, FastTierDigestMatchesPinAcrossThreadCounts)
+{
+    std::string serial = fastMcDigest(1);
+    std::string parallel = fastMcDigest(3);
+    EXPECT_EQ(serial, parallel);
+
+    if (std::getenv("RTM_UPDATE_GOLDEN")) {
+        printf("const char *const kGoldenFastMcHash =\n"
+               "    \"%s\";\n",
+               serial.c_str());
+        FAIL() << "RTM_UPDATE_GOLDEN set: paste the printed pin "
+                  "into tests/sim_golden_test.cc and re-run";
+    }
+    EXPECT_EQ(serial, kGoldenFastMcHash);
+}
+
 } // namespace
 } // namespace rtm

@@ -118,5 +118,29 @@ TEST(ShardHelpers, MapReduceMatchesSerialFold)
     EXPECT_EQ(parallel, expect);
 }
 
+TEST(AlignedShardSize, SumsToTotalAndAlignsAllButLast)
+{
+    // Fast-tier shards must be whole multiples of the batch granule
+    // (except the last, which carries the remainder) so each
+    // shard's draw layout is independent of the shard count.
+    for (size_t n : {size_t(0), size_t(1), size_t(255),
+                     size_t(256), size_t(4097), size_t(100003)}) {
+        for (size_t shards : {size_t(1), size_t(3), size_t(64)}) {
+            size_t sum = 0;
+            for (size_t s = 0; s < shards; ++s) {
+                size_t sz = alignedShardSize(n, shards, s, 256);
+                if (s + 1 < shards)
+                    EXPECT_EQ(sz % 256, 0u)
+                        << "n=" << n << " s=" << s;
+                sum += sz;
+            }
+            EXPECT_EQ(sum, n) << "n=" << n << " shards=" << shards;
+        }
+    }
+    // Granule 1 degrades to the plain even split.
+    EXPECT_EQ(alignedShardSize(10, 3, 0, 1), shardSize(10, 3, 0));
+    EXPECT_EQ(alignedShardSize(10, 3, 2, 1), shardSize(10, 3, 2));
+}
+
 } // namespace
 } // namespace rtm

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "util/prob.hh"
 
@@ -119,6 +120,28 @@ TEST(Fit, RoundTripAndPaperAnchor)
     double mttf = fitToMttfSeconds(11415.0);
     EXPECT_NEAR(mttf / kSecondsPerYear, 10.0, 0.01);
     EXPECT_NEAR(mttfSecondsToFit(mttf), 11415.0, 0.1);
+}
+
+TEST(LogNormalTailBatch, MatchesScalarBitwise)
+{
+    // The batched Gaussian tail is the exact-tier dependency of the
+    // fitted model's logProbStepRange: every element must be
+    // bit-identical to the scalar evaluation.
+    std::vector<double> xs;
+    for (int i = -80; i <= 80; ++i)
+        xs.push_back(0.125 * i);
+    xs.push_back(-kInf);
+    xs.push_back(kInf);
+    xs.push_back(0.0);
+    xs.push_back(38.6); // deep-tail asymptotic branch
+    std::vector<double> out(xs.size());
+    logNormalTailBatch(xs.data(), out.data(), xs.size());
+    for (size_t i = 0; i < xs.size(); ++i)
+        ASSERT_EQ(out[i], logNormalTail(xs[i])) << "x=" << xs[i];
+    // Zero-length and single-element calls are valid.
+    logNormalTailBatch(xs.data(), out.data(), 0);
+    logNormalTailBatch(xs.data(), out.data(), 1);
+    EXPECT_EQ(out[0], logNormalTail(xs[0]));
 }
 
 } // namespace

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Compile the batched Monte-Carlo kernel and the batch RNG fills at
+# release optimization with GCC's vectorization report enabled, and
+# fail if the hot inner loops stop vectorising. This is the CI gate
+# behind the batched-kernel speedup: a refactor that silently breaks
+# auto-vectorisation (a stray function call in the lane loop, an
+# aliasing regression, a dropped `#pragma omp simd`) shows up here
+# as a missing "loop vectorized" remark, long before anyone looks
+# at a benchmark trend.
+#
+# Usage: tools/check_vectorization.sh [compiler]
+# Exit: 0 when every checked TU vectorises, 1 otherwise.
+
+set -u
+
+cxx="${1:-${CXX:-g++}}"
+src_root="$(cd "$(dirname "$0")/.." && pwd)"
+flags="-std=c++20 -O3 -fopenmp-simd -I${src_root}/src
+       -fopt-info-vec-optimized -c -o /dev/null"
+
+if ! "$cxx" --version >/dev/null 2>&1; then
+    echo "check_vectorization: compiler '$cxx' not found" >&2
+    exit 1
+fi
+
+fail=0
+for tu in src/device/mc_kernel.cc src/util/rng.cc; do
+    report=$("$cxx" $flags "${src_root}/${tu}" 2>&1)
+    if [ $? -ne 0 ]; then
+        echo "FAIL: ${tu} does not compile:" >&2
+        echo "$report" >&2
+        fail=1
+        continue
+    fi
+    count=$(printf '%s\n' "$report" | grep -c "loop vectorized")
+    if [ "$count" -lt 1 ]; then
+        echo "FAIL: no vectorized loops reported in ${tu}" >&2
+        printf '%s\n' "$report" >&2
+        fail=1
+    else
+        echo "OK: ${tu}: ${count} vectorized loops"
+    fi
+done
+exit $fail

@@ -121,6 +121,20 @@ applyRunOverrides(const CliFlags &flags, ExperimentSpec *spec)
                     schemeName(opt.scheme);
         spec->matrix.options = {opt};
     }
+    if (flags.has("mc-tier")) {
+        const std::string token = flags.get("mc-tier", "exact");
+        McTier tier;
+        if (!mcTierFromToken(token, &tier)) {
+            std::fprintf(stderr,
+                         "unknown --mc-tier '%s' (exact | fast)\n",
+                         token.c_str());
+            std::exit(2);
+        }
+        spec->montecarlo.tier = token;
+    }
+    if (flags.has("mc-trials"))
+        spec->montecarlo.trials =
+            flags.getU64("mc-trials", spec->montecarlo.trials);
     if (flags.has("out"))
         spec->output_path = flags.get("out", "");
     if (flags.has("metrics"))
@@ -175,6 +189,20 @@ runSpec(const ExperimentSpec &spec_in)
                     static_cast<unsigned long long>(s.due),
                     static_cast<unsigned long long>(s.silent));
     }
+    if (result.has_mc) {
+        const McRunResult &m = result.mc;
+        std::printf("montecarlo (%s tier): distance %d, %llu "
+                    "trials, dev %.4g +/- %.4g, P(+1) %.3g\n",
+                    m.tier.c_str(), m.distance,
+                    static_cast<unsigned long long>(m.trials),
+                    m.deviation_mean, m.deviation_stddev,
+                    m.step_prob_plus1);
+        if (m.has_fit)
+            std::printf("montecarlo fit: sigma %.4g, rho %.3f, "
+                        "drift %.4g\n",
+                        m.fit.sigma_step, m.fit.resync_rho,
+                        m.fit.drift);
+    }
 
     std::string out_path = spec.output_path.empty()
                                ? "rtmsim_experiment.json"
@@ -216,7 +244,8 @@ cmdRun(int argc, char **argv)
     CliFlags flags = CliFlags::parseOrExit(
         argc, argv, 2,
         {"spec", "workload", "trace", "tech", "scheme", "requests",
-         "divisor", "seed", "out", "metrics", "trace-out"});
+         "divisor", "seed", "out", "metrics", "trace-out",
+         "mc-tier", "mc-trials"});
 
     if (flags.has("spec")) {
         ExperimentSpec spec =
@@ -315,18 +344,19 @@ cmdSpec(int argc, char **argv)
         normalizeExperimentSpec(&spec);
 
     std::vector<ExperimentCell> cells = expandCells(spec);
-    size_t matrix = 0, campaign = 0, stress = 0;
+    size_t matrix = 0, campaign = 0, stress = 0, mc = 0;
     for (const ExperimentCell &c : cells) {
         switch (c.kind) {
           case ExperimentCell::Kind::Matrix: ++matrix; break;
           case ExperimentCell::Kind::Campaign: ++campaign; break;
           case ExperimentCell::Kind::Stress: ++stress; break;
+          case ExperimentCell::Kind::MonteCarlo: ++mc; break;
         }
     }
     std::printf("spec '%s': %zu cells (%zu matrix, %zu campaign, "
-                "%zu stress)\n",
+                "%zu stress, %zu montecarlo)\n",
                 spec.name.c_str(), cells.size(), matrix, campaign,
-                stress);
+                stress, mc);
     if (flags.has("out")) {
         const std::string out = flags.get("out", "");
         if (!saveJsonFile(out, experimentSpecToJson(spec))) {
@@ -438,6 +468,7 @@ usage()
         "             [--requests N] [--divisor D] [--seed N] "
         "[--out OUT.json]\n"
         "             [--metrics OUT.json] [--trace-out OUT.json]\n"
+        "             [--mc-tier exact|fast] [--mc-trials N]\n"
         "  rtmsim spec [--file FILE.json] [--out OUT.json]\n"
         "  rtmsim rates\n"
         "  rtmsim plan [--lseg N] [--intensity OPS]\n"

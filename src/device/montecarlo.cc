@@ -234,6 +234,8 @@ PositionErrorMonteCarlo::run(int distance, uint64_t trials)
         [&](size_t s) {
             ErrorPdf part;
             part.distance = distance;
+            if (stop_ && stop_->poll())
+                return part;
             uint64_t n = mcShardSize(tier, trials, shards, s);
             part.trials = n;
             Rng rng = rngs[s];
@@ -290,6 +292,8 @@ PositionErrorMonteCarlo::runScalarReference(int distance,
         [&](size_t s) {
             ErrorPdf part;
             part.distance = distance;
+            if (stop_ && stop_->poll())
+                return part;
             uint64_t n = shardSize(trials, shards, s);
             part.trials = n;
             Rng rng = rngs[s];
@@ -330,6 +334,8 @@ PositionErrorMonteCarlo::fitModel(uint64_t trials_per_distance)
         shards,
         [&](size_t s) {
             Moments part;
+            if (stop_ && stop_->poll())
+                return part;
             uint64_t n = mcShardSize(tier, trials_per_distance,
                                      shards, s);
             Rng rng = rngs[s];

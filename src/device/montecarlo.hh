@@ -22,6 +22,7 @@
 #include "device/mc_kernel.hh"
 #include "device/params.hh"
 #include "device/timing.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/telemetry.hh"
@@ -162,6 +163,16 @@ class PositionErrorMonteCarlo
         telemetry_ = telemetry.get();
     }
 
+    /**
+     * Optional cooperative stop flag, polled at shard boundaries by
+     * run()/runScalarReference()/fitModel(). Once it trips, the
+     * remaining shards contribute nothing and the partial result must
+     * be discarded by the caller (the experiment engine does so by
+     * classifying the cell as cancelled/timed-out). A run that never
+     * observes the stop stays bit-identical to one with no flag.
+     */
+    void setStopFlag(StopFlag *stop) { stop_ = stop; }
+
   private:
     DeviceParams params_;
     ShiftTiming timing_;
@@ -177,6 +188,9 @@ class PositionErrorMonteCarlo
 
     /** Observability sink (null = disabled). */
     Telemetry *telemetry_ = nullptr;
+
+    /** Cooperative stop flag (null = never stops). */
+    StopFlag *stop_ = nullptr;
 
     /** Classify a continuous deviation into Fig. 4 bins. */
     void classify(double deviation, ErrorPdf &pdf) const;

@@ -4,6 +4,7 @@
 #include "sim/experiment.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
+#include "util/stats_serde.hh"
 
 namespace rtm
 {
@@ -44,8 +45,10 @@ CampaignCellResult
 runFaultDrill(const ScenarioSpec &spec,
               const WorkloadProfile &profile,
               const CampaignConfig &config, uint64_t cell_seed,
-              TelemetryScope telemetry)
+              TelemetryScope telemetry, StopFlag *stop)
 {
+    // Cooperative cancellation stride for both drill loops.
+    constexpr uint64_t kStopPollMask = 255;
     ScopedPhase cell_phase("campaign.cell");
     const double cell_start = telemetry ? telemetryNowSeconds() : 0.0;
     CampaignCellResult res;
@@ -78,6 +81,8 @@ runFaultDrill(const ScenarioSpec &spec,
     Cycles now = 0;
     Cycles prev_recovery = 0;
     for (uint64_t i = 0; i < config.accesses_per_cell; ++i) {
+        if (stop && (i & kStopPollMask) == 0 && stop->poll())
+            return res;
         MemRequest req = gen.next();
         uint64_t line = req.addr / 64;
         int seg = static_cast<int>(
@@ -149,6 +154,8 @@ runFaultDrill(const ScenarioSpec &spec,
     Rng bank_rng(mixSeed(cell_seed, 2));
     Cycles bank_now = 0;
     for (uint64_t i = 0; i < config.accesses_per_cell; ++i) {
+        if (stop && (i & kStopPollMask) == 0 && stop->poll())
+            return res;
         uint64_t frame = bank_rng.uniformInt(config.bank_frames);
         ShiftCost c = bank.accessFrame(frame, bank_now);
         bank_now += c.latency + 4;
@@ -229,11 +236,19 @@ appendCampaignJobs(ExperimentEngine &engine, CampaignResult *out,
         const WorkloadProfile profile = profiles[wi];
         const uint64_t cell_seed = mixSeed(config.seed, i);
         const CampaignConfig cell_config = config;
-        engine.addJob([slot, spec, profile, cell_config,
-                       cell_seed](TelemetryScope shard) {
+        ExperimentEngine::Cell cell;
+        cell.label = spec.name + "/" + profile.name;
+        cell.body = [slot, spec, profile, cell_config,
+                     cell_seed](TelemetryScope shard,
+                                StopFlag *stop) {
             *slot = runFaultDrill(spec, profile, cell_config,
-                                  cell_seed, shard);
-        });
+                                  cell_seed, shard, stop);
+        };
+        cell.save = [slot] { return campaignCellToJson(*slot); };
+        cell.load = [slot](const JsonValue &doc) {
+            return campaignCellFromJson(doc, slot);
+        };
+        engine.addCell(std::move(cell));
     }
 }
 
@@ -268,6 +283,175 @@ runCampaign(const std::vector<ScenarioSpec> &scenarios,
     engine.run(config.telemetry);
     finalizeCampaignTotals(&out);
     return out;
+}
+
+namespace
+{
+
+JsonValue
+ledgerToJson(const CampaignLedger &l)
+{
+    JsonValue v = JsonValue::object();
+    v.set("accesses", l.accesses);
+    v.set("injected_samples", l.injected_samples);
+    v.set("injected_faults", l.injected_faults);
+    v.set("injected_step_errors", l.injected_step_errors);
+    v.set("injected_stops", l.injected_stops);
+    v.set("detected", l.detected);
+    v.set("corrected", l.corrected);
+    v.set("recovered_retry", l.recovered_retry);
+    v.set("recovered_realign", l.recovered_realign);
+    v.set("recovered_scrub", l.recovered_scrub);
+    v.set("due", l.due);
+    v.set("sdc", l.sdc);
+    return v;
+}
+
+bool
+ledgerFromJson(const JsonValue &doc, CampaignLedger *out)
+{
+    if (!doc.isObject())
+        return false;
+    CampaignLedger l;
+    auto u64 = [&doc](const char *key, uint64_t *field) {
+        if (const JsonValue *v = doc.find(key))
+            *field = v->asU64();
+    };
+    u64("accesses", &l.accesses);
+    u64("injected_samples", &l.injected_samples);
+    u64("injected_faults", &l.injected_faults);
+    u64("injected_step_errors", &l.injected_step_errors);
+    u64("injected_stops", &l.injected_stops);
+    u64("detected", &l.detected);
+    u64("corrected", &l.corrected);
+    u64("recovered_retry", &l.recovered_retry);
+    u64("recovered_realign", &l.recovered_realign);
+    u64("recovered_scrub", &l.recovered_scrub);
+    u64("due", &l.due);
+    u64("sdc", &l.sdc);
+    *out = l;
+    return true;
+}
+
+JsonValue
+controllerStatsToJson(const ControllerStats &s)
+{
+    JsonValue v = JsonValue::object();
+    v.set("accesses", s.accesses);
+    v.set("shift_ops", s.shift_ops);
+    v.set("shift_steps", s.shift_steps);
+    v.set("detected_errors", s.detected_errors);
+    v.set("corrected_errors", s.corrected_errors);
+    v.set("unrecoverable", s.unrecoverable);
+    v.set("silent_errors", s.silent_errors);
+    v.set("busy_cycles", static_cast<uint64_t>(s.busy_cycles));
+    v.set("distance_histogram",
+          intTallyToJson(s.distance_histogram));
+    v.set("retry_attempts", s.retry_attempts);
+    v.set("sts_realigns", s.sts_realigns);
+    v.set("scrubs", s.scrubs);
+    v.set("recovered_retry", s.recovered_retry);
+    v.set("recovered_realign", s.recovered_realign);
+    v.set("recovered_scrub", s.recovered_scrub);
+    v.set("recovery_cycles",
+          static_cast<uint64_t>(s.recovery_cycles));
+    return v;
+}
+
+bool
+controllerStatsFromJson(const JsonValue &doc, ControllerStats *out)
+{
+    if (!doc.isObject())
+        return false;
+    ControllerStats s;
+    auto u64 = [&doc](const char *key, uint64_t *field) {
+        if (const JsonValue *v = doc.find(key))
+            *field = v->asU64();
+    };
+    u64("accesses", &s.accesses);
+    u64("shift_ops", &s.shift_ops);
+    u64("shift_steps", &s.shift_steps);
+    u64("detected_errors", &s.detected_errors);
+    u64("corrected_errors", &s.corrected_errors);
+    u64("unrecoverable", &s.unrecoverable);
+    u64("silent_errors", &s.silent_errors);
+    u64("busy_cycles", &s.busy_cycles);
+    u64("retry_attempts", &s.retry_attempts);
+    u64("sts_realigns", &s.sts_realigns);
+    u64("scrubs", &s.scrubs);
+    u64("recovered_retry", &s.recovered_retry);
+    u64("recovered_realign", &s.recovered_realign);
+    u64("recovered_scrub", &s.recovered_scrub);
+    u64("recovery_cycles", &s.recovery_cycles);
+    if (const JsonValue *h = doc.find("distance_histogram"))
+        if (!intTallyFromJson(*h, &s.distance_histogram))
+            return false;
+    *out = std::move(s);
+    return true;
+}
+
+} // anonymous namespace
+
+JsonValue
+campaignCellToJson(const CampaignCellResult &cell)
+{
+    JsonValue v = JsonValue::object();
+    v.set("scenario", cell.scenario);
+    v.set("workload", cell.workload);
+    v.set("ledger", ledgerToJson(cell.ledger));
+    v.set("controller", controllerStatsToJson(cell.controller));
+    v.set("access_latency",
+          runningStatsToJson(cell.access_latency));
+    v.set("recovery_latency",
+          runningStatsToJson(cell.recovery_latency));
+    v.set("bank_due_reports", cell.bank_due_reports);
+    v.set("bank_degraded_groups", cell.bank_degraded_groups);
+    v.set("bank_remapped_accesses", cell.bank_remapped_accesses);
+    v.set("degraded_capacity_fraction",
+          cell.degraded_capacity_fraction);
+    v.set("contained", cell.contained);
+    v.set("violation", cell.violation);
+    return v;
+}
+
+bool
+campaignCellFromJson(const JsonValue &doc, CampaignCellResult *out)
+{
+    if (!doc.isObject())
+        return false;
+    const JsonValue *scenario = doc.find("scenario");
+    const JsonValue *workload = doc.find("workload");
+    const JsonValue *ledger = doc.find("ledger");
+    const JsonValue *controller = doc.find("controller");
+    const JsonValue *access = doc.find("access_latency");
+    const JsonValue *recovery = doc.find("recovery_latency");
+    const JsonValue *contained = doc.find("contained");
+    if (!scenario || !scenario->isString() || !workload ||
+        !workload->isString() || !ledger || !controller ||
+        !access || !recovery || !contained ||
+        !contained->isBool())
+        return false;
+    CampaignCellResult cell;
+    cell.scenario = scenario->asString();
+    cell.workload = workload->asString();
+    if (!ledgerFromJson(*ledger, &cell.ledger) ||
+        !controllerStatsFromJson(*controller, &cell.controller) ||
+        !runningStatsFromJson(*access, &cell.access_latency) ||
+        !runningStatsFromJson(*recovery, &cell.recovery_latency))
+        return false;
+    if (const JsonValue *v = doc.find("bank_due_reports"))
+        cell.bank_due_reports = v->asU64();
+    if (const JsonValue *v = doc.find("bank_degraded_groups"))
+        cell.bank_degraded_groups = v->asU64();
+    if (const JsonValue *v = doc.find("bank_remapped_accesses"))
+        cell.bank_remapped_accesses = v->asU64();
+    if (const JsonValue *v = doc.find("degraded_capacity_fraction"))
+        cell.degraded_capacity_fraction = v->asDouble();
+    cell.contained = contained->asBool();
+    if (const JsonValue *v = doc.find("violation"))
+        cell.violation = v->asString();
+    *out = std::move(cell);
+    return true;
 }
 
 JsonValue

@@ -29,6 +29,7 @@
 #include "device/fault_scenario.hh"
 #include "mem/rm_bank.hh"
 #include "trace/workload.hh"
+#include "util/parallel.hh"
 #include "util/serde.hh"
 #include "util/stats.hh"
 
@@ -147,7 +148,8 @@ CampaignCellResult runFaultDrill(const ScenarioSpec &spec,
                                  const WorkloadProfile &profile,
                                  const CampaignConfig &config,
                                  uint64_t cell_seed,
-                                 TelemetryScope telemetry = {});
+                                 TelemetryScope telemetry = {},
+                                 StopFlag *stop = nullptr);
 
 /**
  * Sweep scenarios x workloads in parallel (global pool). Workload
@@ -176,6 +178,19 @@ void appendCampaignJobs(ExperimentEngine &engine,
 
 /** Recompute totals/contained_cells from the finished cells. */
 void finalizeCampaignTotals(CampaignResult *out);
+
+/**
+ * Full-fidelity serialisation of one campaign cell — every ledger,
+ * controller and bank field plus the raw latency accumulators — so a
+ * journaled cell replays into a bit-identical CampaignCellResult on
+ * resume. (campaignResultToJson is the lossy *reporting* view; this
+ * is the checkpointing view.)
+ */
+JsonValue campaignCellToJson(const CampaignCellResult &cell);
+
+/** Restore a journaled cell; false on a malformed document. */
+bool campaignCellFromJson(const JsonValue &doc,
+                          CampaignCellResult *out);
 
 /** The campaign result as a JSON document (serde layer). */
 JsonValue campaignResultToJson(const CampaignResult &result);

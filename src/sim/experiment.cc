@@ -1,13 +1,18 @@
 #include "experiment.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <thread>
 
 #include "codec/protected_stripe.hh"
 #include "model/reliability.hh"
 #include "model/tech.hh"
+#include "util/hash.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
+#include "util/stats_serde.hh"
 
 namespace rtm
 {
@@ -429,22 +434,179 @@ parseMcSection(const JsonValue &v, McSpec *s, std::string *diag)
                          "fit_trials", "seed", "tier"});
 }
 
+void
+parseResilienceSection(const JsonValue &v, ResilienceSpec *s,
+                       std::string *diag)
+{
+    SpecReader r(v, "resilience", diag);
+    r.readU64("retry_budget", &s->retry_budget);
+    r.readU64("backoff_ms", &s->backoff_ms);
+    r.readU64("cell_deadline_ms", &s->cell_deadline_ms);
+    r.readU64("run_deadline_ms", &s->run_deadline_ms);
+    r.rejectUnknownKeys({"retry_budget", "backoff_ms",
+                         "cell_deadline_ms", "run_deadline_ms"});
+}
+
 } // anonymous namespace
 
 // --- engine ----------------------------------------------------------
 
+const char *
+cellStatusToken(CellStatus status)
+{
+    switch (status) {
+      case CellStatus::Ok: return "ok";
+      case CellStatus::Failed: return "failed";
+      case CellStatus::TimedOut: return "timed_out";
+      case CellStatus::Cancelled: return "cancelled";
+      case CellStatus::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+bool
+ExperimentEngine::replayCell(size_t index, const JsonValue &result)
+{
+    if (index >= cells_.size())
+        return false;
+    Cell &cell = cells_[index];
+    if (cell.replayed || !cell.load || !cell.load(result))
+        return false;
+    cell.replayed = true;
+    return true;
+}
+
+void
+ExperimentEngine::runCell(Cell &cell, size_t index,
+                          TelemetryScope shard, double run_deadline)
+{
+    CellOutcome &out = outcomes_[index];
+    const double t0 = monotonicSeconds();
+    // Effective deadline: the earlier of the per-cell watchdog and
+    // the whole-run deadline (0 = none).
+    double deadline = 0.0;
+    if (resilience_.cell_deadline_ms > 0)
+        deadline = t0 + static_cast<double>(
+                            resilience_.cell_deadline_ms) / 1e3;
+    if (run_deadline > 0.0 &&
+        (deadline == 0.0 || run_deadline < deadline))
+        deadline = run_deadline;
+
+    int attempt = 0;
+    for (;;) {
+        ++attempt;
+        StopFlag stop(cancel_, deadline);
+        if (stop.poll()) {
+            out.status = stop.reason() == StopReason::Deadline
+                             ? CellStatus::TimedOut
+                             : CellStatus::Cancelled;
+            break;
+        }
+        try {
+            if (fault_hook_)
+                fault_hook_(index, attempt);
+            cell.body(shard, &stop);
+            // The latch is the validity contract: the result slot is
+            // good iff the body never observed a stop. A cancel that
+            // fires after the last poll leaves a completed cell.
+            if (stop.stopped())
+                out.status =
+                    stop.reason() == StopReason::Deadline
+                        ? CellStatus::TimedOut
+                        : CellStatus::Cancelled;
+            else
+                out.status = CellStatus::Ok;
+            break;
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        } catch (...) {
+            out.error = "unknown exception";
+        }
+        out.status = CellStatus::Failed;
+        if (static_cast<uint64_t>(attempt) >
+            resilience_.retry_budget)
+            break;
+        if (cancel_ && cancel_->cancelled())
+            break;
+        // Exponential backoff, sliced so a cancel cuts it short.
+        const int shift = std::min(attempt - 1, 20);
+        uint64_t delay_ms = std::min<uint64_t>(
+            resilience_.backoff_ms << shift, 10000);
+        while (delay_ms > 0 &&
+               !(cancel_ && cancel_->cancelled())) {
+            const uint64_t slice = std::min<uint64_t>(delay_ms, 10);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(slice));
+            delay_ms -= slice;
+        }
+    }
+    out.attempts = attempt;
+    out.wall_ms = (monotonicSeconds() - t0) * 1e3;
+    if (out.status == CellStatus::Ok && journal_ && cell.save) {
+        JournalRecord rec;
+        rec.index = index;
+        rec.label = cell.label;
+        rec.result = cell.save();
+        journal_->appendRecord(rec);
+    }
+    if (on_outcome_)
+        on_outcome_(index, out);
+}
+
 void
 ExperimentEngine::run(TelemetryScope root)
 {
-    std::vector<std::function<void(TelemetryScope)>> jobs =
-        std::move(jobs_);
-    jobs_.clear();
+    std::vector<Cell> cells = std::move(cells_);
+    cells_.clear();
+    // Pre-fill every outcome as Cancelled: a cell the cancel-aware
+    // parallelFor never claims keeps exactly that status. Replayed
+    // cells are Skipped up front (their slots are already loaded).
+    outcomes_.assign(cells.size(), CellOutcome{});
+    for (size_t i = 0; i < cells.size(); ++i) {
+        outcomes_[i].label = cells[i].label;
+        if (cells[i].replayed) {
+            outcomes_[i].status = CellStatus::Skipped;
+            if (on_outcome_)
+                on_outcome_(i, outcomes_[i]);
+        }
+    }
+    const double run_deadline =
+        resilience_.run_deadline_ms > 0
+            ? monotonicSeconds() +
+                  static_cast<double>(resilience_.run_deadline_ms) /
+                      1e3
+            : 0.0;
     // One shard per job: shards merge into the root in job order, so
     // the exported telemetry is bit-identical at any RTM_THREADS.
-    TelemetryShards shards(root, jobs.size(), ring_capacity_);
-    parallelFor(jobs.size(),
-                [&](size_t i) { jobs[i](shards.shard(i)); });
+    TelemetryShards shards(root, cells.size(), ring_capacity_);
+    ThreadPool::global().parallelFor(
+        cells.size(),
+        [&](size_t i) {
+            if (cells[i].replayed)
+                return;
+            runCell(cells[i], i, shards.shard(i), run_deadline);
+        },
+        cancel_);
     shards.mergeIntoRoot();
+    if (root) {
+        uint64_t ok = 0, failed = 0, timed_out = 0, cancelled = 0,
+                 replayed = 0;
+        for (const CellOutcome &o : outcomes_) {
+            switch (o.status) {
+              case CellStatus::Ok: ++ok; break;
+              case CellStatus::Failed: ++failed; break;
+              case CellStatus::TimedOut: ++timed_out; break;
+              case CellStatus::Cancelled: ++cancelled; break;
+              case CellStatus::Skipped: ++replayed; break;
+            }
+        }
+        Telemetry &t = *root.get();
+        t.counter("experiment.cells_ok").add(ok);
+        t.counter("experiment.cells_failed").add(failed);
+        t.counter("experiment.cells_timed_out").add(timed_out);
+        t.counter("experiment.cells_cancelled").add(cancelled);
+        t.counter("experiment.cells_replayed").add(replayed);
+    }
 }
 
 // --- spec ------------------------------------------------------------
@@ -567,6 +729,13 @@ experimentSpecToJson(const ExperimentSpec &spec_in)
     mc.set("tier", spec.montecarlo.tier);
     doc.set("montecarlo", std::move(mc));
 
+    JsonValue rs = JsonValue::object();
+    rs.set("retry_budget", spec.resilience.retry_budget);
+    rs.set("backoff_ms", spec.resilience.backoff_ms);
+    rs.set("cell_deadline_ms", spec.resilience.cell_deadline_ms);
+    rs.set("run_deadline_ms", spec.resilience.run_deadline_ms);
+    doc.set("resilience", std::move(rs));
+
     JsonValue tel = JsonValue::object();
     tel.set("metrics", spec.metrics_path);
     tel.set("trace", spec.trace_path);
@@ -595,6 +764,9 @@ experimentSpecFromJson(const JsonValue &doc, ExperimentSpec *spec,
     if (const JsonValue *m =
             top.child("montecarlo", JsonType::Object))
         parseMcSection(*m, &out.montecarlo, d);
+    if (const JsonValue *r =
+            top.child("resilience", JsonType::Object))
+        parseResilienceSection(*r, &out.resilience, d);
     if (const JsonValue *t =
             top.child("telemetry", JsonType::Object)) {
         SpecReader tr(*t, "telemetry", d);
@@ -604,7 +776,8 @@ experimentSpecFromJson(const JsonValue &doc, ExperimentSpec *spec,
     }
     top.readString("output", &out.output_path);
     top.rejectUnknownKeys({"name", "matrix", "campaign", "stress",
-                           "montecarlo", "telemetry", "output"});
+                           "montecarlo", "resilience", "telemetry",
+                           "output"});
     if (!d->empty())
         return false;
     normalizeExperimentSpec(&out);
@@ -634,6 +807,20 @@ loadExperimentSpec(const std::string &path, ExperimentSpec *spec,
         return false;
     }
     return true;
+}
+
+std::string
+experimentSpecHash(const ExperimentSpec &spec_in)
+{
+    // Output sinks and the resilience policy do not affect a single
+    // result bit, so they are excluded from the resume identity.
+    ExperimentSpec spec = spec_in;
+    spec.metrics_path.clear();
+    spec.trace_path.clear();
+    spec.output_path.clear();
+    spec.resilience = ResilienceSpec{};
+    const std::string text = experimentSpecToJson(spec).dump(0);
+    return sha256Hex(text.data(), text.size());
 }
 
 // --- expansion -------------------------------------------------------
@@ -733,7 +920,8 @@ stressSchemeConfig(const std::string &token, Scheme *scheme,
 }
 
 StressResult
-runStressDrill(const StressSpec &spec, TelemetryScope telemetry)
+runStressDrill(const StressSpec &spec, TelemetryScope telemetry,
+               StopFlag *stop)
 {
     ScopedPhase drill_phase("experiment.stress");
     StressResult out;
@@ -759,6 +947,8 @@ runStressDrill(const StressSpec &spec, TelemetryScope telemetry)
 
     const int lseg = spec.lseg;
     for (uint64_t i = 0; i < spec.ops; ++i) {
+        if (stop && (i & 255) == 0 && stop->poll())
+            return out;
         int target = static_cast<int>(
             dice.uniformInt(static_cast<uint64_t>(lseg)));
         int cur_idx = lseg - 1 - stripe.believedOffset();
@@ -820,7 +1010,8 @@ runStressDrill(const StressSpec &spec, TelemetryScope telemetry)
 // --- montecarlo cell -------------------------------------------------
 
 McRunResult
-runMcCell(const McSpec &spec, TelemetryScope telemetry)
+runMcCell(const McSpec &spec, TelemetryScope telemetry,
+          StopFlag *stop)
 {
     ScopedPhase mc_phase("experiment.mc");
     McTier tier = McTier::Exact;
@@ -835,6 +1026,7 @@ runMcCell(const McSpec &spec, TelemetryScope telemetry)
     // of run()/fitModel() carries through the scheduler.
     PositionErrorMonteCarlo mc(DeviceParams{}, spec.seed, tier);
     mc.setTelemetry(telemetry);
+    mc.setStopFlag(stop);
     ErrorPdf pdf = mc.run(spec.distance, spec.trials);
     out.trials = pdf.tallyTrials();
     out.deviation_mean = pdf.deviation.mean();
@@ -849,72 +1041,7 @@ runMcCell(const McSpec &spec, TelemetryScope telemetry)
     return out;
 }
 
-// --- whole-spec runs -------------------------------------------------
-
-ExperimentResult
-runExperiment(const ExperimentSpec &spec_in,
-              const PositionErrorModel *model,
-              TelemetryScope telemetry)
-{
-    ScopedPhase run_phase("experiment.run");
-    ExperimentResult res;
-    res.spec = spec_in;
-    normalizeExperimentSpec(&res.spec);
-    const ExperimentSpec &spec = res.spec;
-
-    ExperimentEngine engine;
-    PaperCalibratedErrorModel default_model;
-    const PositionErrorModel *matrix_model =
-        model ? model : &default_model;
-
-    if (spec.matrix.enabled) {
-        res.has_matrix = true;
-        std::vector<WorkloadProfile> profiles;
-        profiles.reserve(spec.matrix.workloads.size());
-        for (const std::string &name : spec.matrix.workloads)
-            profiles.push_back(parsecProfile(name));
-        appendMatrixJobs(engine, &res.matrix, profiles,
-                         spec.matrix.options, matrix_model,
-                         spec.matrix.requests, spec.matrix.warmup,
-                         spec.matrix.divisor, spec.matrix.seed);
-    }
-    if (spec.campaign.enabled) {
-        res.has_campaign = true;
-        engine.requestRingCapacity(
-            spec.campaign.config.telemetry_ring_capacity);
-        std::vector<WorkloadProfile> profiles;
-        profiles.reserve(spec.campaign.workloads.size());
-        for (const std::string &name : spec.campaign.workloads)
-            profiles.push_back(parsecProfile(name));
-        appendCampaignJobs(engine, &res.campaign,
-                           spec.campaign.scenarios, profiles,
-                           spec.campaign.config);
-    }
-    if (spec.stress.enabled) {
-        res.has_stress = true;
-        StressResult *slot = &res.stress;
-        const StressSpec stress = spec.stress;
-        engine.addJob([slot, stress](TelemetryScope t) {
-            *slot = runStressDrill(stress, t);
-        });
-    }
-    if (spec.montecarlo.enabled) {
-        res.has_mc = true;
-        McRunResult *slot = &res.mc;
-        const McSpec mc = spec.montecarlo;
-        engine.addJob([slot, mc](TelemetryScope t) {
-            *slot = runMcCell(mc, t);
-        });
-    }
-
-    res.cells = engine.jobCount();
-    engine.run(telemetry);
-    if (res.has_campaign)
-        finalizeCampaignTotals(&res.campaign);
-    return res;
-}
-
-// --- result export ---------------------------------------------------
+// --- result serde ----------------------------------------------------
 
 namespace
 {
@@ -925,6 +1052,17 @@ finiteOrNull(double v)
 {
     return std::isfinite(v) ? JsonValue(v) : JsonValue();
 }
+
+/** finiteOrNull inverse: null (or absent) restores +inf. */
+double
+infiniteIfNull(const JsonValue *v)
+{
+    return v && v->isNumber()
+               ? v->asDouble()
+               : std::numeric_limits<double>::infinity();
+}
+
+} // anonymous namespace
 
 JsonValue
 simResultToJson(const std::string &workload, const LlcOption &opt,
@@ -954,6 +1092,128 @@ simResultToJson(const std::string &workload, const LlcOption &opt,
     v.set("sdc_mttf", finiteOrNull(r.sdc_mttf));
     v.set("due_mttf", finiteOrNull(r.due_mttf));
     return v;
+}
+
+bool
+simResultFromJson(const JsonValue &doc, SimResult *out)
+{
+    if (!doc.isObject())
+        return false;
+    const JsonValue *workload = doc.find("workload");
+    const JsonValue *tech = doc.find("tech");
+    const JsonValue *scheme = doc.find("scheme");
+    if (!workload || !workload->isString() || !tech ||
+        !tech->isString() || !scheme || !scheme->isString())
+        return false;
+    SimResult r;
+    r.workload = workload->asString();
+    if (!techFromToken(tech->asString(), &r.llc_tech))
+        return false;
+    if (!schemeFromToken(scheme->asString(), &r.scheme))
+        return false;
+    auto u64 = [&doc](const char *key, uint64_t *field) {
+        if (const JsonValue *v = doc.find(key))
+            *field = v->asU64();
+    };
+    auto dbl = [&doc](const char *key, double *field) {
+        if (const JsonValue *v = doc.find(key))
+            *field = v->asDouble();
+    };
+    u64("instructions", &r.instructions);
+    u64("mem_ops", &r.mem_ops);
+    u64("cycles", &r.cycles);
+    dbl("seconds", &r.seconds);
+    u64("llc_accesses", &r.llc_accesses);
+    u64("llc_misses", &r.llc_misses);
+    u64("dram_accesses", &r.dram_accesses);
+    u64("shift_ops", &r.shift_ops);
+    u64("shift_steps", &r.shift_steps);
+    u64("shift_cycles", &r.shift_cycles);
+    dbl("cache_dynamic_energy", &r.cache_dynamic_energy);
+    dbl("llc_shift_energy", &r.llc_shift_energy);
+    dbl("dram_energy", &r.dram_energy);
+    dbl("leakage_energy", &r.leakage_energy);
+    r.sdc_mttf = infiniteIfNull(doc.find("sdc_mttf"));
+    r.due_mttf = infiniteIfNull(doc.find("due_mttf"));
+    *out = std::move(r);
+    return true;
+}
+
+namespace
+{
+
+/**
+ * Full-fidelity stress checkpoint (the reporting view in
+ * stressResultToJson drops the distance tally and p-ECC geometry,
+ * which a resumed run needs back).
+ */
+JsonValue
+stressCellToJson(const StressResult &r)
+{
+    JsonValue v = JsonValue::object();
+    v.set("scheme", schemeToken(r.scheme));
+    JsonValue pecc = JsonValue::object();
+    pecc.set("segments", r.pecc.num_segments);
+    pecc.set("lseg", r.pecc.seg_len);
+    pecc.set("correct", r.pecc.correct);
+    pecc.set("variant", peccVariantToken(r.pecc.variant));
+    v.set("pecc", std::move(pecc));
+    v.set("corrected", r.corrected);
+    v.set("due", r.due);
+    v.set("silent", r.silent);
+    v.set("clean", r.clean);
+    v.set("expected_corrected", r.exp_corrected);
+    v.set("expected_due", r.exp_due);
+    v.set("expected_sdc", r.exp_sdc);
+    v.set("distances", intTallyToJson(r.distances));
+    return v;
+}
+
+bool
+stressCellFromJson(const JsonValue &doc, StressResult *out)
+{
+    if (!doc.isObject())
+        return false;
+    const JsonValue *scheme = doc.find("scheme");
+    const JsonValue *distances = doc.find("distances");
+    if (!scheme || !scheme->isString() || !distances)
+        return false;
+    StressResult r;
+    if (!schemeFromToken(scheme->asString(), &r.scheme))
+        return false;
+    if (const JsonValue *p = doc.find("pecc")) {
+        if (!p->isObject())
+            return false;
+        if (const JsonValue *v = p->find("segments"))
+            r.pecc.num_segments = v->asInt();
+        if (const JsonValue *v = p->find("lseg"))
+            r.pecc.seg_len = v->asInt();
+        if (const JsonValue *v = p->find("correct"))
+            r.pecc.correct = v->asInt();
+        if (const JsonValue *v = p->find("variant"))
+            if (!peccVariantFromToken(v->asString(),
+                                      &r.pecc.variant))
+                return false;
+    }
+    auto u64 = [&doc](const char *key, uint64_t *field) {
+        if (const JsonValue *v = doc.find(key))
+            *field = v->asU64();
+    };
+    auto dbl = [&doc](const char *key, double *field) {
+        if (const JsonValue *v = doc.find(key))
+            *field = v->asDouble();
+    };
+    u64("corrected", &r.corrected);
+    u64("due", &r.due);
+    u64("silent", &r.silent);
+    u64("clean", &r.clean);
+    dbl("expected_corrected", &r.exp_corrected);
+    dbl("expected_due", &r.exp_due);
+    dbl("expected_sdc", &r.exp_sdc);
+    if (!intTallyFromJson(*distances, &r.distances))
+        return false;
+    *out = std::move(r);
+    return true;
 }
 
 JsonValue
@@ -995,16 +1255,57 @@ mcResultToJson(const McRunResult &r)
     return v;
 }
 
-} // anonymous namespace
+/** mcResultToJson is already full-fidelity; this is its inverse. */
+bool
+mcResultFromJson(const JsonValue &doc, McRunResult *out)
+{
+    if (!doc.isObject())
+        return false;
+    const JsonValue *tier = doc.find("tier");
+    if (!tier || !tier->isString())
+        return false;
+    McRunResult r;
+    r.tier = tier->asString();
+    if (const JsonValue *v = doc.find("distance"))
+        r.distance = v->asInt();
+    if (const JsonValue *v = doc.find("trials"))
+        r.trials = v->asU64();
+    auto dbl = [&doc](const char *key, double *field) {
+        if (const JsonValue *v = doc.find(key))
+            *field = v->asDouble();
+    };
+    dbl("deviation_mean", &r.deviation_mean);
+    dbl("deviation_stddev", &r.deviation_stddev);
+    dbl("step_prob_ok", &r.step_prob_ok);
+    dbl("step_prob_plus1", &r.step_prob_plus1);
+    dbl("step_prob_minus1", &r.step_prob_minus1);
+    if (const JsonValue *fit = doc.find("fit")) {
+        if (!fit->isObject())
+            return false;
+        r.has_fit = true;
+        auto fdbl = [fit](const char *key, double *field) {
+            if (const JsonValue *v = fit->find(key))
+                *field = v->asDouble();
+        };
+        fdbl("sigma_step", &r.fit.sigma_step);
+        fdbl("resync_rho", &r.fit.resync_rho);
+        fdbl("drift", &r.fit.drift);
+        fdbl("notch_half_width", &r.fit.notch_half_width);
+    }
+    *out = std::move(r);
+    return true;
+}
 
+/**
+ * The result *sections* alone — the part of the document that must
+ * be bit-identical between an uninterrupted run and a kill/resume
+ * pair. experimentResultDigest hashes exactly this object.
+ */
 JsonValue
-experimentResultToJson(const ExperimentResult &result)
+resultSectionsToJson(const ExperimentResult &result)
 {
     const ExperimentSpec &spec = result.spec;
     JsonValue doc = JsonValue::object();
-    doc.set("name", spec.name);
-    doc.set("cells", static_cast<uint64_t>(result.cells));
-    doc.set("spec", experimentSpecToJson(spec));
     if (result.has_matrix) {
         JsonValue m = JsonValue::object();
         m.set("workloads", stringArray(spec.matrix.workloads));
@@ -1027,6 +1328,258 @@ experimentResultToJson(const ExperimentResult &result)
         doc.set("stress", stressResultToJson(result.stress));
     if (result.has_mc)
         doc.set("montecarlo", mcResultToJson(result.mc));
+    return doc;
+}
+
+} // anonymous namespace
+
+// --- journal identity ------------------------------------------------
+
+JournalHeader
+makeJournalHeader(const ExperimentSpec &spec, size_t cells)
+{
+    JournalHeader header;
+    header.name = spec.name;
+    header.spec_sha256 = experimentSpecHash(spec);
+    header.matrix_seed = spec.matrix.seed;
+    header.campaign_seed = spec.campaign.config.seed;
+    header.stress_seed = spec.stress.seed;
+    header.mc_seed = spec.montecarlo.seed;
+    header.cells = static_cast<uint64_t>(cells);
+    return header;
+}
+
+std::string
+journalResumeError(const JournalFile &journal,
+                   const ExperimentSpec &spec, size_t cells)
+{
+    if (!journal.has_header)
+        return "journal has no intact header record";
+    const JournalHeader want = makeJournalHeader(spec, cells);
+    const JournalHeader &have = journal.header;
+    if (have.spec_sha256 != want.spec_sha256)
+        return "journal belongs to a different spec (hash " +
+               have.spec_sha256 + ", this run " + want.spec_sha256 +
+               ")";
+    auto seedMismatch = [](const char *what, uint64_t a,
+                           uint64_t b) {
+        return std::string("journal ") + what + " seed " +
+               std::to_string(a) + " does not match this run's " +
+               std::to_string(b);
+    };
+    if (have.matrix_seed != want.matrix_seed)
+        return seedMismatch("matrix", have.matrix_seed,
+                            want.matrix_seed);
+    if (have.campaign_seed != want.campaign_seed)
+        return seedMismatch("campaign", have.campaign_seed,
+                            want.campaign_seed);
+    if (have.stress_seed != want.stress_seed)
+        return seedMismatch("stress", have.stress_seed,
+                            want.stress_seed);
+    if (have.mc_seed != want.mc_seed)
+        return seedMismatch("montecarlo", have.mc_seed,
+                            want.mc_seed);
+    if (have.cells != want.cells)
+        return "journal cell count " + std::to_string(have.cells) +
+               " does not match this run's " +
+               std::to_string(want.cells);
+    return "";
+}
+
+// --- whole-spec runs -------------------------------------------------
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec_in,
+              const PositionErrorModel *model,
+              TelemetryScope telemetry, const RunControl &control)
+{
+    ScopedPhase run_phase("experiment.run");
+    ExperimentResult res;
+    res.spec = spec_in;
+    normalizeExperimentSpec(&res.spec);
+    const ExperimentSpec &spec = res.spec;
+
+    ExperimentEngine engine;
+    PaperCalibratedErrorModel default_model;
+    const PositionErrorModel *matrix_model =
+        model ? model : &default_model;
+
+    if (spec.matrix.enabled) {
+        res.has_matrix = true;
+        std::vector<WorkloadProfile> profiles;
+        profiles.reserve(spec.matrix.workloads.size());
+        for (const std::string &name : spec.matrix.workloads)
+            profiles.push_back(parsecProfile(name));
+        appendMatrixJobs(engine, &res.matrix, profiles,
+                         spec.matrix.options, matrix_model,
+                         spec.matrix.requests, spec.matrix.warmup,
+                         spec.matrix.divisor, spec.matrix.seed);
+    }
+    if (spec.campaign.enabled) {
+        res.has_campaign = true;
+        engine.requestRingCapacity(
+            spec.campaign.config.telemetry_ring_capacity);
+        std::vector<WorkloadProfile> profiles;
+        profiles.reserve(spec.campaign.workloads.size());
+        for (const std::string &name : spec.campaign.workloads)
+            profiles.push_back(parsecProfile(name));
+        appendCampaignJobs(engine, &res.campaign,
+                           spec.campaign.scenarios, profiles,
+                           spec.campaign.config);
+    }
+    if (spec.stress.enabled) {
+        res.has_stress = true;
+        StressResult *slot = &res.stress;
+        const StressSpec stress = spec.stress;
+        ExperimentEngine::Cell cell;
+        cell.label = "stress";
+        cell.body = [slot, stress](TelemetryScope t,
+                                   StopFlag *stop) {
+            *slot = runStressDrill(stress, t, stop);
+        };
+        cell.save = [slot] { return stressCellToJson(*slot); };
+        cell.load = [slot](const JsonValue &doc) {
+            return stressCellFromJson(doc, slot);
+        };
+        engine.addCell(std::move(cell));
+    }
+    if (spec.montecarlo.enabled) {
+        res.has_mc = true;
+        McRunResult *slot = &res.mc;
+        const McSpec mc = spec.montecarlo;
+        ExperimentEngine::Cell cell;
+        cell.label = "montecarlo";
+        cell.body = [slot, mc](TelemetryScope t, StopFlag *stop) {
+            *slot = runMcCell(mc, t, stop);
+        };
+        cell.save = [slot] { return mcResultToJson(*slot); };
+        cell.load = [slot](const JsonValue &doc) {
+            return mcResultFromJson(doc, slot);
+        };
+        engine.addCell(std::move(cell));
+    }
+
+    res.cells = engine.jobCount();
+    engine.setCancelToken(control.cancel);
+    engine.setResilience(spec.resilience);
+    if (control.fault_hook)
+        engine.setFaultHook(control.fault_hook);
+    if (control.on_cell)
+        engine.setOutcomeCallback(control.on_cell);
+
+    // Resume: replay every intact journaled cell into its slot.
+    // A record that fails to load (index drift, malformed payload)
+    // is not fatal — the cell simply re-runs.
+    std::vector<JournalRecord> replayed;
+    if (!control.resume_path.empty()) {
+        JournalFile journal;
+        std::string error;
+        if (!readJournal(control.resume_path, &journal, &error))
+            rtm_fatal("--resume: %s", error.c_str());
+        error = journalResumeError(journal, spec, res.cells);
+        if (!error.empty())
+            rtm_fatal("--resume %s: %s",
+                      control.resume_path.c_str(), error.c_str());
+        for (JournalRecord &record : journal.records) {
+            if (engine.replayCell(
+                    static_cast<size_t>(record.index),
+                    record.result))
+                replayed.push_back(std::move(record));
+        }
+    }
+
+    // Checkpoint stream. Resuming into the same file appends after
+    // the records just replayed; a fresh stream gets the header plus
+    // re-emitted replayed records so it is self-contained.
+    JournalWriter journal;
+    if (!control.stream_path.empty()) {
+        const bool append =
+            control.stream_path == control.resume_path;
+        std::string error;
+        if (!journal.open(control.stream_path, append, &error))
+            rtm_fatal("--stream-out: %s", error.c_str());
+        if (!append) {
+            journal.appendHeader(
+                makeJournalHeader(spec, res.cells));
+            for (const JournalRecord &record : replayed)
+                journal.appendRecord(record);
+        }
+        engine.setJournal(&journal);
+    }
+
+    engine.run(telemetry);
+
+    res.outcomes = engine.outcomes();
+    for (const CellOutcome &outcome : res.outcomes) {
+        switch (outcome.status) {
+        case CellStatus::Ok: ++res.ok_cells; break;
+        case CellStatus::Failed: ++res.failed_cells; break;
+        case CellStatus::TimedOut: ++res.timed_out_cells; break;
+        case CellStatus::Cancelled: ++res.cancelled_cells; break;
+        case CellStatus::Skipped: ++res.replayed_cells; break;
+        }
+    }
+    res.interrupted =
+        res.cancelled_cells > 0 || res.timed_out_cells > 0;
+
+    if (res.has_campaign)
+        finalizeCampaignTotals(&res.campaign);
+
+    if (journal.isOpen() && !journal.close())
+        rtm_fatal("checkpoint journal '%s': write failed "
+                  "(disk full?) — stream is not resumable",
+                  control.stream_path.c_str());
+    return res;
+}
+
+// --- result export ---------------------------------------------------
+
+std::string
+experimentResultDigest(const ExperimentResult &result)
+{
+    const std::string text = resultSectionsToJson(result).dump(0);
+    return sha256Hex(text.data(), text.size());
+}
+
+JsonValue
+experimentResultToJson(const ExperimentResult &result)
+{
+    const ExperimentSpec &spec = result.spec;
+    JsonValue doc = JsonValue::object();
+    doc.set("name", spec.name);
+    doc.set("cells", static_cast<uint64_t>(result.cells));
+    doc.set("spec", experimentSpecToJson(spec));
+    JsonValue sections = resultSectionsToJson(result);
+    const std::string text = sections.dump(0);
+    doc.set("digest", sha256Hex(text.data(), text.size()));
+    for (auto &member : sections.members())
+        doc.set(member.first, member.second);
+
+    JsonValue resilience = JsonValue::object();
+    resilience.set("ok", result.ok_cells);
+    resilience.set("failed", result.failed_cells);
+    resilience.set("timed_out", result.timed_out_cells);
+    resilience.set("cancelled", result.cancelled_cells);
+    resilience.set("replayed", result.replayed_cells);
+    resilience.set("interrupted", result.interrupted);
+    JsonValue outcomes = JsonValue::array();
+    for (size_t i = 0; i < result.outcomes.size(); ++i) {
+        const CellOutcome &o = result.outcomes[i];
+        if (o.status == CellStatus::Ok ||
+            o.status == CellStatus::Skipped)
+            continue;
+        JsonValue entry = JsonValue::object();
+        entry.set("index", static_cast<uint64_t>(i));
+        entry.set("label", o.label);
+        entry.set("status", cellStatusToken(o.status));
+        if (!o.error.empty())
+            entry.set("error", o.error);
+        entry.set("attempts", o.attempts);
+        outcomes.push(std::move(entry));
+    }
+    if (outcomes.size() > 0)
+        resilience.set("outcomes", std::move(outcomes));
+    doc.set("resilience", std::move(resilience));
     return doc;
 }
 

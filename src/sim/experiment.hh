@@ -31,10 +31,64 @@
 #include "device/montecarlo.hh"
 #include "sim/campaign.hh"
 #include "sim/runner.hh"
+#include "util/journal.hh"
+#include "util/parallel.hh"
 #include "util/serde.hh"
 
 namespace rtm
 {
+
+/** Terminal state of one scheduled cell. */
+enum class CellStatus
+{
+    Ok,        //!< body completed, result slot valid
+    Failed,    //!< body threw (after exhausting the retry budget)
+    TimedOut,  //!< cell or run deadline tripped mid-body
+    Cancelled, //!< cancel token fired (or cell never claimed)
+    Skipped    //!< replayed from a resume journal, body not run
+};
+
+/** Stable token for a CellStatus ("ok", "failed", ...). */
+const char *cellStatusToken(CellStatus status);
+
+/**
+ * Structured outcome of one cell. The engine produces exactly one of
+ * these per scheduled cell, whatever happens inside the body — a
+ * throwing cell is *contained* here instead of aborting the job set.
+ */
+struct CellOutcome
+{
+    CellStatus status = CellStatus::Cancelled;
+    std::string label; //!< cell label (diagnostics)
+    std::string error; //!< last exception text (Failed only)
+    int attempts = 0;  //!< body invocations (retries included)
+    double wall_ms = 0.0;
+};
+
+/**
+ * Resilience section of a spec: per-cell retry budget with
+ * exponential backoff plus cell/run deadlines. All default to off so
+ * a spec without the section behaves exactly as before.
+ */
+struct ResilienceSpec
+{
+    uint64_t retry_budget = 0;     //!< extra attempts per cell
+    uint64_t backoff_ms = 10;      //!< base retry backoff (doubles)
+    uint64_t cell_deadline_ms = 0; //!< per-cell watchdog (0 = none)
+    uint64_t run_deadline_ms = 0;  //!< whole-run watchdog (0 = none)
+
+    bool operator==(const ResilienceSpec &o) const
+    {
+        return retry_budget == o.retry_budget &&
+               backoff_ms == o.backoff_ms &&
+               cell_deadline_ms == o.cell_deadline_ms &&
+               run_deadline_ms == o.run_deadline_ms;
+    }
+    bool operator!=(const ResilienceSpec &o) const
+    {
+        return !(*this == o);
+    }
+};
 
 /**
  * Deterministic job-set scheduler on the global ThreadPool.
@@ -45,10 +99,33 @@ namespace rtm
  * bit-identical for any RTM_THREADS. Jobs are claimed dynamically —
  * there is no barrier between the groups a caller appends, which is
  * what lets matrix and campaign cells interleave.
+ *
+ * Crash-safety contract: every scheduled cell ends in exactly one
+ * CellOutcome. A throwing body is retried per the resilience policy
+ * and then recorded as Failed without disturbing the other cells; a
+ * cancel token or deadline stops the run cooperatively (in-flight
+ * bodies observe their StopFlag, unclaimed cells stay Cancelled);
+ * completed cells stream to an attached journal so an interrupted
+ * run can resume via replayCell.
  */
 class ExperimentEngine
 {
   public:
+    /**
+     * One schedulable cell. `body` receives its telemetry shard plus
+     * a StopFlag it should poll at natural checkpoints. `save`/`load`
+     * serialize the cell's result slot for journaling/resume; either
+     * may be null, which just disables checkpointing for that cell.
+     */
+    struct Cell
+    {
+        std::string label;
+        std::function<void(TelemetryScope, StopFlag *)> body;
+        std::function<JsonValue()> save;
+        std::function<bool(const JsonValue &)> load;
+        bool replayed = false; //!< load()ed; body will not run
+    };
+
     explicit ExperimentEngine(
         size_t ring_capacity = Telemetry::kDefaultRingCapacity)
         : ring_capacity_(ring_capacity)
@@ -62,24 +139,98 @@ class ExperimentEngine
             ring_capacity_ = capacity;
     }
 
-    /** Queue one cell. The body receives its telemetry shard. */
-    void addJob(std::function<void(TelemetryScope)> body)
-    {
-        jobs_.push_back(std::move(body));
-    }
-
-    size_t jobCount() const { return jobs_.size(); }
+    /** Queue one cell. */
+    void addCell(Cell cell) { cells_.push_back(std::move(cell)); }
 
     /**
-     * Run every queued job on the global pool, then merge the
-     * telemetry shards into `root` in job order. One-shot: the job
-     * list is consumed.
+     * Queue a legacy cell that ignores cancellation and cannot be
+     * checkpointed. The body receives its telemetry shard.
+     */
+    void addJob(std::function<void(TelemetryScope)> body)
+    {
+        Cell cell;
+        cell.body = [b = std::move(body)](TelemetryScope t,
+                                          StopFlag *) { b(t); };
+        addCell(std::move(cell));
+    }
+
+    size_t jobCount() const { return cells_.size(); }
+
+    /** Cooperative cancel source checked before/inside cells. */
+    void setCancelToken(const CancelToken *cancel)
+    {
+        cancel_ = cancel;
+    }
+
+    /** Retry/backoff/deadline policy (defaults: all off). */
+    void setResilience(const ResilienceSpec &resilience)
+    {
+        resilience_ = resilience;
+    }
+
+    /**
+     * Stream each completed cell to `journal` (already opened, with
+     * its header written). The writer is internally locked, so
+     * workers append directly as cells finish.
+     */
+    void setJournal(JournalWriter *journal) { journal_ = journal; }
+
+    /**
+     * Test-only fault hook, called as hook(cell_index, attempt)
+     * right before each body invocation; a throw from the hook is
+     * handled exactly like a throw from the body.
+     */
+    void setFaultHook(std::function<void(size_t, int)> hook)
+    {
+        fault_hook_ = std::move(hook);
+    }
+
+    /**
+     * Per-cell completion callback (worker threads, possibly
+     * concurrently — the callback must be thread-safe). Used by
+     * tools for progress and by tests to cancel mid-run.
+     */
+    void setOutcomeCallback(
+        std::function<void(size_t, const CellOutcome &)> cb)
+    {
+        on_outcome_ = std::move(cb);
+    }
+
+    /**
+     * Restore cell `index` from a journaled result instead of
+     * running it: load() fills the result slot now and the cell is
+     * recorded as Skipped by run(). Returns false (cell re-runs)
+     * when the index is out of range, the cell has no loader, or
+     * load() rejects the document.
+     */
+    bool replayCell(size_t index, const JsonValue &result);
+
+    /**
+     * Run every queued non-replayed cell on the global pool, then
+     * merge the telemetry shards into `root` in job order. One-shot:
+     * the job list is consumed; outcomes() holds one entry per cell
+     * afterwards.
      */
     void run(TelemetryScope root);
 
+    /** One outcome per scheduled cell, filled by run(). */
+    const std::vector<CellOutcome> &outcomes() const
+    {
+        return outcomes_;
+    }
+
   private:
+    void runCell(Cell &cell, size_t index, TelemetryScope shard,
+                 double run_deadline);
+
     size_t ring_capacity_;
-    std::vector<std::function<void(TelemetryScope)>> jobs_;
+    std::vector<Cell> cells_;
+    std::vector<CellOutcome> outcomes_;
+    const CancelToken *cancel_ = nullptr;
+    ResilienceSpec resilience_;
+    JournalWriter *journal_ = nullptr;
+    std::function<void(size_t, int)> fault_hook_;
+    std::function<void(size_t, const CellOutcome &)> on_outcome_;
 };
 
 /** Matrix section of a spec: workloads x (tech, scheme) options. */
@@ -188,6 +339,7 @@ struct ExperimentSpec
     CampaignSpec campaign;
     StressSpec stress;
     McSpec montecarlo;
+    ResilienceSpec resilience;
 
     // Output sinks (empty = disabled).
     std::string metrics_path; //!< telemetry registry JSON
@@ -199,6 +351,7 @@ struct ExperimentSpec
         return name == o.name && matrix == o.matrix &&
                campaign == o.campaign && stress == o.stress &&
                montecarlo == o.montecarlo &&
+               resilience == o.resilience &&
                metrics_path == o.metrics_path &&
                trace_path == o.trace_path &&
                output_path == o.output_path;
@@ -208,6 +361,16 @@ struct ExperimentSpec
         return !(*this == o);
     }
 };
+
+/**
+ * SHA-256 of the spec's *result-determining* content: the normalized
+ * spec with output sinks cleared and the resilience policy reset,
+ * since neither affects any result bit. This is the identity a
+ * resume journal is validated against — a journal taken under one
+ * retry budget resumes fine under another, but never against a spec
+ * whose cells would compute something else.
+ */
+std::string experimentSpecHash(const ExperimentSpec &spec);
 
 /**
  * Resolve every defaulted axis to its explicit catalogue (empty
@@ -300,7 +463,8 @@ bool stressSchemeConfig(const std::string &token, Scheme *scheme,
 
 /** Run the stripe-level drill (spec.enabled is not consulted). */
 StressResult runStressDrill(const StressSpec &spec,
-                            TelemetryScope telemetry = {});
+                            TelemetryScope telemetry = {},
+                            StopFlag *stop = nullptr);
 
 /** Outcome of the Monte-Carlo cell. */
 struct McRunResult
@@ -319,7 +483,8 @@ struct McRunResult
 
 /** Run the Monte-Carlo cell (spec.enabled is not consulted). */
 McRunResult runMcCell(const McSpec &spec,
-                      TelemetryScope telemetry = {});
+                      TelemetryScope telemetry = {},
+                      StopFlag *stop = nullptr);
 
 /** Everything one spec run produced. */
 struct ExperimentResult
@@ -339,12 +504,70 @@ struct ExperimentResult
     McRunResult mc;
 
     size_t cells = 0; //!< total scheduled cells
+
+    /** One structured outcome per scheduled cell (engine order). */
+    std::vector<CellOutcome> outcomes;
+    uint64_t ok_cells = 0;
+    uint64_t failed_cells = 0;
+    uint64_t timed_out_cells = 0;
+    uint64_t cancelled_cells = 0;
+    uint64_t replayed_cells = 0; //!< restored from a resume journal
+    /** True when any cell was cancelled or timed out — the result is
+     *  incomplete and (with a journal) resumable. */
+    bool interrupted = false;
+
+    /** Every cell completed or was replayed — results are final. */
+    bool complete() const
+    {
+        return ok_cells + replayed_cells ==
+               static_cast<uint64_t>(cells);
+    }
 };
+
+/**
+ * Cross-run controls for runExperiment: cooperative cancellation,
+ * checkpoint streaming, resume, and the test-only fault hook. All
+ * default to off, in which case runExperiment behaves exactly as it
+ * always has.
+ */
+struct RunControl
+{
+    /** Cancel source (signal handlers route here). */
+    const CancelToken *cancel = nullptr;
+    /** Stream completed cells to this journal ("" = none). */
+    std::string stream_path;
+    /** Replay completed cells from this journal ("" = fresh run). */
+    std::string resume_path;
+    /** Test-only per-attempt fault hook (see setFaultHook). */
+    std::function<void(size_t, int)> fault_hook;
+    /** Per-cell completion callback (thread-safe required). */
+    std::function<void(size_t, const CellOutcome &)> on_cell;
+};
+
+/**
+ * Validate a parsed journal against the run it would resume: header
+ * present, spec hash / section seeds / cell count all matching.
+ * Returns an empty string when compatible, else a diagnostic.
+ */
+std::string journalResumeError(const JournalFile &journal,
+                               const ExperimentSpec &spec,
+                               size_t cells);
+
+/** The journal header a run of `spec` writes. */
+JournalHeader makeJournalHeader(const ExperimentSpec &spec,
+                                size_t cells);
 
 /**
  * Run a whole spec on the engine: every enabled section expands into
  * cells scheduled as ONE job set (matrix and campaign cells
  * interleave on the pool), bit-identical at any RTM_THREADS.
+ *
+ * With `control`, the run is crash-safe end to end: a cell that
+ * throws is retried per spec.resilience and contained as a Failed
+ * outcome, completed cells stream to control.stream_path, a prior
+ * journal replays via control.resume_path (skipping its cells and
+ * reproducing the bit-identical merge), and control.cancel plus the
+ * resilience deadlines stop the run cooperatively.
  *
  * @param model position-error model for matrix cells; null uses the
  *              paper-calibrated model. Campaign/stress cells build
@@ -353,7 +576,23 @@ struct ExperimentResult
 ExperimentResult runExperiment(const ExperimentSpec &spec,
                                const PositionErrorModel *model =
                                    nullptr,
-                               TelemetryScope telemetry = {});
+                               TelemetryScope telemetry = {},
+                               const RunControl &control = {});
+
+/** One matrix cell result as JSON (journal/result schema). */
+JsonValue simResultToJson(const std::string &workload,
+                          const LlcOption &opt, const SimResult &r);
+
+/** Restore a matrix cell result; false on a malformed document. */
+bool simResultFromJson(const JsonValue &doc, SimResult *out);
+
+/**
+ * SHA-256 over the result *sections* only (matrix/campaign/stress/
+ * montecarlo, compact JSON) — the replay identity. Two runs of the
+ * same spec produce the same digest whether executed in one pass or
+ * killed and resumed, at any RTM_THREADS.
+ */
+std::string experimentResultDigest(const ExperimentResult &result);
 
 /** The unified result document (spec + per-section results). */
 JsonValue experimentResultToJson(const ExperimentResult &result);

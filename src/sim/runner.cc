@@ -75,9 +75,11 @@ appendMatrixJobs(ExperimentEngine &engine,
         const LlcOption opt = options[o];
         const WorkloadProfile profile = profiles[w];
         SimResult *slot = &(*rows)[w].results[o];
-        engine.addJob([slot, opt, profile, model, requests, warmup,
-                       capacity_divisor, seed, matrix_start,
-                       cell](TelemetryScope shard) {
+        ExperimentEngine::Cell job;
+        job.label = profile.name + "/" + opt.label;
+        job.body = [slot, opt, profile, model, requests, warmup,
+                    capacity_divisor, seed, matrix_start,
+                    cell](TelemetryScope shard, StopFlag *stop) {
             ScopedPhase cell_phase("runner.cell");
             WorkloadProfile run_profile =
                 scaledProfile(profile, capacity_divisor);
@@ -89,6 +91,7 @@ appendMatrixJobs(ExperimentEngine &engine,
             cfg.warmup_requests = warmup;
             cfg.seed = seed;
             cfg.telemetry = shard;
+            cfg.stop = stop;
             const double t0 = shard ? telemetryNowSeconds() : 0.0;
             *slot = simulate(run_profile, cfg, model);
             if (shard) {
@@ -102,7 +105,14 @@ appendMatrixJobs(ExperimentEngine &engine,
                                  (t0 - matrix_start) * 1e6),
                              wall * 1e6, static_cast<double>(cell));
             }
-        });
+        };
+        job.save = [slot, profile, opt] {
+            return simResultToJson(profile.name, opt, *slot);
+        };
+        job.load = [slot](const JsonValue &doc) {
+            return simResultFromJson(doc, slot);
+        };
+        engine.addCell(std::move(job));
     }
 }
 

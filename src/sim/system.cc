@@ -45,10 +45,17 @@ runSim(const std::string &name, const SimConfig &config,
     res.llc_tech = config.hierarchy.llc_tech;
     res.scheme = config.hierarchy.scheme;
 
+    // Cooperative cancellation: poll the stop flag at a coarse
+    // stride so the hot loop pays one predictable branch per block.
+    constexpr uint64_t kStopPollStride = 1024;
+
     // Warmup: touch caches without accounting.
     {
         ScopedPhase phase("sim.warmup");
         for (uint64_t i = 0; i < config.warmup_requests; ++i) {
+            if (config.stop && i % kStopPollStride == 0 &&
+                config.stop->poll())
+                return res;
             const MemRequest &req = next();
             auto c = static_cast<size_t>(req.core);
             core_time[c] += req.gap_instructions;
@@ -84,6 +91,9 @@ runSim(const std::string &name, const SimConfig &config,
     {
         ScopedPhase phase("sim.measure");
         for (uint64_t i = 0; i < config.mem_requests; ++i) {
+            if (config.stop && i % kStopPollStride == 0 &&
+                config.stop->poll())
+                return res;
             const MemRequest &req = next();
             auto c = static_cast<size_t>(req.core);
             core_time[c] += req.gap_instructions;

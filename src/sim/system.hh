@@ -24,6 +24,7 @@
 #include "mem/hierarchy.hh"
 #include "model/reliability.hh"
 #include "trace/workload.hh"
+#include "util/parallel.hh"
 #include "util/units.hh"
 
 namespace rtm
@@ -84,6 +85,15 @@ struct SimConfig
      * by default; SimResult is bit-identical either way.
      */
     TelemetryScope telemetry = {};
+
+    /**
+     * Optional cooperative stop flag, polled periodically inside the
+     * warmup and measure loops. When it trips the run returns early
+     * with a partial (invalid) result — the caller is responsible for
+     * discarding it, which the experiment engine does by classifying
+     * the cell as cancelled/timed-out instead of completed.
+     */
+    StopFlag *stop = nullptr;
 };
 
 /**

@@ -36,10 +36,16 @@ parseTraceLine(const std::string &line, MemRequest &req,
         return false;
     }
     req.core = static_cast<int>(core);
+    // Only the two documented stoull parse failures are recoverable
+    // per-line problems; anything else (bad_alloc, ...) is a real
+    // error and must propagate, not read as "malformed line".
     try {
         req.addr = std::stoull(addr_str, nullptr, 0);
-    } catch (...) {
+    } catch (const std::invalid_argument &) {
         error = "bad address '" + addr_str + "'";
+        return false;
+    } catch (const std::out_of_range &) {
+        error = "address '" + addr_str + "' out of range";
         return false;
     }
     if (rw == "R" || rw == "r") {
@@ -107,19 +113,49 @@ parseTraceChecked(const std::string &text, TraceParseMode mode)
     return result;
 }
 
+namespace
+{
+
+/**
+ * Slurp a trace file, distinguishing "cannot open" and mid-read I/O
+ * errors (disk failure, EIO, reading a directory) from success. An
+ * I/O error must NOT degrade to an empty or truncated trace — a
+ * silently half-loaded trace would replay as a different workload.
+ */
+bool
+slurpTraceFile(const std::string &path, std::string *text,
+               std::string *error)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        *error = "cannot open trace file '" + path + "'";
+        return false;
+    }
+    text->clear();
+    char chunk[4096];
+    do {
+        f.read(chunk, sizeof(chunk));
+        text->append(chunk, static_cast<size_t>(f.gcount()));
+    } while (f.good());
+    if (f.bad()) {
+        *error = "I/O error reading trace file '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
 TraceParseResult
 loadTraceFileChecked(const std::string &path, TraceParseMode mode)
 {
-    std::ifstream f(path);
-    if (!f) {
+    std::string text, error;
+    if (!slurpTraceFile(path, &text, &error)) {
         TraceParseResult result;
-        result.diagnostics.push_back(
-            {0, "cannot open trace file '" + path + "'"});
+        result.diagnostics.push_back({0, error});
         return result;
     }
-    std::ostringstream buf;
-    buf << f.rdbuf();
-    return parseTraceChecked(buf.str(), mode);
+    return parseTraceChecked(text, mode);
 }
 
 std::vector<MemRequest>
@@ -137,12 +173,10 @@ parseTrace(const std::string &text)
 std::vector<MemRequest>
 loadTraceFile(const std::string &path)
 {
-    std::ifstream f(path);
-    if (!f)
-        rtm_fatal("cannot open trace file '%s'", path.c_str());
-    std::ostringstream buf;
-    buf << f.rdbuf();
-    return parseTrace(buf.str());
+    std::string text, error;
+    if (!slurpTraceFile(path, &text, &error))
+        rtm_fatal("%s", error.c_str());
+    return parseTrace(text);
 }
 
 std::string

@@ -1,6 +1,7 @@
 #include "hash.hh"
 
 #include <algorithm>
+#include <array>
 
 namespace rtm
 {
@@ -157,6 +158,27 @@ sha256Hex(const void *data, size_t len)
     Sha256 h;
     h.update(data, len);
     return h.hexDigest();
+}
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    // Table built on first use; the standard reflected polynomial.
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = ~seed;
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
 }
 
 } // namespace rtm

@@ -52,6 +52,15 @@ class Sha256
 /** One-shot convenience: SHA-256 of a byte buffer, lowercase hex. */
 std::string sha256Hex(const void *data, size_t len);
 
+/**
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/`cksum -o 3`
+ * flavour). Frames journal records (util/journal.hh) so a torn or
+ * bit-flipped line in an append-only checkpoint is detected and
+ * dropped instead of replayed as a bogus result. `seed` chains
+ * incremental computations (pass a previous return value).
+ */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
 } // namespace rtm
 
 #endif // RTM_UTIL_HASH_HH

@@ -1,6 +1,8 @@
 #include "parallel.hh"
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <memory>
 
@@ -17,7 +19,49 @@ thread_local bool tls_in_worker = false;
 
 std::unique_ptr<ThreadPool> g_pool;
 
+/** Signal-handler state: the routed token and the signal seen. */
+std::atomic<CancelToken *> g_signal_token{nullptr};
+std::atomic<int> g_signal_no{0};
+
+extern "C" void
+cancelSignalHandler(int signo)
+{
+    // Second signal: the user is done waiting. _Exit is
+    // async-signal-safe; 128+signo is the shell convention.
+    if (g_signal_no.exchange(signo, std::memory_order_relaxed) != 0)
+        std::_Exit(128 + signo);
+    if (CancelToken *t =
+            g_signal_token.load(std::memory_order_relaxed))
+        t->requestCancel();
+}
+
 } // anonymous namespace
+
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+void
+installCancelOnSignals(CancelToken *token)
+{
+    g_signal_token.store(token, std::memory_order_relaxed);
+    g_signal_no.store(0, std::memory_order_relaxed);
+    std::signal(SIGINT,
+                token ? cancelSignalHandler : SIG_DFL);
+    std::signal(SIGTERM,
+                token ? cancelSignalHandler : SIG_DFL);
+}
+
+int
+cancelSignal()
+{
+    return g_signal_no.load(std::memory_order_relaxed);
+}
 
 unsigned
 ThreadPool::configuredThreads()
@@ -103,13 +147,24 @@ void
 ThreadPool::parallelFor(size_t n,
                         const std::function<void(size_t)> &fn)
 {
+    parallelFor(n, fn, nullptr);
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t)> &fn,
+                        const CancelToken *cancel)
+{
     if (n == 0)
         return;
     // Inline when serial, trivially small, or nested in a worker
     // (nested dispatch would deadlock a saturated pool).
     if (workers_.empty() || n == 1 || tls_in_worker) {
-        for (size_t i = 0; i < n; ++i)
+        for (size_t i = 0; i < n; ++i) {
+            if (cancel && cancel->cancelled())
+                return;
             fn(i);
+        }
         return;
     }
     struct Batch
@@ -123,10 +178,13 @@ ThreadPool::parallelFor(size_t n,
     size_t lanes = std::min<size_t>(workers_.size(), n);
     batch->active.store(static_cast<unsigned>(lanes));
     for (size_t lane = 0; lane < lanes; ++lane) {
-        submit([batch, n, &fn] {
+        submit([batch, n, &fn, cancel] {
             size_t i;
-            while ((i = batch->next.fetch_add(1)) < n)
+            while ((i = batch->next.fetch_add(1)) < n) {
+                if (cancel && cancel->cancelled())
+                    break;
                 fn(i);
+            }
             if (batch->active.fetch_sub(1) == 1) {
                 std::lock_guard<std::mutex> lock(batch->m);
                 batch->done.notify_all();

@@ -20,6 +20,7 @@
 #ifndef RTM_UTIL_PARALLEL_HH
 #define RTM_UTIL_PARALLEL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -30,6 +31,122 @@
 
 namespace rtm
 {
+
+/**
+ * Cooperative cancellation flag shared between a controller (a
+ * signal handler, a watchdog, a test) and the workers it governs.
+ * requestCancel() is one relaxed atomic store, so it is safe to call
+ * from an async signal handler; workers poll cancelled() at natural
+ * checkpoints and wind down on their own — nothing is ever killed
+ * mid-iteration, which is what keeps partial results well-formed
+ * enough to checkpoint.
+ */
+class CancelToken
+{
+  public:
+    void requestCancel()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm for another run (tests / long-lived daemons). */
+    void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** Why a StopFlag tripped. */
+enum class StopReason
+{
+    None,      //!< still running
+    Cancelled, //!< CancelToken fired (signal / caller request)
+    Deadline   //!< the monotonic deadline passed
+};
+
+/** Monotonic seconds (steady clock) for deadlines and wall timing. */
+double monotonicSeconds();
+
+/**
+ * Per-task stop poller combining a shared CancelToken with an
+ * absolute monotonic deadline. poll() is cheap and thread-safe (one
+ * relaxed load when idle), latches the first reason observed, and
+ * keeps answering true afterwards. The latch is the containment
+ * contract: a task's result is valid if and only if the task never
+ * observed a stop, so a cancel that lands *after* the last poll
+ * leaves a perfectly good completed result.
+ */
+class StopFlag
+{
+  public:
+    StopFlag() = default;
+
+    /**
+     * @param cancel   shared token (may be null)
+     * @param deadline absolute monotonicSeconds() deadline; 0 = none
+     */
+    StopFlag(const CancelToken *cancel, double deadline)
+        : cancel_(cancel), deadline_(deadline)
+    {
+    }
+
+    /** True once a stop is observed (and forever after). */
+    bool poll()
+    {
+        if (stopped())
+            return true;
+        if (cancel_ && cancel_->cancelled()) {
+            trip(StopReason::Cancelled);
+            return true;
+        }
+        if (deadline_ > 0.0 && monotonicSeconds() > deadline_) {
+            trip(StopReason::Deadline);
+            return true;
+        }
+        return false;
+    }
+
+    bool stopped() const
+    {
+        return reason_.load(std::memory_order_relaxed) !=
+               static_cast<int>(StopReason::None);
+    }
+
+    StopReason reason() const
+    {
+        return static_cast<StopReason>(
+            reason_.load(std::memory_order_relaxed));
+    }
+
+  private:
+    void trip(StopReason r)
+    {
+        int none = static_cast<int>(StopReason::None);
+        reason_.compare_exchange_strong(none, static_cast<int>(r),
+                                        std::memory_order_relaxed);
+    }
+
+    const CancelToken *cancel_ = nullptr;
+    double deadline_ = 0.0; //!< absolute monotonicSeconds(); 0 = none
+    std::atomic<int> reason_{static_cast<int>(StopReason::None)};
+};
+
+/**
+ * Route SIGINT/SIGTERM to `token` (pass null to uninstall). The
+ * handler performs one atomic store — fully async-signal-safe — so a
+ * first ^C triggers a graceful drain-and-checkpoint; a second one
+ * force-exits with the conventional 128+signo status for users who
+ * will not wait.
+ */
+void installCancelOnSignals(CancelToken *token);
+
+/** Signal number that fired the installed token (0 if none yet). */
+int cancelSignal();
 
 /**
  * Fixed-size worker pool. Construct directly for a private pool or
@@ -56,6 +173,17 @@ class ThreadPool
      * Called from inside a pool worker, runs inline (serially).
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Cancellation-aware parallelFor: once `cancel` fires, workers
+     * stop claiming *new* iterations (iterations already started run
+     * to completion — cooperative, never preemptive). Iterations that
+     * were never claimed are simply skipped; callers that need an
+     * account of skipped work should track it themselves (the
+     * experiment engine records them as cancelled outcomes).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                     const CancelToken *cancel);
 
     /** Process-wide pool, sized by RTM_THREADS / the hardware. */
     static ThreadPool &global();

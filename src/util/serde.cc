@@ -1,5 +1,6 @@
 #include "serde.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -546,7 +547,16 @@ readTextFile(const std::string &path, std::string *out,
     size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
         out->append(buf, n);
+    // fread returns 0 for EOF *and* for I/O errors; without this
+    // check a failing disk would read as an empty (or truncated)
+    // file.
+    const bool read_error = std::ferror(f) != 0;
     std::fclose(f);
+    if (read_error) {
+        if (error)
+            *error = "I/O error reading '" + path + "'";
+        return false;
+    }
     return true;
 }
 
@@ -567,17 +577,48 @@ loadJsonFile(const std::string &path, JsonValue *out,
 }
 
 bool
-saveJsonFile(const std::string &path, const JsonValue &value,
-             int indent)
+saveTextFileAtomic(const std::string &path,
+                   const std::string &text, std::string *error)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
+    const std::string tmp = path + ".tmp";
+    auto fail = [&](const char *what) {
+        if (error)
+            *error = std::string(what) + " '" + tmp +
+                     "': " + std::strerror(errno);
+        std::remove(tmp.c_str());
         return false;
-    std::string text = value.dump(indent);
-    size_t written = std::fwrite(text.data(), 1, text.size(), f);
-    bool ok = written == text.size();
-    ok = std::fclose(f) == 0 && ok;
-    return ok;
+    };
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        if (error)
+            *error = "cannot create '" + tmp +
+                     "': " + std::strerror(errno);
+        return false;
+    }
+    const size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    if (written != text.size() || std::fflush(f) != 0 ||
+        std::ferror(f)) {
+        std::fclose(f);
+        return fail("cannot write");
+    }
+    if (std::fclose(f) != 0)
+        return fail("cannot write");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error)
+            *error = "cannot rename '" + tmp + "' to '" + path +
+                     "': " + std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+saveJsonFile(const std::string &path, const JsonValue &value,
+             int indent, std::string *error)
+{
+    return saveTextFileAtomic(path, value.dump(indent), error);
 }
 
 // --- SpecReader ------------------------------------------------------

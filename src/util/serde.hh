@@ -155,9 +155,25 @@ bool readTextFile(const std::string &path, std::string *out,
 bool loadJsonFile(const std::string &path, JsonValue *out,
                   std::string *error);
 
-/** Write `value.dump(indent)` to a file; false on I/O error. */
+/**
+ * Crash-consistent whole-file write: the text goes to `path.tmp`,
+ * is flushed and stream-state checked, and only then renamed over
+ * `path` — so readers (and a process killed mid-write) see either
+ * the old complete file or the new complete file, never a torn one.
+ * A failure at any step (including a full disk surfacing at fclose)
+ * returns false with an errno-carrying diagnostic and removes the
+ * temporary; the destination is left untouched.
+ */
+bool saveTextFileAtomic(const std::string &path,
+                        const std::string &text,
+                        std::string *error = nullptr);
+
+/**
+ * Write `value.dump(indent)` atomically (saveTextFileAtomic); false
+ * with a diagnostic on any I/O error.
+ */
 bool saveJsonFile(const std::string &path, const JsonValue &value,
-                  int indent = 2);
+                  int indent = 2, std::string *error = nullptr);
 
 /**
  * Typed field binding over a parsed JSON object.

@@ -53,6 +53,32 @@ class RunningStats
     /** Sum of all samples. */
     double sum() const { return mean_ * static_cast<double>(count_); }
 
+    /**
+     * Raw Welford second moment (sum of squared deviations). Exposed
+     * so serde can round-trip the accumulator bit-exactly; derive
+     * variance via variance(), not from this.
+     */
+    double m2() const { return m2_; }
+
+    /**
+     * Rebuild an accumulator from previously serialized state. The
+     * min/max pair defaults to the empty-accumulator sentinels (±inf)
+     * so callers restoring a count==0 record can omit them.
+     */
+    static RunningStats
+    restore(uint64_t count, double mean, double m2,
+            double min = std::numeric_limits<double>::infinity(),
+            double max = -std::numeric_limits<double>::infinity())
+    {
+        RunningStats s;
+        s.count_ = count;
+        s.mean_ = mean;
+        s.m2_ = m2;
+        s.min_ = min;
+        s.max_ = max;
+        return s;
+    }
+
   private:
     uint64_t count_ = 0;
     double mean_ = 0.0;

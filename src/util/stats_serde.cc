@@ -1,0 +1,77 @@
+#include "stats_serde.hh"
+
+namespace rtm
+{
+
+JsonValue
+runningStatsToJson(const RunningStats &s)
+{
+    JsonValue v = JsonValue::object();
+    v.set("count", s.count());
+    v.set("mean", s.count() ? s.mean() : 0.0);
+    v.set("m2", s.m2());
+    if (s.count() > 0) {
+        v.set("min", s.min());
+        v.set("max", s.max());
+    }
+    return v;
+}
+
+bool
+runningStatsFromJson(const JsonValue &doc, RunningStats *out)
+{
+    if (!doc.isObject())
+        return false;
+    const JsonValue *count = doc.find("count");
+    const JsonValue *mean = doc.find("mean");
+    const JsonValue *m2 = doc.find("m2");
+    if (!count || !count->isNumber() || !mean ||
+        !mean->isNumber() || !m2 || !m2->isNumber())
+        return false;
+    const uint64_t n = count->asU64();
+    if (n == 0) {
+        *out = RunningStats();
+        return true;
+    }
+    const JsonValue *min = doc.find("min");
+    const JsonValue *max = doc.find("max");
+    if (!min || !min->isNumber() || !max || !max->isNumber())
+        return false;
+    *out = RunningStats::restore(n, mean->asDouble(),
+                                 m2->asDouble(), min->asDouble(),
+                                 max->asDouble());
+    return true;
+}
+
+JsonValue
+intTallyToJson(const IntTally &t)
+{
+    JsonValue v = JsonValue::array();
+    for (const auto &[key, count] : t.entries()) {
+        JsonValue pair = JsonValue::array();
+        pair.push(static_cast<double>(key));
+        pair.push(count);
+        v.push(std::move(pair));
+    }
+    return v;
+}
+
+bool
+intTallyFromJson(const JsonValue &doc, IntTally *out)
+{
+    if (!doc.isArray())
+        return false;
+    IntTally t;
+    for (size_t i = 0; i < doc.size(); ++i) {
+        const JsonValue &pair = doc.at(i);
+        if (!pair.isArray() || pair.size() != 2 ||
+            !pair.at(0).isNumber() || !pair.at(1).isNumber())
+            return false;
+        t.add(static_cast<int64_t>(pair.at(0).asDouble()),
+              pair.at(1).asU64());
+    }
+    *out = std::move(t);
+    return true;
+}
+
+} // namespace rtm

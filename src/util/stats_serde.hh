@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Exact JSON round-trips for the stats accumulators, used by the
+ * experiment journal: a resumed run must restore a cell's
+ * RunningStats / IntTally state bit-identically, or the final merged
+ * result would differ from an uninterrupted run.
+ */
+
+#ifndef RTM_UTIL_STATS_SERDE_HH
+#define RTM_UTIL_STATS_SERDE_HH
+
+#include "util/serde.hh"
+#include "util/stats.hh"
+
+namespace rtm
+{
+
+/**
+ * {count, mean, m2[, min, max]} — the raw Welford state, NOT derived
+ * variance, so restore() reproduces the accumulator exactly. min/max
+ * are emitted only when count > 0 (they are ±inf sentinels when
+ * empty, which JSON cannot carry).
+ */
+JsonValue runningStatsToJson(const RunningStats &s);
+
+/** Restore a RunningStats; false on a malformed document. */
+bool runningStatsFromJson(const JsonValue &doc, RunningStats *out);
+
+/** Array of [key, count] pairs in increasing key order. */
+JsonValue intTallyToJson(const IntTally &t);
+
+/** Restore an IntTally; false on a malformed document. */
+bool intTallyFromJson(const JsonValue &doc, IntTally *out);
+
+} // namespace rtm
+
+#endif // RTM_UTIL_STATS_SERDE_HH

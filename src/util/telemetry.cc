@@ -231,12 +231,40 @@ printJsonNumber(std::FILE *f, double v)
         std::fprintf(f, "null");
 }
 
+/** Open `path.tmp` for the atomic whole-file-write pattern. */
+std::FILE *
+openAtomic(const std::string &path, std::string *tmp)
+{
+    *tmp = path + ".tmp";
+    return std::fopen(tmp->c_str(), "w");
+}
+
+/**
+ * Flush, verify stream state, close and rename over the target; a
+ * failure anywhere (including deferred write errors surfacing at
+ * fclose) removes the temporary and returns false, so a full disk
+ * never leaves a truncated export masquerading as a complete one.
+ */
+bool
+commitAtomic(std::FILE *f, const std::string &tmp,
+             const std::string &path)
+{
+    bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
+    ok = std::fclose(f) == 0 && ok;
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
 } // anonymous namespace
 
 bool
 Telemetry::writeMetricsJson(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::string tmp;
+    std::FILE *f = openAtomic(path, &tmp);
     if (!f)
         return false;
     std::fprintf(f, "{\n  \"counters\": {");
@@ -297,14 +325,14 @@ Telemetry::writeMetricsJson(const std::string &path) const
                  static_cast<unsigned long long>(pushed_),
                  static_cast<unsigned long long>(eventsDropped()),
                  static_cast<unsigned long long>(ring_.size()));
-    std::fclose(f);
-    return true;
+    return commitAtomic(f, tmp, path);
 }
 
 bool
 Telemetry::writeChromeTrace(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::string tmp;
+    std::FILE *f = openAtomic(path, &tmp);
     if (!f)
         return false;
     std::fprintf(
@@ -339,8 +367,7 @@ Telemetry::writeChromeTrace(const std::string &path) const
                      static_cast<unsigned long long>(ev.seq));
     }
     std::fprintf(f, "\n]}\n");
-    std::fclose(f);
-    return true;
+    return commitAtomic(f, tmp, path);
 }
 
 // --- TelemetryShards -------------------------------------------------

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Round-trips every checked-in examples/specs/*.json through the
+ * spec parser, normalizer and emitter. A spec that ships with the
+ * repo must load without a single diagnostic, survive
+ * parse -> emit -> parse as the identity, and expand to a non-empty
+ * cell list — catching schema drift the moment a field is renamed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace rtm
+{
+namespace
+{
+
+std::vector<std::string>
+exampleSpecPaths()
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(RTM_REPO_DIR) / "examples" / "specs";
+    std::vector<std::string> paths;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == ".json")
+            paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+TEST(SpecExamples, DirectoryIsNotEmpty)
+{
+    EXPECT_FALSE(exampleSpecPaths().empty());
+}
+
+TEST(SpecExamples, EveryShippedSpecLoadsCleanly)
+{
+    for (const std::string &path : exampleSpecPaths()) {
+        ExperimentSpec spec;
+        std::string diag;
+        EXPECT_TRUE(loadExperimentSpec(path, &spec, &diag))
+            << path << ":\n" << diag;
+        EXPECT_TRUE(diag.empty()) << path << ":\n" << diag;
+    }
+}
+
+TEST(SpecExamples, ParseEmitParseIsIdentity)
+{
+    for (const std::string &path : exampleSpecPaths()) {
+        ExperimentSpec spec;
+        std::string diag;
+        ASSERT_TRUE(loadExperimentSpec(path, &spec, &diag))
+            << path << ":\n" << diag;
+
+        const JsonValue emitted = experimentSpecToJson(spec);
+        ExperimentSpec reparsed;
+        ASSERT_TRUE(
+            experimentSpecFromJson(emitted, &reparsed, &diag))
+            << path << ":\n" << diag;
+        EXPECT_TRUE(spec == reparsed) << path;
+        EXPECT_EQ(emitted.dump(),
+                  experimentSpecToJson(reparsed).dump())
+            << path;
+        EXPECT_EQ(experimentSpecHash(spec),
+                  experimentSpecHash(reparsed))
+            << path;
+    }
+}
+
+TEST(SpecExamples, EveryShippedSpecExpandsToCells)
+{
+    for (const std::string &path : exampleSpecPaths()) {
+        ExperimentSpec spec;
+        std::string diag;
+        ASSERT_TRUE(loadExperimentSpec(path, &spec, &diag))
+            << path << ":\n" << diag;
+        EXPECT_FALSE(expandCells(spec).empty()) << path;
+    }
+}
+
+} // anonymous namespace
+} // namespace rtm

@@ -214,5 +214,26 @@ TEST(TraceParseChecked, LoadCheckedReadsCleanFile)
     std::remove(path.c_str());
 }
 
+// A mid-read I/O failure (EIO, disk pulled, NFS hiccup) must surface
+// as a distinct whole-file diagnostic, never as an "empty trace".
+// Reading a directory is the portable way to make the stream's read
+// path fail after a successful open.
+TEST(TraceParseChecked, ReadErrorIsNotAnEmptyTrace)
+{
+    TraceParseResult r = loadTraceFileChecked("/tmp");
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.requests.empty());
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].line, 0);
+    EXPECT_NE(r.diagnostics[0].message.find("I/O error"),
+              std::string::npos);
+}
+
+TEST(TraceParseDeathTest, FatalLoaderReportsReadError)
+{
+    EXPECT_EXIT(loadTraceFile("/tmp"),
+                ::testing::ExitedWithCode(1), "I/O error");
+}
+
 } // namespace
 } // namespace rtm

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the CRC-framed checkpoint journal: line framing,
+ * corruption/truncation salvage, header round-trip, append mode,
+ * and the atomic whole-file writer it builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/hash.hh"
+#include "util/journal.hh"
+#include "util/serde.hh"
+
+namespace rtm
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::string text, error;
+    EXPECT_TRUE(readTextFile(path, &text, &error)) << error;
+    return text;
+}
+
+JournalHeader
+sampleHeader()
+{
+    JournalHeader h;
+    h.name = "unit";
+    h.spec_sha256 = "feedface";
+    h.matrix_seed = 42;
+    h.campaign_seed = 7;
+    h.stress_seed = 1;
+    h.mc_seed = 12345;
+    h.cells = 3;
+    return h;
+}
+
+JournalRecord
+sampleRecord(uint64_t index)
+{
+    JournalRecord r;
+    r.index = index;
+    r.label = "cell-" + std::to_string(index);
+    JsonValue doc = JsonValue::object();
+    doc.set("value", index);
+    r.result = std::move(doc);
+    return r;
+}
+
+TEST(JournalWriter, WritesCrcFramedLines)
+{
+    const std::string path = tempPath("journal_frame.jsonl");
+    {
+        JournalWriter w;
+        std::string error;
+        ASSERT_TRUE(w.open(path, false, &error)) << error;
+        EXPECT_TRUE(w.appendHeader(sampleHeader()));
+        EXPECT_TRUE(w.appendRecord(sampleRecord(0)));
+        EXPECT_TRUE(w.close());
+    }
+    std::string text = slurp(path);
+    size_t lines = 0;
+    size_t pos = 0;
+    while ((pos = text.find('\n', pos)) != std::string::npos) {
+        ++lines;
+        ++pos;
+    }
+    EXPECT_EQ(lines, 2u);
+
+    // Every line: 8 hex CRC chars, one space, compact JSON payload,
+    // and the CRC actually covers the payload.
+    size_t start = 0;
+    while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        ASSERT_NE(end, std::string::npos);
+        std::string line = text.substr(start, end - start);
+        ASSERT_GE(line.size(), 10u);
+        EXPECT_EQ(line[8], ' ');
+        const std::string payload = line.substr(9);
+        char want[9];
+        std::snprintf(want, sizeof(want), "%08x",
+                      crc32(payload.data(), payload.size()));
+        EXPECT_EQ(line.substr(0, 8), want);
+        start = end + 1;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(JournalHeaderJson, RoundTrips)
+{
+    JournalHeader h = sampleHeader();
+    JournalHeader back;
+    ASSERT_TRUE(journalHeaderFromJson(journalHeaderToJson(h),
+                                      &back));
+    EXPECT_EQ(back.version, h.version);
+    EXPECT_EQ(back.name, h.name);
+    EXPECT_EQ(back.spec_sha256, h.spec_sha256);
+    EXPECT_EQ(back.matrix_seed, h.matrix_seed);
+    EXPECT_EQ(back.campaign_seed, h.campaign_seed);
+    EXPECT_EQ(back.stress_seed, h.stress_seed);
+    EXPECT_EQ(back.mc_seed, h.mc_seed);
+    EXPECT_EQ(back.cells, h.cells);
+}
+
+TEST(JournalRead, RoundTripsWriterOutput)
+{
+    const std::string path = tempPath("journal_rt.jsonl");
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(path, false));
+        ASSERT_TRUE(w.appendHeader(sampleHeader()));
+        ASSERT_TRUE(w.appendRecord(sampleRecord(0)));
+        ASSERT_TRUE(w.appendRecord(sampleRecord(2)));
+        ASSERT_TRUE(w.close());
+    }
+    JournalFile journal;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, &journal, &error)) << error;
+    EXPECT_TRUE(journal.has_header);
+    EXPECT_EQ(journal.header.spec_sha256, "feedface");
+    EXPECT_EQ(journal.dropped_lines, 0u);
+    ASSERT_EQ(journal.records.size(), 2u);
+    EXPECT_EQ(journal.records[0].index, 0u);
+    EXPECT_EQ(journal.records[1].index, 2u);
+    EXPECT_EQ(journal.records[1].label, "cell-2");
+    const JsonValue *v = journal.records[1].result.find("value");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->asU64(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(JournalRead, BadCrcDropsOnlyThatLine)
+{
+    const std::string path = tempPath("journal_crc.jsonl");
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(path, false));
+        ASSERT_TRUE(w.appendHeader(sampleHeader()));
+        ASSERT_TRUE(w.appendRecord(sampleRecord(0)));
+        ASSERT_TRUE(w.appendRecord(sampleRecord(1)));
+        ASSERT_TRUE(w.close());
+    }
+    // Flip one payload byte of the middle line (record 0) without
+    // touching its CRC prefix.
+    std::string text = slurp(path);
+    size_t first_nl = text.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    size_t corrupt_at = first_nl + 1 + 20;
+    ASSERT_LT(corrupt_at, text.size());
+    text[corrupt_at] = text[corrupt_at] == 'x' ? 'y' : 'x';
+    ASSERT_TRUE(saveTextFileAtomic(path, text));
+
+    JournalFile journal;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, &journal, &error)) << error;
+    EXPECT_TRUE(journal.has_header);
+    EXPECT_EQ(journal.dropped_lines, 1u);
+    ASSERT_EQ(journal.records.size(), 1u);
+    EXPECT_EQ(journal.records[0].index, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(JournalRead, TornTailDropsOnlyTail)
+{
+    const std::string path = tempPath("journal_torn.jsonl");
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(path, false));
+        ASSERT_TRUE(w.appendHeader(sampleHeader()));
+        ASSERT_TRUE(w.appendRecord(sampleRecord(0)));
+        ASSERT_TRUE(w.appendRecord(sampleRecord(1)));
+        ASSERT_TRUE(w.close());
+    }
+    // Simulate a crash mid-write: chop the file in the middle of
+    // the last record's line.
+    std::string text = slurp(path);
+    ASSERT_TRUE(
+        saveTextFileAtomic(path, text.substr(0, text.size() - 7)));
+
+    JournalFile journal;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, &journal, &error)) << error;
+    EXPECT_TRUE(journal.has_header);
+    EXPECT_EQ(journal.dropped_lines, 1u);
+    ASSERT_EQ(journal.records.size(), 1u);
+    EXPECT_EQ(journal.records[0].index, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(JournalRead, MissingFileIsAnError)
+{
+    JournalFile journal;
+    std::string error;
+    EXPECT_FALSE(readJournal(tempPath("journal_nope.jsonl"),
+                             &journal, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(JournalWriter, AppendModeExtendsExistingJournal)
+{
+    const std::string path = tempPath("journal_append.jsonl");
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(path, false));
+        ASSERT_TRUE(w.appendHeader(sampleHeader()));
+        ASSERT_TRUE(w.appendRecord(sampleRecord(0)));
+        ASSERT_TRUE(w.close());
+    }
+    {
+        JournalWriter w;
+        ASSERT_TRUE(w.open(path, true));
+        ASSERT_TRUE(w.appendRecord(sampleRecord(1)));
+        ASSERT_TRUE(w.close());
+    }
+    JournalFile journal;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, &journal, &error)) << error;
+    EXPECT_TRUE(journal.has_header);
+    ASSERT_EQ(journal.records.size(), 2u);
+    EXPECT_EQ(journal.records[0].index, 0u);
+    EXPECT_EQ(journal.records[1].index, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(AtomicSave, LeavesNoTmpAndWritesExactBytes)
+{
+    const std::string path = tempPath("atomic.txt");
+    ASSERT_TRUE(saveTextFileAtomic(path, "hello\n"));
+    EXPECT_EQ(slurp(path), "hello\n");
+    // Overwrite: readers must only ever see old or new content.
+    ASSERT_TRUE(saveTextFileAtomic(path, "world\n"));
+    EXPECT_EQ(slurp(path), "world\n");
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}
+
+TEST(AtomicSave, FailsWithDiagnosticOnBadPath)
+{
+    std::string error;
+    EXPECT_FALSE(saveTextFileAtomic(
+        tempPath("no_such_dir/atomic.txt"), "x", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // anonymous namespace
+} // namespace rtm

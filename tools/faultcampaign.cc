@@ -14,6 +14,13 @@
  *                 [--budget R] [--workloads a,b,c]
  *                 [--out BENCH_fault_campaign.json]
  *                 [--metrics OUT.json] [--trace OUT.trace.json]
+ *                 [--stream-out J.jsonl|none] [--resume J.jsonl]
+ *
+ * Cells run on the crash-safe experiment engine: completed cells
+ * stream to a CRC-framed journal (default `<out>.journal.jsonl`),
+ * SIGINT/SIGTERM drain cooperatively (exit 130), and --resume
+ * replays the journal to finish an interrupted campaign with a
+ * bit-identical merged result.
  *
  * --spec runs the `campaign` section of a declarative
  * ExperimentSpec (sim/experiment.hh) — including non-standard
@@ -36,10 +43,16 @@
 
 #include "sim/campaign.hh"
 #include "sim/experiment.hh"
+#include "util/parallel.hh"
 #include "util/serde.hh"
 #include "util/table.hh"
 
 using namespace rtm;
+
+namespace
+{
+CancelToken g_cancel;
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -47,9 +60,11 @@ main(int argc, char **argv)
     CliFlags flags = CliFlags::parseOrExit(
         argc, argv, 1,
         {"spec", "accesses", "seed", "scale", "budget",
-         "workloads", "out", "metrics", "trace"});
+         "workloads", "out", "metrics", "trace", "stream-out",
+         "resume"});
 
     CampaignSpec spec;
+    ResilienceSpec resilience;
     std::string out_path, metrics_path, trace_path;
     if (flags.has("spec")) {
         ExperimentSpec exp;
@@ -60,6 +75,7 @@ main(int argc, char **argv)
             return 2;
         }
         spec = exp.campaign;
+        resilience = exp.resilience;
         out_path = exp.output_path;
         metrics_path = exp.metrics_path;
         trace_path = exp.trace_path;
@@ -89,8 +105,9 @@ main(int argc, char **argv)
     trace_path = flags.get("trace", trace_path);
 
     Telemetry telemetry(1 << 15);
+    TelemetryScope sink;
     if (!metrics_path.empty() || !trace_path.empty())
-        config.telemetry = &telemetry;
+        sink = &telemetry;
 
     std::vector<ScenarioSpec> scenarios = spec.scenarios;
     std::printf("fault campaign: %zu scenarios x %zu workloads, "
@@ -100,8 +117,33 @@ main(int argc, char **argv)
                     config.accesses_per_cell),
                 config.scale, config.recovery.retry_budget);
 
-    CampaignResult result =
-        runCampaign(scenarios, workloads, config);
+    // Run on the crash-safe experiment engine: each (scenario,
+    // workload) drill is a journaled, cancellable cell.
+    ExperimentSpec exp;
+    exp.name = "faultcampaign";
+    exp.matrix.enabled = false;
+    exp.campaign = spec;
+    exp.campaign.enabled = true;
+    exp.campaign.config = config;
+    exp.campaign.config.telemetry = {};
+    exp.campaign.scenarios = scenarios;
+    exp.campaign.workloads = workloads;
+    exp.resilience = resilience;
+
+    RunControl control;
+    control.cancel = &g_cancel;
+    control.resume_path = flags.get("resume", "");
+    control.stream_path = flags.get(
+        "stream-out", control.resume_path.empty()
+                          ? out_path + ".journal.jsonl"
+                          : control.resume_path);
+    if (control.stream_path == "none")
+        control.stream_path.clear();
+    installCancelOnSignals(&g_cancel);
+    ExperimentResult exp_result =
+        runExperiment(exp, nullptr, sink, control);
+    installCancelOnSignals(nullptr);
+    const CampaignResult &result = exp_result.campaign;
 
     TextTable t({"scenario", "workload", "injected", "detected",
                  "corrected", "ladder", "DUE", "SDC", "degr.cap",
@@ -150,6 +192,20 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     result.contained_cells),
                 result.cells.size(), out_path.c_str());
+    if (exp_result.interrupted) {
+        if (!control.stream_path.empty())
+            std::fprintf(stderr, "interrupted — resume with "
+                         "--resume %s\n",
+                         control.stream_path.c_str());
+        return 130;
+    }
+    if (exp_result.failed_cells) {
+        for (const CellOutcome &o : exp_result.outcomes)
+            if (o.status == CellStatus::Failed)
+                std::fprintf(stderr, "cell '%s' failed: %s\n",
+                             o.label.c_str(), o.error.c_str());
+        return 1;
+    }
     if (!result.allContained()) {
         std::fprintf(stderr, "containment FAILED\n");
         return 1;

@@ -16,11 +16,15 @@
  *            [--scheme secded|sed|baseline|pecc-o] [--scale S]
  *            [--ops N] [--lseg L] [--seed K]
  *            [--metrics OUT.json] [--trace OUT.trace.json]
+ *            [--stream-out J.jsonl|none] [--resume J.jsonl]
  *
  * The drill itself lives in sim/experiment.hh (runStressDrill);
  * this tool builds a StressSpec from the flags — or the `stress`
- * section of --spec, with the flags acting as overrides — and
- * prints the reconciliation table.
+ * section of --spec, with the flags acting as overrides — and runs
+ * it through the crash-safe experiment engine before printing the
+ * reconciliation table. SIGINT/SIGTERM drain cooperatively and
+ * leave a resumable journal (default faultsim.journal.jsonl,
+ * --stream-out none disables).
  *
  * --metrics writes outcome counters and the shift-distance histogram
  * as JSON; --trace writes per-outcome events in Chrome trace_event
@@ -33,11 +37,17 @@
 #include <string>
 
 #include "sim/experiment.hh"
+#include "util/parallel.hh"
 #include "util/serde.hh"
 #include "util/table.hh"
 #include "util/telemetry.hh"
 
 using namespace rtm;
+
+namespace
+{
+CancelToken g_cancel;
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -45,9 +55,10 @@ main(int argc, char **argv)
     CliFlags flags = CliFlags::parseOrExit(
         argc, argv, 1,
         {"spec", "scheme", "scale", "ops", "lseg", "seed",
-         "metrics", "trace"});
+         "metrics", "trace", "stream-out", "resume"});
 
     StressSpec spec;
+    ResilienceSpec resilience;
     std::string metrics_path, trace_path;
     if (flags.has("spec")) {
         ExperimentSpec exp;
@@ -58,6 +69,7 @@ main(int argc, char **argv)
             return 2;
         }
         spec = exp.stress;
+        resilience = exp.resilience;
         metrics_path = exp.metrics_path;
         trace_path = exp.trace_path;
     }
@@ -88,7 +100,43 @@ main(int argc, char **argv)
     if (!metrics_path.empty() || !trace_path.empty())
         sink = &telemetry;
 
-    StressResult r = runStressDrill(spec, sink);
+    // One stress cell on the crash-safe engine: the drill is
+    // journaled, cancellable and resumable like any campaign.
+    ExperimentSpec exp;
+    exp.name = "faultsim";
+    exp.matrix.enabled = false;
+    exp.stress = spec;
+    exp.stress.enabled = true;
+    exp.resilience = resilience;
+
+    RunControl control;
+    control.cancel = &g_cancel;
+    control.resume_path = flags.get("resume", "");
+    control.stream_path = flags.get(
+        "stream-out", control.resume_path.empty()
+                          ? "faultsim.journal.jsonl"
+                          : control.resume_path);
+    if (control.stream_path == "none")
+        control.stream_path.clear();
+    installCancelOnSignals(&g_cancel);
+    ExperimentResult exp_result =
+        runExperiment(exp, nullptr, sink, control);
+    installCancelOnSignals(nullptr);
+    if (exp_result.interrupted) {
+        if (!control.stream_path.empty())
+            std::fprintf(stderr, "interrupted — resume with "
+                         "--resume %s\n",
+                         control.stream_path.c_str());
+        return 130;
+    }
+    if (exp_result.failed_cells) {
+        for (const CellOutcome &o : exp_result.outcomes)
+            if (o.status == CellStatus::Failed)
+                std::fprintf(stderr, "drill failed: %s\n",
+                             o.error.c_str());
+        return 1;
+    }
+    const StressResult &r = exp_result.stress;
 
     TextTable t({"outcome", "measured", "analytic expectation",
                  "ratio"});

@@ -29,6 +29,15 @@
  *                     format (open in chrome://tracing / Perfetto);
  *                     named --trace-out because --trace already
  *                     selects the input trace file
+ *   --stream-out P    checkpoint journal for spec runs (default
+ *                     `<out>.journal.jsonl`, "none" disables): each
+ *                     completed cell is streamed as a CRC-framed
+ *                     JSONL record, so SIGINT/SIGTERM (or a crash)
+ *                     loses at most the cells in flight
+ *   --resume P        replay completed cells from a journal written
+ *                     by --stream-out and run only the rest; the
+ *                     merged result is bit-identical to an
+ *                     uninterrupted run
  *
  * `spec` options:
  *   --file FILE.json  spec to validate (default: built-in defaults)
@@ -143,8 +152,77 @@ applyRunOverrides(const CliFlags &flags, ExperimentSpec *spec)
         spec->trace_path = flags.get("trace-out", "");
 }
 
+/** Signal-visible cancel source for spec runs (SIGINT/SIGTERM). */
+CancelToken g_cancel;
+
+/**
+ * Resolve the checkpoint-stream path: an explicit --stream-out wins
+ * ("none" disables), resuming defaults to appending the journal
+ * being resumed, and otherwise the stream sits next to the result
+ * JSON as `<out>.journal.jsonl`.
+ */
+std::string
+resolveStreamPath(const CliFlags &flags,
+                  const std::string &resume_path,
+                  const std::string &out_path)
+{
+    if (flags.has("stream-out")) {
+        const std::string path = flags.get("stream-out", "");
+        return path == "none" ? "" : path;
+    }
+    if (!resume_path.empty())
+        return resume_path;
+    return out_path + ".journal.jsonl";
+}
+
+/**
+ * Uniform epilogue for crash-safe spec runs: outcome summary,
+ * resume hint, and the exit status convention shared by all three
+ * tools (130 interrupted, 1 on contained-but-failed cells).
+ */
 int
-runSpec(const ExperimentSpec &spec_in)
+resilienceEpilogue(const ExperimentResult &result,
+                   const std::string &stream_path, int exit_code)
+{
+    if (result.failed_cells || result.timed_out_cells ||
+        result.cancelled_cells || result.replayed_cells) {
+        std::printf("cells           %llu ok, %llu replayed, "
+                    "%llu failed, %llu timed out, %llu cancelled\n",
+                    static_cast<unsigned long long>(
+                        result.ok_cells),
+                    static_cast<unsigned long long>(
+                        result.replayed_cells),
+                    static_cast<unsigned long long>(
+                        result.failed_cells),
+                    static_cast<unsigned long long>(
+                        result.timed_out_cells),
+                    static_cast<unsigned long long>(
+                        result.cancelled_cells));
+    }
+    for (const CellOutcome &o : result.outcomes) {
+        if (o.status == CellStatus::Failed)
+            std::fprintf(stderr, "cell '%s' failed after %d "
+                         "attempt(s): %s\n",
+                         o.label.c_str(), o.attempts,
+                         o.error.c_str());
+    }
+    if (result.interrupted) {
+        if (!stream_path.empty())
+            std::fprintf(stderr,
+                         "interrupted — resume with "
+                         "--resume %s\n", stream_path.c_str());
+        else
+            std::fprintf(stderr, "interrupted — no checkpoint "
+                         "stream was active\n");
+        return 130;
+    }
+    if (result.failed_cells)
+        return 1;
+    return exit_code;
+}
+
+int
+runSpec(const ExperimentSpec &spec_in, const CliFlags &flags)
 {
     ExperimentSpec spec = spec_in;
     normalizeExperimentSpec(&spec);
@@ -154,11 +232,26 @@ runSpec(const ExperimentSpec &spec_in)
     if (!spec.metrics_path.empty() || !spec.trace_path.empty())
         scope = &telemetry;
 
-    ExperimentResult result = runExperiment(spec, nullptr, scope);
+    std::string out_path = spec.output_path.empty()
+                               ? "rtmsim_experiment.json"
+                               : spec.output_path;
+    RunControl control;
+    control.cancel = &g_cancel;
+    control.resume_path = flags.get("resume", "");
+    control.stream_path =
+        resolveStreamPath(flags, control.resume_path, out_path);
+    installCancelOnSignals(&g_cancel);
+
+    ExperimentResult result =
+        runExperiment(spec, nullptr, scope, control);
+    installCancelOnSignals(nullptr);
 
     std::printf("experiment '%s': %zu cells\n\n",
                 spec.name.c_str(), result.cells);
-    if (result.has_matrix) {
+    // Summary tables read every cell slot, so they are only
+    // meaningful when every cell completed (or was replayed);
+    // an interrupted run still writes its report + journal below.
+    if (result.has_matrix && result.complete()) {
         TextTable t({"option", "geomean runtime (s)",
                      "geomean energy (J)"});
         for (size_t o = 0; o < spec.matrix.options.size(); ++o) {
@@ -174,7 +267,7 @@ runSpec(const ExperimentSpec &spec_in)
         t.print(stdout);
         std::printf("\n");
     }
-    if (result.has_campaign) {
+    if (result.has_campaign && result.complete()) {
         std::printf("campaign: %llu/%zu cells contained\n",
                     static_cast<unsigned long long>(
                         result.campaign.contained_cells),
@@ -204,15 +297,14 @@ runSpec(const ExperimentSpec &spec_in)
                         m.fit.drift);
     }
 
-    std::string out_path = spec.output_path.empty()
-                               ? "rtmsim_experiment.json"
-                               : spec.output_path;
     if (!writeExperimentJson(result, out_path)) {
         std::fprintf(stderr, "cannot write '%s'\n",
                      out_path.c_str());
         return 1;
     }
     std::printf("report          %s\n", out_path.c_str());
+    std::printf("digest          %s\n",
+                experimentResultDigest(result).c_str());
     if (!spec.metrics_path.empty()) {
         if (!telemetry.writeMetricsJson(spec.metrics_path)) {
             std::fprintf(stderr, "cannot write metrics to '%s'\n",
@@ -231,11 +323,14 @@ runSpec(const ExperimentSpec &spec_in)
         std::printf("trace           %s (chrome://tracing)\n",
                     spec.trace_path.c_str());
     }
-    if (result.has_campaign && !result.campaign.allContained()) {
+    int exit_code = 0;
+    if (result.has_campaign && result.complete() &&
+        !result.campaign.allContained()) {
         std::fprintf(stderr, "containment FAILED\n");
-        return 1;
+        exit_code = 1;
     }
-    return 0;
+    return resilienceEpilogue(result, control.stream_path,
+                              exit_code);
 }
 
 int
@@ -245,13 +340,13 @@ cmdRun(int argc, char **argv)
         argc, argv, 2,
         {"spec", "workload", "trace", "tech", "scheme", "requests",
          "divisor", "seed", "out", "metrics", "trace-out",
-         "mc-tier", "mc-trials"});
+         "mc-tier", "mc-trials", "stream-out", "resume"});
 
     if (flags.has("spec")) {
         ExperimentSpec spec =
             loadSpecOrExit(flags.get("spec", ""));
         applyRunOverrides(flags, &spec);
-        return runSpec(spec);
+        return runSpec(spec, flags);
     }
 
     SimConfig cfg;
@@ -469,6 +564,8 @@ usage()
         "[--out OUT.json]\n"
         "             [--metrics OUT.json] [--trace-out OUT.json]\n"
         "             [--mc-tier exact|fast] [--mc-trials N]\n"
+        "             [--stream-out J.jsonl|none] "
+        "[--resume J.jsonl]\n"
         "  rtmsim spec [--file FILE.json] [--out OUT.json]\n"
         "  rtmsim rates\n"
         "  rtmsim plan [--lseg N] [--intensity OPS]\n"

@@ -35,6 +35,7 @@ main()
 
     std::vector<std::vector<double>> cols(options.size());
     std::vector<std::vector<double>> sensitive_cols(options.size());
+    std::vector<double> shift_sum(options.size(), 0.0);
     for (const auto &row : rows) {
         double sram = static_cast<double>(row.results[0].cycles);
         std::vector<std::string> cells = {row.profile.name};
@@ -42,6 +43,7 @@ main()
             double norm = row.results[i].cycles / sram;
             cells.push_back(TextTable::fixed(norm, 3));
             cols[i].push_back(norm);
+            shift_sum[i] += row.results[i].shiftsPerAccess();
             if (row.profile.capacity_sensitive)
                 sensitive_cols[i].push_back(norm);
         }
@@ -51,6 +53,13 @@ main()
     for (auto &col : cols)
         gm.push_back(TextTable::fixed(geomean(col), 3));
     t.addRow(gm);
+    // Mean shifts per LLC access — the knob the placement policies
+    // attack (0 for the SRAM/STT options, which never shift).
+    std::vector<std::string> spa = {"sh/acc"};
+    for (size_t i = 0; i < options.size(); ++i)
+        spa.push_back(
+            TextTable::fixed(shift_sum[i] / rows.size(), 3));
+    t.addRow(spa);
     t.print(stdout);
 
     // Protection overhead over the unprotected racetrack.

@@ -33,6 +33,7 @@ main()
     TextTable t(header);
 
     std::vector<std::vector<double>> cols(options.size());
+    std::vector<double> shift_sum(options.size(), 0.0);
     for (const auto &row : rows) {
         double sram = row.results[0].cache_dynamic_energy;
         std::vector<std::string> cells = {row.profile.name};
@@ -41,6 +42,7 @@ main()
                 row.results[i].cache_dynamic_energy / sram;
             cells.push_back(TextTable::fixed(norm, 3));
             cols[i].push_back(norm);
+            shift_sum[i] += row.results[i].shiftsPerAccess();
         }
         t.addRow(cells);
     }
@@ -48,6 +50,13 @@ main()
     for (auto &col : cols)
         gm.push_back(TextTable::fixed(geomean(col), 3));
     t.addRow(gm);
+    // Shift-path energy scales with shift steps; report the mean
+    // shifts per LLC access alongside the energy ratios.
+    std::vector<std::string> spa = {"sh/acc"};
+    for (size_t i = 0; i < options.size(); ++i)
+        spa.push_back(
+            TextTable::fixed(shift_sum[i] / rows.size(), 3));
+    t.addRow(spa);
     t.print(stdout);
 
     double rm = geomean(cols[3]);

@@ -1,0 +1,34 @@
+#include "head_policy.hh"
+
+namespace rtm
+{
+
+const char *
+headPolicyName(HeadPolicy policy)
+{
+    switch (policy) {
+      case HeadPolicy::Stay: return "stay";
+      case HeadPolicy::ReturnHome: return "return-home";
+      case HeadPolicy::Center: return "center";
+      case HeadPolicy::Predictive: return "predictive";
+    }
+    return "?";
+}
+
+bool
+headPolicyFromToken(const std::string &token, HeadPolicy *out)
+{
+    if (token == "stay")
+        *out = HeadPolicy::Stay;
+    else if (token == "return-home" || token == "home")
+        *out = HeadPolicy::ReturnHome;
+    else if (token == "center")
+        *out = HeadPolicy::Center;
+    else if (token == "predictive")
+        *out = HeadPolicy::Predictive;
+    else
+        return false;
+    return true;
+}
+
+} // namespace rtm

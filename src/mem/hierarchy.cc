@@ -49,6 +49,7 @@ Hierarchy::Hierarchy(const HierarchyConfig &config,
         bank.scheme = config_.scheme;
         bank.mttf_target_s = config_.mttf_target_s;
         bank.head_policy = config_.head_policy;
+        bank.placement = config_.placement;
         bank.model_contention = config_.model_contention;
         bank.use_plan_memo = config_.use_plan_memo;
         bank.telemetry = config_.telemetry;

@@ -55,6 +55,9 @@ struct HierarchyConfig
     HeadPolicy head_policy = HeadPolicy::Stay;
     bool model_contention = false;
 
+    /** Racetrack data-placement policy (mem/placement.hh). */
+    PlacementConfig placement;
+
     /** Passed through to RmBankConfig::use_plan_memo. */
     bool use_plan_memo = true;
 

@@ -88,7 +88,14 @@ RmBank::RmBank(const RmBankConfig &config,
     remap_.resize(groups);
     for (uint64_t g = 0; g < groups; ++g)
         remap_[g] = g;
+    serving_memo_ = remap_;
     group_stats_.assign(groups, RmGroupStats{});
+    PlacementGeometry geom;
+    geom.line_frames = config_.line_frames;
+    geom.frames_per_group = config_.frames_per_group;
+    geom.seg_len = config_.seg_len;
+    placement_ = makePlacementPolicy(geom, config_.placement,
+                                     config_.head_policy);
     // A cold memory has been idle "forever": the adaptive policy may
     // use its most permissive plan on the very first shift.
     last_shift_ = kNeverShifted;
@@ -105,6 +112,9 @@ RmBank::RmBank(const RmBankConfig &config,
         t_remaps_ = &t.counter("mem.rm_bank.remapped_accesses");
         t_due_reports_ = &t.counter("mem.rm_bank.due_reports");
         t_retired_ = &t.counter("mem.rm_bank.groups_retired");
+        t_migrations_ = &t.counter("mem.rm_bank.migrations");
+        t_migration_steps_ =
+            &t.counter("mem.rm_bank.migration_steps");
         t_shift_latency_ = &t.histogram(
             "mem.rm_bank.shift_latency_cycles", powerOfTwoEdges(4096));
     }
@@ -202,25 +212,6 @@ RmBank::invalidatePlanMemo()
     }
 }
 
-const char *
-headPolicyName(HeadPolicy policy)
-{
-    switch (policy) {
-      case HeadPolicy::Stay: return "stay";
-      case HeadPolicy::ReturnHome: return "return-home";
-      case HeadPolicy::Center: return "center";
-    }
-    return "?";
-}
-
-int
-RmBank::restOffset() const
-{
-    return config_.head_policy == HeadPolicy::Center
-               ? (config_.seg_len - 1) / 2
-               : 0;
-}
-
 void
 RmBank::applyHeadPolicy(uint64_t group, Cycles now)
 {
@@ -234,7 +225,7 @@ RmBank::applyHeadPolicy(uint64_t group, Cycles now)
     Cycles idle = now > last_access_[group]
                       ? now - last_access_[group]
                       : 0;
-    int rest = restOffset();
+    int rest = placement_->restOffset(group);
     int dist = std::abs(static_cast<int>(head_[group]) - rest);
     if (dist == 0)
         return;
@@ -314,7 +305,7 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
         // The home group has been retired: serve from its remap
         // target. The frame keeps its segment-local slot, so only
         // the group (and its head state) changes.
-        uint64_t serving = servingGroupFor(frame_index);
+        uint64_t serving = serving_memo_[group];
         if (serving != group) {
             ++stats_.remapped_accesses;
             if (t_events_) {
@@ -326,10 +317,17 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
         }
         group = serving;
     }
+    // Placement bookkeeping: access counters, epoch boundaries, and
+    // any migrations a dynamic policy schedules. Migrations are
+    // charged before this access so it is served from the new slot.
+    if (placement_->tracking()) {
+        migration_scratch_.clear();
+        placement_->recordAccess(frame_index, &migration_scratch_);
+        for (const PlacementMigration &m : migration_scratch_)
+            chargeMigration(m);
+    }
     applyHeadPolicy(group, now);
-    int idx = indexInGroup(frame_index);
-    int r = idx % config_.seg_len;
-    int target = config_.seg_len - 1 - r;
+    int target = placement_->slotOffset(frame_index);
     int cur = head_[group];
     ShiftCost cost;
     ++stats_.accesses;
@@ -446,20 +444,68 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
     return cost;
 }
 
+void
+RmBank::chargeMigration(const PlacementMigration &m)
+{
+    int dist = std::abs(m.to_offset - m.from_offset);
+    if (dist == 0)
+        return;
+    // The move happens where the frame physically lives today (the
+    // remap target if its home group was retired).
+    uint64_t g = serving_memo_[groupOf(m.frame)];
+    uint64_t steps = static_cast<uint64_t>(dist);
+    ++stats_.migrations;
+    stats_.migration_steps += steps;
+    stats_.shift_ops += steps;
+    stats_.shift_steps += steps;
+    group_stats_[g].shift_ops += steps;
+    group_stats_[g].shift_steps += steps;
+    group_stats_[g].migration_steps += steps;
+    stats_.shift_energy +=
+        static_cast<double>(dist) * one_step_energy_;
+    if (memo_enabled_) {
+        const PlanCost &dm = drift_memo_[static_cast<size_t>(dist)];
+        stats_.reliability.addExpected(
+            dm.sdc_prob, dm.due_prob,
+            static_cast<double>(config_.stripes_per_group));
+    } else {
+        ShiftReliability rel = reliability_model_.sequence(
+            std::vector<int>(static_cast<size_t>(dist), 1));
+        stats_.reliability.add(
+            rel, static_cast<double>(config_.stripes_per_group));
+    }
+    if (t_events_) {
+        // Mirror the ledger exactly: migration shifts count too.
+        t_migrations_->add();
+        t_migration_steps_->add(steps);
+        t_shift_ops_->add(steps);
+        t_shift_steps_->add(steps);
+    }
+}
+
 uint64_t
 RmBank::servingGroupFor(uint64_t frame_index) const
 {
-    uint64_t home = groupOf(frame_index);
-    uint64_t g = home;
-    // A remap target chosen at retire time may itself have been
-    // retired since, so follow the chain; the hop guard bounds the
-    // walk even if every group has been retired.
-    for (uint64_t hops = 0; degraded_[g] && hops < head_.size();
-         ++hops) {
-        g = remap_[g];
+    return serving_memo_[groupOf(frame_index)];
+}
+
+void
+RmBank::rebuildServingMemo()
+{
+    // Resolve every home group's chain once per retirement instead
+    // of on every access. A remap target chosen at retire time may
+    // itself have been retired since, so follow the chain; the hop
+    // guard bounds the walk even if every group has been retired.
+    for (uint64_t home = 0; home < head_.size(); ++home) {
+        uint64_t g = home;
+        for (uint64_t hops = 0;
+             degraded_[g] && hops < head_.size(); ++hops) {
+            g = remap_[g];
+        }
+        // Every group degraded: serve in place (capacity model
+        // only).
+        serving_memo_[home] = degraded_[g] ? home : g;
     }
-    // Every group degraded: serve in place (capacity model only).
-    return degraded_[g] ? home : g;
 }
 
 bool
@@ -496,6 +542,7 @@ RmBank::reportUnrecoverable(uint64_t frame_index)
     degraded_[group] = 1;
     remap_[group] = target;
     ++stats_.degraded_groups;
+    rebuildServingMemo();
     if (t_events_) {
         t_retired_->add();
         t_events_->event(EventKind::GroupRetired, "rm_bank",
@@ -540,6 +587,7 @@ RmBank::ledgerViolation() const
         sum.accesses += group_stats_[g].accesses;
         sum.shift_ops += group_stats_[g].shift_ops;
         sum.shift_steps += group_stats_[g].shift_steps;
+        sum.migration_steps += group_stats_[g].migration_steps;
         if (degraded_[g])
             ++flagged;
     }
@@ -549,6 +597,13 @@ RmBank::ledgerViolation() const
         return "per-group shift ops do not sum to bank shift ops";
     if (sum.shift_steps != stats_.shift_steps)
         return "per-group shift steps do not sum to bank steps";
+    if (sum.migration_steps != stats_.migration_steps)
+        return "per-group migration steps do not sum to bank "
+               "migration steps";
+    if (stats_.migration_steps > stats_.shift_steps)
+        return "migration steps exceed total shift steps";
+    if (stats_.migrations > stats_.migration_steps)
+        return "more migrations than migration steps";
     if (flagged != stats_.degraded_groups)
         return "degraded flags disagree with degraded_groups";
     if (stats_.remapped_accesses > stats_.accesses)

@@ -26,9 +26,11 @@
 #include <vector>
 
 #include "control/adapter.hh"
+#include "control/head_policy.hh"
 #include "control/planner.hh"
 #include "control/sts.hh"
 #include "device/error_model.hh"
+#include "mem/placement.hh"
 #include "model/reliability.hh"
 #include "model/tech.hh"
 #include "util/stats.hh"
@@ -63,6 +65,12 @@ struct RmBankStats
     uint64_t due_reports = 0;      //!< DUEs reported into the bank
     uint64_t degraded_groups = 0;  //!< groups retired so far
     uint64_t remapped_accesses = 0; //!< served via a remapped group
+
+    // Placement migrations (hot-center online / adaptive): frame
+    // moves scheduled by the placement policy. Their shift work is
+    // also folded into shift_ops/shift_steps/shift_energy.
+    uint64_t migrations = 0;      //!< frames moved
+    uint64_t migration_steps = 0; //!< shift steps spent migrating
 };
 
 /** Per-group slice of the bank aggregates (ledger validation). */
@@ -71,23 +79,8 @@ struct RmGroupStats
     uint64_t accesses = 0;
     uint64_t shift_ops = 0;
     uint64_t shift_steps = 0;
+    uint64_t migration_steps = 0;
 };
-
-/**
- * Head-position management policy: where the group's access heads
- * rest after serving a request. The paper's intro credits "head
- * management" techniques [39, 44] with much of racetrack's cache
- * viability; these are the standard options from that literature.
- */
-enum class HeadPolicy
-{
-    Stay,       //!< leave heads where the last access put them
-    ReturnHome, //!< drift back to offset 0 when idle
-    Center      //!< drift to the segment midpoint when idle
-};
-
-/** Human-readable head-policy name. */
-const char *headPolicyName(HeadPolicy policy);
 
 /** Configuration of the racetrack LLC shift engine. */
 struct RmBankConfig
@@ -111,6 +104,14 @@ struct RmBankConfig
 
     /** Head-rest policy applied when a group goes idle. */
     HeadPolicy head_policy = HeadPolicy::Stay;
+
+    /**
+     * Data-placement policy (mem/placement.hh): which slot each
+     * frame occupies inside its group and where heads rest. The
+     * default (`static`, no tracking) reproduces the historical
+     * layout bit-identically.
+     */
+    PlacementConfig placement;
 
     /**
      * Model per-group occupancy: a request arriving while the
@@ -193,8 +194,27 @@ class RmBank
      */
     bool reportUnrecoverable(uint64_t frame_index);
 
-    /** Group that actually serves `frame_index` (remap chain). */
+    /**
+     * Group that actually serves `frame_index`. The remap chain is
+     * resolved into a per-group memo at retirement time, so this is
+     * a single table lookup on every call (and on every degraded
+     * access in accessFrame).
+     */
     uint64_t servingGroupFor(uint64_t frame_index) const;
+
+    /** The placement policy in effect (introspection/benches). */
+    const PlacementPolicy &placement() const { return *placement_; }
+
+    /**
+     * Per-frame access counts accumulated by a tracking placement
+     * policy (empty otherwise). A profiling pass sets
+     * PlacementConfig::track_counts and feeds these back as the
+     * offline hot-center profile of a second run.
+     */
+    const std::vector<uint64_t> &frameAccessCounts() const
+    {
+        return placement_->frameCounts();
+    }
 
     /** Whether `group` has been retired. */
     bool isDegraded(uint64_t group) const
@@ -262,6 +282,11 @@ class RmBank
     ShiftPolicy policy_;
     int worst_case_distance_;
 
+    /** Frame -> slot mapping + head-rest scheduling. */
+    std::unique_ptr<PlacementPolicy> placement_;
+    /** Reused buffer for migrations emitted by recordAccess. */
+    std::vector<PlacementMigration> migration_scratch_;
+
     /** Per-group head offset (believed == actual for timing). */
     std::vector<int8_t> head_;
     /** Per-group cycle until which the group is still shifting
@@ -291,6 +316,12 @@ class RmBank
     std::vector<uint32_t> due_count_;
     /** Remap target of a retired group (identity while healthy). */
     std::vector<uint64_t> remap_;
+    /**
+     * Memoised chain resolution: the group that serves each home
+     * group today. Identity while healthy; rebuilt after every
+     * retirement (rare) so the access path never walks the chain.
+     */
+    std::vector<uint64_t> serving_memo_;
     /** Per-group slices of the bank aggregates. */
     std::vector<RmGroupStats> group_stats_;
     /** One-shot warning when every group has been retired. */
@@ -307,6 +338,8 @@ class RmBank
     Counter *t_remaps_ = nullptr;
     Counter *t_due_reports_ = nullptr;
     Counter *t_retired_ = nullptr;
+    Counter *t_migrations_ = nullptr;
+    Counter *t_migration_steps_ = nullptr;
     LatencyHistogram *t_shift_latency_ = nullptr;
 
     uint64_t groupOf(uint64_t frame) const;
@@ -315,8 +348,16 @@ class RmBank
     /** Apply the idle head-drift policy before serving at `now`. */
     void applyHeadPolicy(uint64_t group, Cycles now);
 
-    /** Offset the head drifts to when the group idles. */
-    int restOffset() const;
+    /**
+     * Charge one scheduled frame move to the ledger: |to - from|
+     * single-step shifts (the gentle drive, off the access path) on
+     * the group that physically holds the frame, with energy and
+     * reliability accounted like idle drift.
+     */
+    void chargeMigration(const PlacementMigration &m);
+
+    /** Recompute serving_memo_ after a retirement. */
+    void rebuildServingMemo();
 };
 
 } // namespace rtm

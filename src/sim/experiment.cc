@@ -150,6 +150,13 @@ optionToJson(const LlcOption &o)
     v.set("label", o.label);
     v.set("tech", techToken(o.tech));
     v.set("scheme", schemeToken(o.scheme));
+    JsonValue p = JsonValue::object();
+    p.set("policy", placementKindName(o.placement));
+    p.set("epoch", o.placement_epoch);
+    p.set("swap_budget",
+          static_cast<uint64_t>(o.placement_swap_budget));
+    p.set("head", headPolicyName(o.head_policy));
+    v.set("placement", std::move(p));
     return v;
 }
 
@@ -187,27 +194,72 @@ parseWorkloadList(SpecReader &r, const char *key,
     }
 }
 
+/**
+ * Parse a `placement` object (policy, epoch length, swap budget,
+ * head policy) into `opt`. Shared by the per-option form and the
+ * matrix-level default section.
+ */
+void
+parsePlacementInto(const JsonValue &v, const std::string &path,
+                   LlcOption *opt, std::string *diag)
+{
+    SpecReader p(v, path, diag);
+    std::string policy_token = placementKindName(opt->placement);
+    p.readString("policy", &policy_token);
+    if (!placementKindFromToken(policy_token, &opt->placement))
+        p.fail("policy",
+               "unknown placement policy '" + policy_token + "'");
+    p.readU64("epoch", &opt->placement_epoch);
+    p.readInt("swap_budget", &opt->placement_swap_budget);
+    std::string head_token = headPolicyName(opt->head_policy);
+    p.readString("head", &head_token);
+    if (!headPolicyFromToken(head_token, &opt->head_policy))
+        p.fail("head",
+               "unknown head policy '" + head_token + "'");
+    if (opt->placement_epoch == 0)
+        p.fail("epoch", "must be >= 1 access");
+    if (opt->placement_swap_budget < 0)
+        p.fail("swap_budget", "must be >= 0");
+    p.rejectUnknownKeys({"policy", "epoch", "swap_budget", "head"});
+}
+
+/** Whether an option carries a non-default placement/head setting. */
+bool
+nonDefaultPlacement(const LlcOption &o)
+{
+    return o.placement != PlacementKind::Static ||
+           o.head_policy != HeadPolicy::Stay;
+}
+
 void
 parseOptionList(SpecReader &r, std::vector<LlcOption> *out,
-                std::string *diag)
+                const LlcOption &defaults, std::string *diag)
 {
     const JsonValue *arr = r.child("options", JsonType::Array);
     if (!arr)
         return;
     out->clear();
+    auto inherit = [&defaults](LlcOption o) {
+        o.placement = defaults.placement;
+        o.placement_epoch = defaults.placement_epoch;
+        o.placement_swap_budget = defaults.placement_swap_budget;
+        o.head_policy = defaults.head_policy;
+        return o;
+    };
     for (size_t i = 0; i < arr->size(); ++i) {
         const JsonValue &item = arr->at(i);
         std::string path =
             r.path() + ".options[" + std::to_string(i) + "]";
         if (item.isString()) {
             // Catalogue shortcuts, resolved at parse time so the
-            // emitted spec is always an explicit list.
+            // emitted spec is always an explicit list. They inherit
+            // the matrix-level placement defaults.
             if (item.asString() == "standard") {
                 for (const LlcOption &o : standardLlcOptions())
-                    out->push_back(o);
+                    out->push_back(inherit(o));
             } else if (item.asString() == "racetrack") {
                 for (const LlcOption &o : racetrackSchemeOptions())
-                    out->push_back(o);
+                    out->push_back(inherit(o));
             } else {
                 r.fail("options",
                        "unknown option shortcut '" +
@@ -217,7 +269,7 @@ parseOptionList(SpecReader &r, std::vector<LlcOption> *out,
             continue;
         }
         SpecReader o(item, path, diag);
-        LlcOption opt;
+        LlcOption opt = inherit(LlcOption{});
         opt.tech = MemTech::Racetrack;
         opt.scheme = Scheme::PeccSAdaptive;
         std::string tech_token = techToken(opt.tech);
@@ -229,10 +281,22 @@ parseOptionList(SpecReader &r, std::vector<LlcOption> *out,
         if (!schemeFromToken(scheme_token, &opt.scheme))
             o.fail("scheme",
                    "unknown scheme '" + scheme_token + "'");
+        if (const JsonValue *p =
+                o.child("placement", JsonType::Object))
+            parsePlacementInto(*p, path + ".placement", &opt, diag);
         opt.label = std::string(memTechName(opt.tech)) + " " +
                     schemeName(opt.scheme);
+        // Default labels must stay distinct across a placement
+        // sweep, so non-default axes are spelled out unless the
+        // spec names the option itself.
+        if (nonDefaultPlacement(opt)) {
+            opt.label += std::string(" [") +
+                         placementKindName(opt.placement) + "/" +
+                         headPolicyName(opt.head_policy) + "]";
+        }
         o.readString("label", &opt.label);
-        o.rejectUnknownKeys({"label", "tech", "scheme"});
+        o.rejectUnknownKeys({"label", "tech", "scheme",
+                             "placement"});
         out->push_back(opt);
     }
 }
@@ -286,13 +350,39 @@ parseMatrixSection(const JsonValue &v, MatrixSpec *m,
     r.readU64("divisor", &m->divisor);
     r.readU64("seed", &m->seed);
     parseWorkloadList(r, "workloads", &m->workloads);
-    parseOptionList(r, &m->options, diag);
+    // A matrix-level `placement` object is parse-time sugar: it seeds
+    // the defaults every option (and shortcut expansion) inherits
+    // unless the option carries its own `placement`. The emitted spec
+    // is always explicit per-option, so parse -> emit -> parse is the
+    // identity.
+    LlcOption placement_defaults;
+    if (const JsonValue *p = r.child("placement", JsonType::Object))
+        parsePlacementInto(*p, "matrix.placement",
+                           &placement_defaults, diag);
+    parseOptionList(r, &m->options, placement_defaults, diag);
+    // Without an explicit option list the normalizer fills the
+    // standard catalogue; expand it here instead when a matrix-level
+    // placement was given so the section is honoured in that case
+    // too.
+    if (!r.has("options") &&
+        nonDefaultPlacement(placement_defaults)) {
+        m->options.clear();
+        for (LlcOption o : standardLlcOptions()) {
+            o.placement = placement_defaults.placement;
+            o.placement_epoch = placement_defaults.placement_epoch;
+            o.placement_swap_budget =
+                placement_defaults.placement_swap_budget;
+            o.head_policy = placement_defaults.head_policy;
+            m->options.push_back(o);
+        }
+    }
     if (m->requests == 0)
         r.fail("requests", "must be >= 1");
     if (m->divisor == 0)
         r.fail("divisor", "must be >= 1");
     r.rejectUnknownKeys({"enabled", "requests", "warmup", "divisor",
-                         "seed", "workloads", "options"});
+                         "seed", "workloads", "options",
+                         "placement"});
 }
 
 void
@@ -1084,6 +1174,9 @@ simResultToJson(const std::string &workload, const LlcOption &opt,
     v.set("shift_ops", r.shift_ops);
     v.set("shift_steps", r.shift_steps);
     v.set("shift_cycles", static_cast<uint64_t>(r.shift_cycles));
+    v.set("shifts_per_access", r.shiftsPerAccess());
+    v.set("migrations", r.migrations);
+    v.set("migration_steps", r.migration_steps);
     v.set("cache_dynamic_energy", r.cache_dynamic_energy);
     v.set("llc_shift_energy", r.llc_shift_energy);
     v.set("dram_energy", r.dram_energy);
@@ -1129,6 +1222,8 @@ simResultFromJson(const JsonValue &doc, SimResult *out)
     u64("shift_ops", &r.shift_ops);
     u64("shift_steps", &r.shift_steps);
     u64("shift_cycles", &r.shift_cycles);
+    u64("migrations", &r.migrations);
+    u64("migration_steps", &r.migration_steps);
     dbl("cache_dynamic_energy", &r.cache_dynamic_energy);
     dbl("llc_shift_energy", &r.llc_shift_energy);
     dbl("dram_energy", &r.dram_energy);

@@ -267,6 +267,7 @@ ReferenceHierarchy::ReferenceHierarchy(const HierarchyConfig &config,
         bank.scheme = config_.scheme;
         bank.mttf_target_s = config_.mttf_target_s;
         bank.head_policy = config_.head_policy;
+        bank.placement = config_.placement;
         bank.model_contention = config_.model_contention;
         // The whole point: every access re-plans and re-folds live.
         bank.use_plan_memo = false;

@@ -86,6 +86,12 @@ appendMatrixJobs(ExperimentEngine &engine,
             SimConfig cfg;
             cfg.hierarchy.llc_tech = opt.tech;
             cfg.hierarchy.scheme = opt.scheme;
+            cfg.hierarchy.head_policy = opt.head_policy;
+            cfg.hierarchy.placement.kind = opt.placement;
+            cfg.hierarchy.placement.epoch_accesses =
+                opt.placement_epoch;
+            cfg.hierarchy.placement.swap_budget =
+                opt.placement_swap_budget;
             cfg.hierarchy.capacity_divisor = capacity_divisor;
             cfg.mem_requests = requests;
             cfg.warmup_requests = warmup;

@@ -25,10 +25,21 @@ struct LlcOption
     MemTech tech = MemTech::SRAM;
     Scheme scheme = Scheme::Baseline;
 
+    // Racetrack placement / port-scheduling axes (ignored by
+    // SRAM/STT-RAM options). The defaults reproduce the historical
+    // behaviour bit-identically.
+    PlacementKind placement = PlacementKind::Static;
+    uint64_t placement_epoch = 64;  //!< per-group epoch accesses
+    int placement_swap_budget = 4;  //!< adaptive swaps per epoch
+    HeadPolicy head_policy = HeadPolicy::Stay;
+
     bool operator==(const LlcOption &o) const
     {
         return label == o.label && tech == o.tech &&
-               scheme == o.scheme;
+               scheme == o.scheme && placement == o.placement &&
+               placement_epoch == o.placement_epoch &&
+               placement_swap_budget == o.placement_swap_budget &&
+               head_policy == o.head_policy;
     }
     bool operator!=(const LlcOption &o) const
     {

@@ -16,6 +16,15 @@ SimResult::ipc() const
            static_cast<double>(cycles);
 }
 
+double
+SimResult::shiftsPerAccess() const
+{
+    if (llc_accesses == 0)
+        return 0.0;
+    return static_cast<double>(shift_steps) /
+           static_cast<double>(llc_accesses);
+}
+
 namespace
 {
 
@@ -144,6 +153,9 @@ runSim(const std::string &name, const SimConfig &config,
         res.shift_steps = s.shift_steps - warm_rm.shift_steps;
         res.shift_cycles = s.shift_cycles - warm_rm.shift_cycles;
         res.llc_shift_energy = s.shift_energy - warm_rm.shift_energy;
+        res.migrations = s.migrations - warm_rm.migrations;
+        res.migration_steps =
+            s.migration_steps - warm_rm.migration_steps;
 
         // Reliability: expected events accumulated during the
         // measured phase over the measured time span.
@@ -176,9 +188,17 @@ runSim(const std::string &name, const SimConfig &config,
         t->counter("sim.rm.shift_ops").add(res.shift_ops);
         t->counter("sim.rm.shift_steps").add(res.shift_steps);
         t->counter("sim.rm.shift_cycles").add(res.shift_cycles);
+        t->counter("sim.rm.migrations").add(res.migrations);
+        t->counter("sim.rm.migration_steps")
+            .add(res.migration_steps);
         t->gauge("sim.ipc").set(res.ipc());
         t->gauge("sim.seconds").set(res.seconds);
         hierarchy.exportTelemetry(*t);
+    }
+    if (config.frame_profile_out) {
+        config.frame_profile_out->clear();
+        if (const RmBank *bank = hierarchy.rmBank())
+            *config.frame_profile_out = bank->frameAccessCounts();
     }
     return res;
 }

@@ -56,6 +56,12 @@ struct SimResult
     uint64_t shift_steps = 0;
     Cycles shift_cycles = 0;
 
+    // Placement migrations (racetrack LLC with a dynamic placement
+    // policy; zero otherwise). Their steps are included in
+    // shift_steps.
+    uint64_t migrations = 0;
+    uint64_t migration_steps = 0;
+
     // Reliability (racetrack only; +inf otherwise).
     Seconds sdc_mttf = 0.0;
     Seconds due_mttf = 0.0;
@@ -68,6 +74,12 @@ struct SimResult
 
     /** Instructions per cycle across all cores. */
     double ipc() const;
+
+    /**
+     * Shift steps (total shift distance, migrations included) per
+     * LLC access — the metric data placement minimises.
+     */
+    double shiftsPerAccess() const;
 };
 
 /** One simulation configuration. */
@@ -94,6 +106,15 @@ struct SimConfig
      * the cell as cancelled/timed-out instead of completed.
      */
     StopFlag *stop = nullptr;
+
+    /**
+     * When non-null, receives the racetrack bank's per-frame access
+     * counts at the end of the run (empty for non-racetrack LLCs or
+     * non-tracking placement policies). A profiling pass sets
+     * `hierarchy.placement.track_counts` and feeds the counts back
+     * as the offline hot-center profile of a second run.
+     */
+    std::vector<uint64_t> *frame_profile_out = nullptr;
 };
 
 /**

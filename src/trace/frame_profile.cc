@@ -1,0 +1,87 @@
+#include "frame_profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/serde.hh"
+
+namespace rtm
+{
+
+uint64_t
+FrameProfile::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t c : counts)
+        sum += c;
+    return sum;
+}
+
+uint64_t
+FrameProfile::touchedFrames() const
+{
+    uint64_t n = 0;
+    for (uint64_t c : counts)
+        n += c > 0 ? 1 : 0;
+    return n;
+}
+
+double
+FrameProfile::hotShare(double top_fraction) const
+{
+    const uint64_t sum = total();
+    if (sum == 0 || counts.empty())
+        return 0.0;
+    top_fraction = std::min(1.0, std::max(0.0, top_fraction));
+    auto top = static_cast<size_t>(std::ceil(
+        top_fraction * static_cast<double>(counts.size())));
+    if (top == 0)
+        return 0.0;
+    std::vector<uint64_t> sorted = counts;
+    std::partial_sort(sorted.begin(), sorted.begin() +
+                      static_cast<std::ptrdiff_t>(top),
+                      sorted.end(), std::greater<uint64_t>());
+    uint64_t hot = 0;
+    for (size_t i = 0; i < top; ++i)
+        hot += sorted[i];
+    return static_cast<double>(hot) / static_cast<double>(sum);
+}
+
+JsonValue
+frameProfileToJson(const FrameProfile &profile)
+{
+    JsonValue counts = JsonValue::array();
+    for (uint64_t c : profile.counts)
+        counts.push(c);
+    JsonValue v = JsonValue::object();
+    v.set("counts", std::move(counts));
+    return v;
+}
+
+bool
+frameProfileFromJson(const JsonValue &doc, FrameProfile *out,
+                     std::string *diag)
+{
+    auto fail = [diag](const char *msg) {
+        if (diag)
+            *diag = std::string("frame profile: ") + msg;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("expected an object");
+    const JsonValue *counts = doc.find("counts");
+    if (!counts || !counts->isArray())
+        return fail("missing \"counts\" array");
+    FrameProfile profile;
+    profile.counts.reserve(counts->size());
+    for (size_t i = 0; i < counts->size(); ++i) {
+        const JsonValue &c = counts->at(i);
+        if (!c.isNumber())
+            return fail("counts entries must be numbers");
+        profile.counts.push_back(c.asU64());
+    }
+    *out = std::move(profile);
+    return true;
+}
+
+} // namespace rtm

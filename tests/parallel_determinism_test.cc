@@ -114,6 +114,8 @@ expectIdentical(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.shift_ops, b.shift_ops);
     EXPECT_EQ(a.shift_steps, b.shift_steps);
     EXPECT_EQ(a.shift_cycles, b.shift_cycles);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.migration_steps, b.migration_steps);
     EXPECT_EQ(a.sdc_mttf, b.sdc_mttf);
     EXPECT_EQ(a.due_mttf, b.due_mttf);
 }
@@ -143,6 +145,40 @@ TEST(ParallelDeterminism, RunMatrixMatchesSerialAndKeepsOrder)
             EXPECT_EQ(serial[w].results[o].scheme,
                       options[o].scheme);
         }
+    }
+}
+
+TEST(ParallelDeterminism, PlacementPoliciesMatchSerial)
+{
+    // The dynamic placement policies keep per-bank mutable state
+    // (epoch counters, slot tables, migration scratch); each cell
+    // owns its bank, so a threaded sweep must replay the serial one
+    // bit for bit — migrations included. This is also the TSan
+    // coverage for the epoch-counter path.
+    PaperCalibratedErrorModel model;
+    LlcOption adaptive{"RM adaptive", MemTech::Racetrack,
+                       Scheme::PeccSAdaptive};
+    adaptive.placement = PlacementKind::Adaptive;
+    adaptive.placement_epoch = 16;
+    adaptive.placement_swap_budget = 4;
+    LlcOption hot{"RM hot-center predictive", MemTech::Racetrack,
+                  Scheme::PeccSAdaptive};
+    hot.placement = PlacementKind::HotCenter;
+    hot.placement_epoch = 16;
+    hot.head_policy = HeadPolicy::Predictive;
+    std::vector<LlcOption> options = {adaptive, hot};
+
+    auto sweep = [&] {
+        return runMatrix(options, &model, 2000, 400, 32);
+    };
+    auto serial = withThreads(1, sweep);
+    auto parallel = withThreads(4, sweep);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t w = 0; w < serial.size(); ++w) {
+        ASSERT_EQ(serial[w].results.size(), options.size());
+        for (size_t o = 0; o < options.size(); ++o)
+            expectIdentical(serial[w].results[o],
+                            parallel[w].results[o]);
     }
 }
 

@@ -409,6 +409,30 @@ TEST(GoldenSim, SpecDrivenMatrixMatchesPins)
     ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
 }
 
+TEST(GoldenSim, ExplicitStaticPlacementMatchesPins)
+{
+    // The placement refactor routed every slot lookup through a
+    // policy object. Spelling the default out loud — static
+    // placement, stay heads, non-default bookkeeping knobs that
+    // static must ignore — has to reproduce the pinned digests
+    // bit for bit.
+    PaperCalibratedErrorModel model;
+    auto options = standardLlcOptions();
+    for (auto &o : options) {
+        o.placement = PlacementKind::Static;
+        o.head_policy = HeadPolicy::Stay;
+        o.placement_epoch = 16;
+        o.placement_swap_budget = 1;
+    }
+    auto rows = runMatrix(options, &model, kGoldenRequests,
+                          kGoldenWarmup, kGoldenDivisor);
+    auto hashes = matrixHashes(rows, options.size());
+    for (size_t o = 0; o < options.size(); ++o)
+        EXPECT_EQ(hashes[o], kGoldenOptionHashes[o])
+            << "option " << options[o].label;
+    EXPECT_EQ(hashes.back(), kGoldenCombinedHash);
+}
+
 TEST(GoldenSim, MatrixDigestsStableAcrossThreadCounts)
 {
     PaperCalibratedErrorModel model;

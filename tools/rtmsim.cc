@@ -23,6 +23,12 @@
  *   --requests N      memory requests              (default 60000)
  *   --divisor D       capacity divisor             (default 16)
  *   --seed N          RNG seed                     (default 42)
+ *   --placement P     static | hot-center | adaptive
+ *                     data placement policy        (default static)
+ *   --placement-epoch N  accesses per placement epoch (default 64)
+ *   --swap-budget N   adaptive swaps per epoch     (default 4)
+ *   --head-policy H   stay | return-home | center | predictive
+ *                     port scheduling after access (default stay)
  *   --out PATH        unified result JSON (spec runs)
  *   --metrics PATH    write the telemetry registry as JSON
  *   --trace-out PATH  write traced events in Chrome trace_event
@@ -94,6 +100,34 @@ schemeOrExit(const std::string &s)
     return scheme;
 }
 
+PlacementKind
+placementOrExit(const std::string &s)
+{
+    PlacementKind kind;
+    if (!placementKindFromToken(s, &kind)) {
+        std::fprintf(stderr,
+                     "unknown placement '%s' (static | hot-center | "
+                     "adaptive)\n",
+                     s.c_str());
+        std::exit(2);
+    }
+    return kind;
+}
+
+HeadPolicy
+headPolicyOrExit(const std::string &s)
+{
+    HeadPolicy policy;
+    if (!headPolicyFromToken(s, &policy)) {
+        std::fprintf(stderr,
+                     "unknown head policy '%s' (stay | return-home | "
+                     "center | predictive)\n",
+                     s.c_str());
+        std::exit(2);
+    }
+    return policy;
+}
+
 ExperimentSpec
 loadSpecOrExit(const std::string &path)
 {
@@ -129,6 +163,29 @@ applyRunOverrides(const CliFlags &flags, ExperimentSpec *spec)
         opt.label = std::string(memTechName(opt.tech)) + " " +
                     schemeName(opt.scheme);
         spec->matrix.options = {opt};
+    }
+    // Placement/head-policy overrides apply across every matrix
+    // option, so a sweep spec can be re-run under one policy without
+    // editing the file.
+    if (flags.has("placement") || flags.has("head-policy") ||
+        flags.has("placement-epoch") || flags.has("swap-budget")) {
+        for (LlcOption &opt : spec->matrix.options) {
+            if (flags.has("placement"))
+                opt.placement =
+                    placementOrExit(flags.get("placement", "static"));
+            if (flags.has("head-policy"))
+                opt.head_policy = headPolicyOrExit(
+                    flags.get("head-policy", "stay"));
+            if (flags.has("placement-epoch"))
+                opt.placement_epoch = flags.getU64(
+                    "placement-epoch", opt.placement_epoch);
+            if (flags.has("swap-budget"))
+                opt.placement_swap_budget =
+                    static_cast<int>(flags.getU64(
+                        "swap-budget",
+                        static_cast<uint64_t>(
+                            opt.placement_swap_budget)));
+        }
     }
     if (flags.has("mc-tier")) {
         const std::string token = flags.get("mc-tier", "exact");
@@ -340,7 +397,9 @@ cmdRun(int argc, char **argv)
         argc, argv, 2,
         {"spec", "workload", "trace", "tech", "scheme", "requests",
          "divisor", "seed", "out", "metrics", "trace-out",
-         "mc-tier", "mc-trials", "stream-out", "resume"});
+         "mc-tier", "mc-trials", "stream-out", "resume",
+         "placement", "placement-epoch", "swap-budget",
+         "head-policy"});
 
     if (flags.has("spec")) {
         ExperimentSpec spec =
@@ -354,6 +413,14 @@ cmdRun(int argc, char **argv)
     cfg.hierarchy.scheme =
         schemeOrExit(flags.get("scheme", "adaptive"));
     cfg.hierarchy.capacity_divisor = flags.getU64("divisor", 16);
+    cfg.hierarchy.placement.kind =
+        placementOrExit(flags.get("placement", "static"));
+    cfg.hierarchy.placement.epoch_accesses =
+        flags.getU64("placement-epoch", 64);
+    cfg.hierarchy.placement.swap_budget =
+        static_cast<int>(flags.getU64("swap-budget", 4));
+    cfg.hierarchy.head_policy =
+        headPolicyOrExit(flags.get("head-policy", "stay"));
     cfg.mem_requests = flags.getU64("requests", 60000);
     cfg.warmup_requests = cfg.mem_requests / 10;
     cfg.seed = flags.getU64("seed", 42);
@@ -400,6 +467,12 @@ cmdRun(int argc, char **argv)
                 static_cast<unsigned long long>(r.shift_ops),
                 static_cast<unsigned long long>(r.shift_steps),
                 static_cast<unsigned long long>(r.shift_cycles));
+    std::printf("shifts/access   %.3f\n", r.shiftsPerAccess());
+    if (r.migrations)
+        std::printf("migrations      %llu (%llu steps)\n",
+                    static_cast<unsigned long long>(r.migrations),
+                    static_cast<unsigned long long>(
+                        r.migration_steps));
     std::printf("energy          %.3g J dynamic, %.3g J shift, "
                 "%.3g J leakage, %.3g J DRAM\n",
                 r.cache_dynamic_energy, r.llc_shift_energy,
@@ -563,6 +636,10 @@ usage()
         "             [--requests N] [--divisor D] [--seed N] "
         "[--out OUT.json]\n"
         "             [--metrics OUT.json] [--trace-out OUT.json]\n"
+        "             [--placement static|hot-center|adaptive] "
+        "[--placement-epoch N]\n"
+        "             [--swap-budget N] "
+        "[--head-policy stay|return-home|center|predictive]\n"
         "             [--mc-tier exact|fast] [--mc-trials N]\n"
         "             [--stream-out J.jsonl|none] "
         "[--resume J.jsonl]\n"

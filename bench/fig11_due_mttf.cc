@@ -31,15 +31,17 @@ main()
         {"p-ECC-S worst", MemTech::Racetrack, Scheme::PeccSWorst},
         {"p-ECC-S adaptive", MemTech::Racetrack,
          Scheme::PeccSAdaptive},
+        {"lm-pos", MemTech::Racetrack, Scheme::LmPos},
+        {"del-ins-k", MemTech::Racetrack, Scheme::DelIns},
     };
     auto rows = runBenchMatrix(benchMatrixSpec(options), &model);
 
     TextTable t({"workload", "SED", "SECDED", "p-ECC-O", "S-worst",
-                 "S-adaptive"});
-    std::vector<std::vector<double>> cols(5);
+                 "S-adaptive", "lm-pos", "del-ins-k"});
+    std::vector<std::vector<double>> cols(options.size());
     for (const auto &row : rows) {
         std::vector<std::string> cells = {row.profile.name};
-        for (size_t i = 0; i < 5; ++i) {
+        for (size_t i = 0; i < options.size(); ++i) {
             cells.push_back(mttfCell(row.results[i].due_mttf));
             cols[i].push_back(row.results[i].due_mttf);
         }
@@ -55,8 +57,8 @@ main()
     std::printf("\n10-year DUE target met per scheme (count of 12 "
                 "workloads):\n");
     const char *names[] = {"SED", "SECDED", "p-ECC-O", "S-worst",
-                           "S-adaptive"};
-    for (size_t i = 0; i < 5; ++i) {
+                           "S-adaptive", "lm-pos", "del-ins-k"};
+    for (size_t i = 0; i < options.size(); ++i) {
         int ok = 0;
         for (double v : cols[i])
             ok += v >= ten_years;

@@ -25,6 +25,12 @@ main()
 
     PaperCalibratedErrorModel model;
     ExperimentSpec spec = benchMatrixSpec(standardLlcOptions());
+    // The shift-code family rides along after the standard columns,
+    // so the fixed indices below (0 = SRAM, 3 = RM w/o p-ECC, ...)
+    // keep meaning what they always did.
+    for (const LlcOption &o : shiftCodeLlcOptions())
+        if (o.scheme == Scheme::LmPos || o.scheme == Scheme::DelIns)
+            spec.matrix.options.push_back(o);
     const auto &options = spec.matrix.options;
     auto rows = runBenchMatrix(spec, &model);
 
@@ -71,6 +77,10 @@ main()
                 100.0 * (geomean(cols[5]) / rm - 1.0));
     std::printf("  p-ECC-S worst     +%.2f%%\n",
                 100.0 * (geomean(cols[6]) / rm - 1.0));
+    std::printf("  lm-pos            +%.2f%%\n",
+                100.0 * (geomean(cols[7]) / rm - 1.0));
+    std::printf("  del-ins-k         +%.2f%%\n",
+                100.0 * (geomean(cols[8]) / rm - 1.0));
     std::printf("\ncapacity-sensitive geomean vs SRAM: RM-ideal "
                 "%.3f (insensitive workloads stay ~1.0)\n",
                 geomean(sensitive_cols[2]));

@@ -24,6 +24,11 @@ main()
 
     PaperCalibratedErrorModel model;
     ExperimentSpec spec = benchMatrixSpec(standardLlcOptions());
+    // Shift-code columns append after the standard set; the fixed
+    // indices below keep addressing the standard columns.
+    for (const LlcOption &o : shiftCodeLlcOptions())
+        if (o.scheme == Scheme::LmPos || o.scheme == Scheme::DelIns)
+            spec.matrix.options.push_back(o);
     const auto &options = spec.matrix.options;
     auto rows = runBenchMatrix(spec, &model);
 
@@ -67,6 +72,10 @@ main()
                 100.0 * (geomean(cols[5]) / rm - 1.0));
     std::printf("  p-ECC-S worst     +%.1f%%\n",
                 100.0 * (geomean(cols[6]) / rm - 1.0));
+    std::printf("  lm-pos            +%.1f%%\n",
+                100.0 * (geomean(cols[7]) / rm - 1.0));
+    std::printf("  del-ins-k         +%.1f%%\n",
+                100.0 * (geomean(cols[8]) / rm - 1.0));
     std::printf("paper anchors: p-ECC-O +46%%, worst +14%%, "
                 "adaptive +20%%\n");
     return 0;

@@ -26,6 +26,11 @@ main()
 
     PaperCalibratedErrorModel model;
     ExperimentSpec spec = benchMatrixSpec(standardLlcOptions());
+    // Shift-code columns append after the standard set; index 0
+    // stays the SRAM normalisation baseline.
+    for (const LlcOption &o : shiftCodeLlcOptions())
+        if (o.scheme == Scheme::LmPos || o.scheme == Scheme::DelIns)
+            spec.matrix.options.push_back(o);
     const auto &options = spec.matrix.options;
     auto rows = runBenchMatrix(spec, &model);
 
@@ -68,12 +73,9 @@ main()
 
     std::printf("\nenergy reduction vs SRAM (geomean) "
                 "[DRAM accesses vs SRAM]:\n");
-    const char *names[] = {"SRAM", "STT-RAM", "RM-Ideal",
-                           "RM w/o p-ECC", "RM p-ECC-O",
-                           "RM p-ECC-S adaptive",
-                           "RM p-ECC-S worst"};
     for (size_t i = 0; i < options.size(); ++i) {
-        std::printf("  %-20s %5.1f%%   [%.3fx]\n", names[i],
+        std::printf("  %-20s %5.1f%%   [%.3fx]\n",
+                    options[i].label.c_str(),
                     100.0 * (1.0 - geomean(cols[i])),
                     geomean(dram[i]));
     }

@@ -82,7 +82,10 @@ CyclicCode::phaseOf(const std::vector<Bit> &window_bits) const
         return -1;
     int value = 0;
     for (Bit b : window_bits) {
-        if (b == Bit::X)
+        // Only defined domains decode; X (freshly injected or
+        // misaligned) and any out-of-range raw lane value make the
+        // whole window unreadable rather than aliasing to a phase.
+        if (b != Bit::Zero && b != Bit::One)
             return -1;
         value = (value << 1) | (b == Bit::One ? 1 : 0);
     }
@@ -94,14 +97,18 @@ CyclicCode::decode(int observed, int expected,
                    int correct_strength) const
 {
     DecodeResult res;
-    if (observed < 0) {
-        // Unreadable window (stop-in-middle or destroyed domains):
-        // an error is evident, but its direction is unknowable.
+    if (observed < 0 || observed >= period_) {
+        // Unreadable window (stop-in-middle, destroyed domains, or a
+        // phase that is no phase at all): an error is evident, but
+        // its direction is unknowable.
         res.valid = false;
         res.detected = true;
         res.correctable = false;
         return res;
     }
+    if (2 * correct_strength + 2 > period_)
+        rtm_fatal("correction strength %d exceeds what a period-%d "
+                  "code can disambiguate", correct_strength, period_);
     res.valid = true;
     // The window phase equals (base - offset_true) mod T while the
     // expectation uses the believed offset, so the residue recovers

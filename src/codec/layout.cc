@@ -1,5 +1,8 @@
 #include "layout.hh"
 
+#include <algorithm>
+
+#include "codec/del_ins.hh"
 #include "util/logging.hh"
 
 namespace rtm
@@ -25,6 +28,23 @@ validate(const PeccConfig &c)
         c.variant == PeccVariant::Standard)
         rtm_fatal("p-ECC requires m <= Lseg - 1 (m=%d, Lseg=%d)",
                   c.correct, c.seg_len);
+    if (c.window_ports > 0) {
+        if (c.variant == PeccVariant::DelIns)
+            rtm_fatal("del-ins stripes have no code window");
+        // A period-2^w cyclic code tells the 2m + 1 correctable
+        // residues and at least one detect-only residue apart only
+        // when 2m + 2 <= 2^w.
+        if (2 * c.correct + 2 > (1 << c.window_ports))
+            rtm_fatal("window w=%d too narrow to correct +/-%d "
+                      "offsets", c.window_ports, c.correct);
+    }
+    if (c.variant == PeccVariant::DelIns) {
+        if (c.correct < 1)
+            rtm_fatal("del-ins protection needs k >= 1");
+        if (c.seg_len <= c.correct)
+            rtm_fatal("del-ins track of %d domains too short for "
+                      "k=%d", c.seg_len, c.correct);
+    }
 }
 
 } // anonymous namespace
@@ -34,18 +54,27 @@ PeccLayout::extraDomains() const
 {
     // Paper accounting (Sec. 4.2.3 / 4.2.4), used by the area model:
     //  - SED: Lseg + 1 code domains (the paper's 5 for Lseg = 4);
-    //  - p-ECC: 2m guards plus a code region of Lseg - 1 + 2m;
-    //  - p-ECC-O: 2(m+1) domains at each end.
+    //  - p-ECC: 2m guards plus a code region of Lseg - 1 + 2m, and
+    //    one domain per window port beyond the paper's w = m + 1;
+    //  - p-ECC-O: 2(m+1) domains at each end;
+    //  - del-ins: the in-track VT check bits plus the flush-read
+    //    sentinel domains (there is no dedicated code region).
     const auto &c = config;
     switch (c.variant) {
       case PeccVariant::None:
         return 0;
       case PeccVariant::Standard:
-        if (c.correct == 0)
+        if (c.correct == 0 && c.window() == 1)
             return c.seg_len + 1;
-        return 2 * c.correct + (c.seg_len - 1 + 2 * c.correct);
+        return 2 * c.correct + (c.seg_len - 1 + 2 * c.correct) +
+               (c.window() - (c.correct + 1));
       case PeccVariant::OverheadRegion:
         return 4 * (c.correct + 1);
+      case PeccVariant::DelIns: {
+        DelInsCode code(c.num_segments, c.seg_len, c.correct);
+        return c.num_segments * code.checkBitsPerTrack() +
+               code.flushReads();
+      }
     }
     return 0;
 }
@@ -58,10 +87,14 @@ PeccLayout::extraReadPorts() const
       case PeccVariant::None:
         return 0;
       case PeccVariant::Standard:
-        return c.correct + 1;
+        return c.window();
       case PeccVariant::OverheadRegion:
         // "m more read ports than original p-ECC" (Sec. 4.2.4).
         return 2 * c.correct + 1;
+      case PeccVariant::DelIns:
+        // Decoding reuses the per-segment data ports as the
+        // construction's multiple heads; no window ports at all.
+        return 0;
     }
     return 0;
 }
@@ -171,10 +204,15 @@ computeLayout(const PeccConfig &config)
         break;
       }
       case PeccVariant::Standard: {
-        // [m guards][data][code region][right excursion room]
+        // [m guards][data][code region][right excursion room]. The
+        // code region must cover the window under the full offset
+        // excursion [-m, omax + m]: lseg + 2m domains of travel plus
+        // the window itself. With the paper's w = m + 1 this is the
+        // familiar lseg + 3m + 2; a wider Chee-style window only
+        // grows it by the extra ports.
         lay.data_base = m;
         lay.code_base = lay.data_base + s * lseg;
-        lay.code_len = lseg + 3 * m + 2;
+        lay.code_len = lseg + 2 * m + std::max(w, m + 1) + 1;
         int window_base = lay.code_base + omax_err;
         for (int i = 0; i < w; ++i)
             lay.window_slots.push_back(window_base + i);
@@ -209,6 +247,21 @@ computeLayout(const PeccConfig &config)
             lay.window_slots.push_back(right_window_base + i);
         lay.wire_len = right_window_base + w + margin;
         lay.has_end_write_ports = true;
+        break;
+      }
+      case PeccVariant::DelIns: {
+        // [left sentinel][data tracks][right excursion room]. The
+        // sentinel region stays undefined (X) on purpose: head 0
+        // streams into it during the flush reads and the length of
+        // the trailing X run it observes reveals the readout's net
+        // offset exactly (codec/del_ins.hh). Both margins are sized
+        // for the deepest excursion of a full readout (N - 1 reads)
+        // plus a worst-case +/-k burst on top.
+        DelInsCode code(s, lseg, m);
+        const int flush = code.flushReads();
+        lay.data_base = flush + 2 * m;
+        lay.wire_len =
+            lay.data_base + s * lseg + lseg + flush + 2 * m;
         break;
       }
     }

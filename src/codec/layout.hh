@@ -46,7 +46,8 @@ enum class PeccVariant
 {
     None,           //!< unprotected baseline
     Standard,       //!< dedicated p-ECC region (Sec. 4.2.1-4.2.3)
-    OverheadRegion  //!< p-ECC-O: code in overhead regions (4.2.4)
+    OverheadRegion, //!< p-ECC-O: code in overhead regions (4.2.4)
+    DelIns          //!< interleaved-VT del/ins code (codec/del_ins.hh)
 };
 
 /** Configuration of one protected stripe. */
@@ -54,8 +55,17 @@ struct PeccConfig
 {
     int num_segments = 8;  //!< read/write ports sharing the stripe
     int seg_len = 8;       //!< domains per segment (Lseg)
-    int correct = 1;       //!< m: step errors corrected (0 = SED)
+    int correct = 1;       //!< m: step errors corrected (0 = SED);
+                           //!< burst strength k for DelIns
     PeccVariant variant = PeccVariant::Standard;
+
+    /**
+     * Window-port override for limited-magnitude position codes:
+     * 0 keeps the paper's w = m + 1; a wider window (needs
+     * 2m + 2 <= 2^w) decouples the correction radius from the code
+     * period, the Chee et al. construction.
+     */
+    int window_ports = 0;
 
     /** Total data domains on the stripe. */
     int dataDomains() const { return num_segments * seg_len; }
@@ -71,7 +81,10 @@ struct PeccConfig
     int detect() const { return correct + 1; }
 
     /** Code window width = number of adjacent code read ports. */
-    int window() const { return correct + 1; }
+    int window() const
+    {
+        return window_ports > 0 ? window_ports : correct + 1;
+    }
 };
 
 /** Fully resolved stripe geometry. */

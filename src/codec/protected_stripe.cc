@@ -14,6 +14,9 @@ ProtectedStripe::ProtectedStripe(const PeccConfig &config,
       stripe_(layout_.wire_len, layout_.buildPorts(), model,
               std::move(rng))
 {
+    if (config.variant == PeccVariant::DelIns)
+        delins_.emplace(config.num_segments, config.seg_len,
+                        config.correct);
 }
 
 void
@@ -40,6 +43,19 @@ ProtectedStripe::initializeIdeal()
                 continue;
             }
             stripe_.poke(slot, code_.bitAt(slot));
+        }
+    } else if (c.variant == PeccVariant::DelIns) {
+        // The all-zero data image is a valid interleaved-VT codeword
+        // (zero syndromes need zero check bits), so the data region
+        // is already consistent. Everything else must be *undefined*:
+        // the sentinel region's X domains are what the streaming
+        // decode measures the net offset against.
+        for (int slot = 0; slot < layout_.wire_len; ++slot) {
+            if (slot >= layout_.data_base &&
+                slot < layout_.data_base + c.dataDomains()) {
+                continue;
+            }
+            stripe_.poke(slot, Bit::X);
         }
     }
     believed_offset_ = 0;
@@ -86,8 +102,12 @@ ProtectedStripe::decodeWindow(bool left_window) const
 DecodeResult
 ProtectedStripe::checkNow() const
 {
-    if (layout_.config.variant == PeccVariant::None) {
-        // No code: report a clean (vacuous) result.
+    if (layout_.config.variant == PeccVariant::None ||
+        layout_.config.variant == PeccVariant::DelIns) {
+        // No passive code window to probe: None has no code at all,
+        // and the del/ins code only checks position during a readout
+        // (readoutNow), which shifts. Report a clean (vacuous)
+        // result.
         DecodeResult r;
         r.valid = true;
         return r;
@@ -209,7 +229,11 @@ ProtectedStripe::shiftBy(int distance, int max_correction_rounds)
     stripe_.shift(distance);
     believed_offset_ += distance;
 
-    if (c.variant == PeccVariant::None)
+    // No per-shift window check for the code-less baseline; the
+    // del/ins variant checks position wholesale at readout time
+    // instead of per shift.
+    if (c.variant == PeccVariant::None ||
+        c.variant == PeccVariant::DelIns)
         return res;
 
     DecodeResult d = decodeWindow(false);
@@ -247,6 +271,12 @@ ProtectedStripe::recoverNow(int max_correction_rounds)
     const auto &c = layout_.config;
     if (c.variant == PeccVariant::None)
         return res; // no code to verify against
+    if (c.variant == PeccVariant::DelIns) {
+        // Position verification *is* a decoded readout: it measures
+        // the net offset from the sentinel run and counter-shifts
+        // home, which is exactly what the recovery ladder wants.
+        return readoutNow(nullptr, max_correction_rounds);
+    }
     DecodeResult d = decodeWindow(false);
     if (d.ok())
         return res;
@@ -275,6 +305,81 @@ ProtectedStripe::recoverNow(int max_correction_rounds)
     }
     res.unrecoverable = true;
     return res;
+}
+
+ProtectedShiftResult
+ProtectedStripe::readoutNow(std::vector<Bit> *payload_out,
+                            int max_correction_rounds)
+{
+    ProtectedShiftResult res;
+    if (!delins_)
+        rtm_panic("readoutNow requires the DelIns variant");
+    const DelInsCode &code = *delins_;
+    const int n = code.readoutReads();
+    const int tracks = layout_.config.num_segments;
+
+    int rounds = 0;
+    while (rounds++ < std::max(1, max_correction_rounds)) {
+        // Start from the believed home position. The seek itself is
+        // unchecked: any error it suffers is a latent offset the
+        // decode absorbs as a burst at read index 0.
+        if (believed_offset_ != 0) {
+            stripe_.shift(-believed_offset_);
+            believed_offset_ = 0;
+        }
+        std::vector<std::vector<Bit>> streams(
+            static_cast<size_t>(tracks),
+            std::vector<Bit>(static_cast<size_t>(n), Bit::X));
+        for (int t = 0; t < n; ++t) {
+            if (t > 0) {
+                stripe_.shift(1);
+                ++believed_offset_;
+            }
+            for (int s = 0; s < tracks; ++s)
+                streams[static_cast<size_t>(s)]
+                       [static_cast<size_t>(t)] =
+                    stripe_.read(layout_.dataPortIndex(s));
+        }
+        DelInsCode::Result dec = code.decode(streams);
+        if (dec.status.ok() || dec.status.correctable) {
+            // Return home compensating the inferred net offset; the
+            // believed offset re-synchronises to the decoded ground
+            // truth. (The return shift is itself fallible - a new
+            // latent offset for the *next* readout to absorb.)
+            const int delta = dec.status.step_error;
+            stripe_.shift(-(believed_offset_ + delta));
+            believed_offset_ = 0;
+            if (delta != 0) {
+                res.detected = true;
+                res.corrected = true;
+                res.inferred_error = delta;
+                res.correction_shifts += std::abs(delta);
+            }
+            if (payload_out)
+                *payload_out = code.extractPayload(dec.tracks);
+            return res;
+        }
+        // Undecodable round (beyond-radius offset, conflicting or no
+        // surviving reconstruction): head home best-effort and retry.
+        res.detected = true;
+        stripe_.shift(-believed_offset_);
+        believed_offset_ = 0;
+    }
+    res.unrecoverable = true;
+    return res;
+}
+
+void
+ProtectedStripe::loadPayload(const std::vector<Bit> &payload)
+{
+    if (!delins_)
+        rtm_panic("loadPayload requires the DelIns variant");
+    auto tracks = delins_->encode(payload);
+    std::vector<Bit> flat;
+    flat.reserve(static_cast<size_t>(layout_.config.dataDomains()));
+    for (const auto &track : tracks)
+        flat.insert(flat.end(), track.begin(), track.end());
+    loadData(flat);
 }
 
 ProtectedShiftResult

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "codec/cyclic.hh"
+#include "codec/del_ins.hh"
 #include "codec/layout.hh"
 #include "device/error_model.hh"
 #include "device/stripe.hh"
@@ -116,12 +117,37 @@ class ProtectedStripe
     ProtectedShiftResult recoverNow(
         int max_correction_rounds = kMaxCorrectionRounds);
 
+    /**
+     * DelIns variant only: run one protected streaming readout —
+     * shift the whole stripe under the data ports, decode the
+     * deletion/insertion code, counter-shift home compensating the
+     * inferred net offset, and (optionally) return the decoded
+     * payload. Undecodable readouts are retried up to
+     * `max_correction_rounds` before reporting unrecoverable.
+     */
+    ProtectedShiftResult readoutNow(
+        std::vector<Bit> *payload_out,
+        int max_correction_rounds = kMaxCorrectionRounds);
+
+    /**
+     * DelIns variant only: encode a payload (delInsCode()->
+     * payloadBits() bits) and load the resulting track codewords
+     * (poke path, no faults — the modelled maintenance write).
+     */
+    void loadPayload(const std::vector<Bit> &payload);
+
     /** Direct access to the underlying stripe (tests/benches). */
     RacetrackStripe &stripe() { return stripe_; }
     const RacetrackStripe &stripe() const { return stripe_; }
 
     /** Cyclic code in use. */
     const CyclicCode &code() const { return code_; }
+
+    /** Del/ins codec in use (nullptr unless the DelIns variant). */
+    const DelInsCode *delInsCode() const
+    {
+        return delins_ ? &*delins_ : nullptr;
+    }
 
     /** Count of shift operations issued (incl. corrections). */
     uint64_t shiftOps() const { return stripe_.shiftOps(); }
@@ -135,6 +161,7 @@ class ProtectedStripe
   private:
     PeccLayout layout_;
     CyclicCode code_;
+    std::optional<DelInsCode> delins_;
     RacetrackStripe stripe_;
     int believed_offset_ = 0;
 

@@ -1,5 +1,6 @@
 #include "controller.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -314,8 +315,107 @@ ShiftController::seek(int index, Cycles now_cycles)
 }
 
 AccessResult
+ShiftController::delInsAccess(int segment, int index,
+                              const Bit *write_value,
+                              Cycles now_cycles)
+{
+    AccessResult res;
+    if (t_)
+        t_now_ = now_cycles;
+    const auto &c = stripe_.config();
+    if (segment < 0 || segment >= c.num_segments)
+        rtm_panic("segment %d out of range", segment);
+    if (index < 0 || index >= c.seg_len)
+        rtm_panic("segment index %d out of range", index);
+    ++stats_.accesses;
+
+    // Every access is one protected streaming readout; on an
+    // undecodable readout the same escalation ladder as the window
+    // schemes runs (recoverNow dispatches to readout rounds for this
+    // variant), then the readout is retried, boundedly.
+    std::vector<Bit> image;
+    RecoveryRung recovered_by = RecoveryRung::None;
+    int attempts = 0;
+    for (;;) {
+        const uint64_t steps_before = stripe_.stripe().stepsMoved();
+        const uint64_t ops_before = stripe_.shiftOps();
+        ProtectedShiftResult r = stripe_.readoutNow(&image);
+        stats_.shift_ops += stripe_.shiftOps() - ops_before;
+        const uint64_t steps =
+            stripe_.stripe().stepsMoved() - steps_before;
+        stats_.shift_steps += steps;
+        Cycles lat = static_cast<Cycles>(steps) *
+                     timing_.shiftCycles(1);
+        if (r.correction_shifts > 0)
+            lat += static_cast<Cycles>(r.correction_shifts) *
+                   kCorrectionLogicCycles;
+        stats_.busy_cycles += lat;
+        res.latency += lat;
+        if (r.detected) {
+            ++stats_.detected_errors;
+            if (t_)
+                t_->event(EventKind::ErrorDetected, "del-ins", t_now_,
+                          static_cast<double>(r.inferred_error),
+                          static_cast<double>(r.correction_shifts));
+        }
+        if (!r.unrecoverable) {
+            // A detected episode that ends in a verified decode is a
+            // correction, whatever round it converged in.
+            if (r.detected)
+                ++stats_.corrected_errors;
+            break;
+        }
+        recovered_by = attemptRecovery(res);
+        if (recovered_by == RecoveryRung::None) {
+            ++stats_.unrecoverable;
+            if (t_)
+                t_->event(EventKind::RecoveryRung, "due", t_now_);
+            res.due = true;
+            res.position_ok = stripe_.positionError() == 0;
+            return res;
+        }
+        if (++attempts > recovery_.max_replans) {
+            reclassifyAsDue(recovered_by);
+            res.due = true;
+            res.position_ok = stripe_.positionError() == 0;
+            return res;
+        }
+    }
+
+    const int track_bit = segment * c.seg_len + index;
+    if (write_value) {
+        // Maintenance write: patch the decoded image, re-derive the
+        // touched track's check bits, and write the track back. (A
+        // value written onto a check position is overwritten by the
+        // re-encode; the address space's data capacity is
+        // delInsCode()->payloadBits(), not dataDomains().)
+        const DelInsCode &code = *stripe_.delInsCode();
+        image[static_cast<size_t>(track_bit)] = *write_value;
+        auto first = image.begin() + segment * c.seg_len;
+        std::vector<Bit> track(first, first + c.seg_len);
+        track = code.encodeTrack(code.extractTrackData(track));
+        std::copy(track.begin(), track.end(), first);
+        stripe_.loadData(image);
+    } else {
+        res.value = image[static_cast<size_t>(track_bit)];
+    }
+    // Note on ground truth: the data above comes from the *decoded*
+    // streams, so its correctness does not depend on the final
+    // alignment; a fault on the trailing return shift is a latent
+    // offset the next readout absorbs, not a silent corruption, and
+    // is therefore not counted into silent_errors here.
+    res.position_ok = stripe_.positionError() == 0;
+#ifndef NDEBUG
+    assert(controllerLedgerViolation(stats_).empty());
+#endif
+    return res;
+}
+
+AccessResult
 ShiftController::read(int segment, int index, Cycles now_cycles)
 {
+    if (stripe_.config().variant == PeccVariant::DelIns)
+        return delInsAccess(segment, index, nullptr, now_cycles);
     AccessResult res = seek(index, now_cycles);
     if (!res.due)
         res.value = stripe_.readAligned(segment);
@@ -326,6 +426,8 @@ AccessResult
 ShiftController::write(int segment, int index, Bit value,
                        Cycles now_cycles)
 {
+    if (stripe_.config().variant == PeccVariant::DelIns)
+        return delInsAccess(segment, index, &value, now_cycles);
     AccessResult res = seek(index, now_cycles);
     if (!res.due)
         stripe_.writeAligned(segment, value);

@@ -178,6 +178,19 @@ class ShiftController
     AccessResult seek(int index, Cycles now_cycles);
 
     /**
+     * DelIns-variant access path: every read/write is a protected
+     * streaming readout (decode + realign) instead of a seek, since
+     * the deletion/insertion code checks position wholesale per
+     * readout rather than per shift. `write_value == nullptr` for
+     * reads. A write re-encodes the touched track's check bits
+     * before write-back, so a write landing on a check position is
+     * absorbed by that maintenance re-encode.
+     */
+    AccessResult delInsAccess(int segment, int index,
+                              const Bit *write_value,
+                              Cycles now_cycles);
+
+    /**
      * Execute one planned sub-shift; returns false when the episode
      * ended unrecoverable at the stripe level (ladder not yet run).
      */

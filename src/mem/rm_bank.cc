@@ -20,6 +20,8 @@ policyFor(Scheme scheme)
       case Scheme::Sts:
       case Scheme::SedPecc:
       case Scheme::SecdedPecc:
+      case Scheme::LmPos:
+      case Scheme::DelIns:
         return ShiftPolicy::Unconstrained;
       case Scheme::PeccO:
         return ShiftPolicy::StepByStep;
@@ -59,12 +61,7 @@ RmBank::RmBank(const RmBankConfig &config,
       timing_(kDefaultClockHz, 0.4e-9, 1.0e-9,
               checkSecondsFor(config.scheme)),
       planner_(model, timing_,
-               config.scheme == Scheme::SecdedPecc ||
-                       config.scheme == Scheme::PeccO ||
-                       config.scheme == Scheme::PeccSWorst ||
-                       config.scheme == Scheme::PeccSAdaptive
-                   ? 1
-                   : 0,
+               std::max(0, schemeCorrectionStrength(config.scheme)),
                config.seg_len - 1, config.mttf_target_s),
       reliability_model_(model, config.scheme),
       policy_(policyFor(config.scheme)),

@@ -15,25 +15,6 @@ namespace
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-/** Correction strength implied by a scheme. */
-int
-schemeStrength(Scheme scheme)
-{
-    switch (scheme) {
-      case Scheme::Baseline:
-      case Scheme::Sts:
-        return -1; // no code at all
-      case Scheme::SedPecc:
-        return 0;
-      case Scheme::SecdedPecc:
-      case Scheme::PeccO:
-      case Scheme::PeccSWorst:
-      case Scheme::PeccSAdaptive:
-        return 1;
-    }
-    return -1;
-}
-
 } // anonymous namespace
 
 ShiftReliability
@@ -48,7 +29,15 @@ ReliabilityModel::ReliabilityModel(const PositionErrorModel *model,
 {
     if (!model_)
         rtm_fatal("reliability model needs an error model");
-    correct_ = schemeStrength(scheme);
+    code_ = makeShiftCode(scheme);
+    correct_ = schemeCorrectionStrength(scheme);
+    if (code_ && code_->correctionRadius() != correct_)
+        rtm_panic("shift code radius %d disagrees with scheme "
+                  "strength %d", code_->correctionRadius(), correct_);
+    // Residue period of the paper's w = m + 1 codes; the lm-pos
+    // default (w = 3, m = 2) happens to share it. Kept for
+    // introspection only - the decomposition below asks the shift
+    // code itself.
     period_ = correct_ >= 0 ? (1 << (correct_ + 1)) : 0;
 }
 
@@ -60,17 +49,16 @@ ReliabilityModel::shiftOp(int distance) const
         return r;
 
     const int kmax = model_->maxStepError();
-    if (correct_ < 0) {
+    if (!code_) {
         // Unprotected: every position error silently corrupts.
         r.log_sdc = model_->logProbAtLeast(distance, 1);
         return r;
     }
 
     const int m = correct_;
-    const int t = period_;
     // One batched ladder fetch covers every (sign, magnitude) the
-    // residue walk below needs; values are bit-identical to the
-    // per-call logProbStep evaluations this loop used to make.
+    // classification walk below needs; values are bit-identical to
+    // the per-call logProbStep evaluations this loop used to make.
     std::vector<double> lp_plus(static_cast<size_t>(kmax)),
         lp_minus(static_cast<size_t>(kmax));
     if (kmax > 0)
@@ -82,28 +70,33 @@ ReliabilityModel::shiftOp(int distance) const
                                  : lp_minus[mag - 1];
             if (lp == kNegInf)
                 continue;
-            int diff = ((sign * mag) % t + t) % t;
-            if (diff == 0) {
-                // Residue aliases to "no error": silent.
+            // The shift code's own classification of this error; for
+            // the cyclic family this reproduces the residue walk the
+            // loop used to inline (same branches, same accumulation
+            // order, bit-identical results).
+            switch (code_->classify(sign * mag)) {
+              case ErrorClass::Ok:
+                break; // mag >= 1 never classifies as Ok
+              case ErrorClass::Silent:
+                // Aliases to "no error": silent.
                 r.log_sdc = logSumExp(r.log_sdc, lp);
-            } else if (diff <= m || t - diff <= m) {
-                // Decoder proposes a correction.
-                int inferred = diff <= m ? diff : -(t - diff);
-                if (inferred == sign * mag) {
-                    // Right answer: corrected (counter-shift may
-                    // itself fail; second-order DUE term).
-                    double corr_fail =
-                        model_->logProbAtLeast(mag, m + 1);
-                    r.log_corrected = logSumExp(r.log_corrected, lp);
-                    r.log_due = logSumExp(r.log_due, lp + corr_fail);
-                } else {
-                    // Miscorrection: position silently worsens.
-                    r.log_sdc = logSumExp(r.log_sdc, lp);
-                }
-            } else {
-                // Ambiguous residue (|k| = m+1 alias): detected,
-                // direction unknown -> unrecoverable.
+                break;
+              case ErrorClass::Corrected: {
+                // Right answer: corrected (counter-shift may itself
+                // fail; second-order DUE term).
+                double corr_fail = model_->logProbAtLeast(mag, m + 1);
+                r.log_corrected = logSumExp(r.log_corrected, lp);
+                r.log_due = logSumExp(r.log_due, lp + corr_fail);
+                break;
+              }
+              case ErrorClass::Miscorrected:
+                // Position silently worsens.
+                r.log_sdc = logSumExp(r.log_sdc, lp);
+                break;
+              case ErrorClass::Ambiguous:
+                // Detected, direction unknown -> unrecoverable.
                 r.log_due = logSumExp(r.log_due, lp);
+                break;
             }
         }
     }

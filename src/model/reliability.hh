@@ -26,8 +26,10 @@
 #ifndef RTM_MODEL_RELIABILITY_HH
 #define RTM_MODEL_RELIABILITY_HH
 
+#include <memory>
 #include <vector>
 
+#include "codec/shift_code.hh"
 #include "device/error_model.hh"
 #include "model/tech.hh"
 #include "util/units.hh"
@@ -75,9 +77,13 @@ class ReliabilityModel
 
     Scheme scheme() const { return scheme_; }
 
+    /** Shift code driving the decomposition (nullptr = unprotected). */
+    const ShiftCode *shiftCode() const { return code_.get(); }
+
   private:
     const PositionErrorModel *model_;
     Scheme scheme_;
+    std::shared_ptr<const ShiftCode> code_; //!< scheme's codec
     int correct_; //!< m
     int period_;  //!< T = 2^(m+1)
 };

@@ -100,7 +100,9 @@ enum class Scheme
     SecdedPecc,     //!< SECDED p-ECC (unconstrained distance)
     PeccO,          //!< SECDED p-ECC-O
     PeccSWorst,     //!< p-ECC-S worst-case safe distance
-    PeccSAdaptive   //!< p-ECC-S adaptive
+    PeccSAdaptive,  //!< p-ECC-S adaptive
+    LmPos,          //!< limited-magnitude position code (Chee et al.)
+    DelIns          //!< k-deletion/insertion track code (Sima-Bruck)
 };
 
 /** Human-readable scheme name. */
@@ -109,13 +111,23 @@ const char *schemeName(Scheme scheme);
 /**
  * Stable machine-readable token, the inverse of schemeFromToken:
  * "baseline" | "sts" | "sed" | "secded" | "pecc-o" | "worst" |
- * "adaptive". Used by the CLI flags and the experiment-spec JSON
- * schema.
+ * "adaptive" | "lm-pos" | "del-ins-k". Used by the CLI flags and the
+ * experiment-spec JSON schema.
  */
 const char *schemeToken(Scheme scheme);
 
 /** Parse a scheme token; false (out untouched) when unknown. */
 bool schemeFromToken(const std::string &token, Scheme *out);
+
+/**
+ * Correction radius the scheme's shift code claims: the largest
+ * per-operation position error |e| decoded back to the exact data.
+ * -1 for the code-less schemes (Baseline/STS), 0 for detect-only SED,
+ * 1 for the SECDED p-ECC family, and the configured radius of the
+ * shift-code family (lm-pos, del-ins-k). Shared by the analytic
+ * reliability model and the bank's shift planner (which clamps at 0).
+ */
+int schemeCorrectionStrength(Scheme scheme);
 
 /** Table 5 row for a scheme (Baseline/Sed map to cheapest entries). */
 ProtectionOverheads overheadsFor(Scheme scheme);

@@ -60,6 +60,7 @@ peccVariantToken(PeccVariant variant)
       case PeccVariant::None: return "none";
       case PeccVariant::Standard: return "std";
       case PeccVariant::OverheadRegion: return "overhead";
+      case PeccVariant::DelIns: return "del-ins";
     }
     return "?";
 }
@@ -73,6 +74,8 @@ peccVariantFromToken(const std::string &token, PeccVariant *out)
         *out = PeccVariant::Standard;
     else if (token == "overhead")
         *out = PeccVariant::OverheadRegion;
+    else if (token == "del-ins")
+        *out = PeccVariant::DelIns;
     else
         return false;
     return true;
@@ -260,11 +263,15 @@ parseOptionList(SpecReader &r, std::vector<LlcOption> *out,
             } else if (item.asString() == "racetrack") {
                 for (const LlcOption &o : racetrackSchemeOptions())
                     out->push_back(inherit(o));
+            } else if (item.asString() == "shift-codes") {
+                for (const LlcOption &o : shiftCodeLlcOptions())
+                    out->push_back(inherit(o));
             } else {
                 r.fail("options",
                        "unknown option shortcut '" +
                            item.asString() +
-                           "' (want \"standard\" or \"racetrack\")");
+                           "' (want \"standard\", \"racetrack\" or "
+                           "\"shift-codes\")");
             }
             continue;
         }
@@ -1003,6 +1010,15 @@ stressSchemeConfig(const std::string &token, Scheme *scheme,
         *scheme = Scheme::SecdedPecc;
         config->correct = 1;
         config->variant = PeccVariant::Standard;
+    } else if (token == "lm-pos") {
+        *scheme = Scheme::LmPos;
+        config->correct = kLmPosCorrect;
+        config->window_ports = kLmPosWindow;
+        config->variant = PeccVariant::Standard;
+    } else if (token == "del-ins-k") {
+        *scheme = Scheme::DelIns;
+        config->correct = kDelInsStrength;
+        config->variant = PeccVariant::DelIns;
     } else {
         return false;
     }
@@ -1028,6 +1044,19 @@ runStressDrill(const StressSpec &spec, TelemetryScope telemetry,
 
     ProtectedStripe stripe(cfg, &model, Rng(spec.seed));
     stripe.initializeIdeal();
+
+    // The del/ins drill judges silence against ground truth: a fixed
+    // payload is loaded up front and every decoded readout compared
+    // against it. (The positional drill below has no data path, so
+    // it judges silence by residual offset instead.)
+    std::vector<Bit> reference;
+    if (cfg.variant == PeccVariant::DelIns) {
+        const int bits = stripe.delInsCode()->payloadBits();
+        for (int b = 0; b < bits; ++b)
+            reference.push_back((b * 5 + 2) % 3 == 0 ? Bit::One
+                                                     : Bit::Zero);
+        stripe.loadPayload(reference);
+    }
 
     Rng dice(spec.seed ^ 0xfeedbeef);
     LatencyHistogram *t_dist =
@@ -1058,7 +1087,16 @@ runStressDrill(const StressSpec &spec, TelemetryScope telemetry,
         out.exp_due += std::exp(r.log_due);
         out.exp_sdc += std::exp(r.log_sdc);
 
-        ProtectedShiftResult res = stripe.seekIndex(target);
+        // The del/ins scheme is exercised by what it actually
+        // protects: a whole-stripe streaming readout (which also
+        // realigns), not a positioned seek. The analytic expectation
+        // above still uses the op's seek distance as its intensity,
+        // matching how the LLC model charges the scheme.
+        std::vector<Bit> got;
+        ProtectedShiftResult res =
+            cfg.variant == PeccVariant::DelIns
+                ? stripe.readoutNow(&got)
+                : stripe.seekIndex(target);
         if (telemetry) {
             t_dist->record(static_cast<double>(distance));
             if (res.detected)
@@ -1070,6 +1108,24 @@ runStressDrill(const StressSpec &spec, TelemetryScope telemetry,
             if (telemetry)
                 telemetry->event(EventKind::RecoveryRung, "due", i);
             stripe.initializeIdeal(); // rebuild and continue
+            if (!reference.empty())
+                stripe.loadPayload(reference);
+            continue;
+        }
+        if (cfg.variant == PeccVariant::DelIns) {
+            if (got != reference) {
+                ++out.silent;
+                stripe.initializeIdeal();
+                stripe.loadPayload(reference);
+            } else if (res.corrected) {
+                ++out.corrected;
+            } else {
+                // A residual positionError() here is a latent offset
+                // from the fallible return shift; the next readout
+                // absorbs it as a burst at read index 0. The data
+                // this op returned was exact, so the op is clean.
+                ++out.clean;
+            }
             continue;
         }
         if (res.corrected) {

@@ -285,7 +285,8 @@ struct CampaignSpec
 struct StressSpec
 {
     bool enabled = false;
-    /** Scheme token: baseline | sed | secded | pecc-o. */
+    /** Scheme token: baseline | sed | secded | pecc-o | lm-pos |
+     *  del-ins-k. */
     std::string scheme = "secded";
     double scale = 500.0; //!< error-rate acceleration
     uint64_t ops = 200000;

@@ -36,6 +36,19 @@ racetrackSchemeOptions()
     };
 }
 
+std::vector<LlcOption>
+shiftCodeLlcOptions()
+{
+    // The shift-code family (lm-pos, del-ins-k) next to the paper's
+    // best racetrack scheme as a reference point.
+    return {
+        {"RM p-ECC-S adaptive", MemTech::Racetrack,
+         Scheme::PeccSAdaptive},
+        {"RM lm-pos", MemTech::Racetrack, Scheme::LmPos},
+        {"RM del-ins-k", MemTech::Racetrack, Scheme::DelIns},
+    };
+}
+
 WorkloadProfile
 scaledProfile(WorkloadProfile profile, uint64_t divisor)
 {

@@ -53,6 +53,9 @@ std::vector<LlcOption> standardLlcOptions();
 /** The paper's racetrack protection set (Fig. 14 legend). */
 std::vector<LlcOption> racetrackSchemeOptions();
 
+/** The shift-code family (lm-pos, del-ins-k) with a p-ECC anchor. */
+std::vector<LlcOption> shiftCodeLlcOptions();
+
 /** Results for one workload across every option. */
 struct WorkloadMatrixRow
 {

@@ -172,6 +172,66 @@ TEST(CyclicCode, AliasingBeyondDetectionIsSilent)
     EXPECT_FALSE(r.detected);
 }
 
+TEST(CyclicCode, PhaseOfRejectsRawNonBinaryLaneValues)
+{
+    // A destroyed domain can carry any raw lane value, not just the
+    // well-formed X: the window must be unreadable, never aliased to
+    // a phase.
+    CyclicCode code(3);
+    for (int raw : {2, 3, 0x7f}) {
+        std::vector<Bit> bits = windowAt(code, 2);
+        bits[0] = static_cast<Bit>(raw);
+        EXPECT_EQ(code.phaseOf(bits), -1) << "raw " << raw;
+    }
+}
+
+TEST(CyclicCode, DecodeRejectsOutOfRangeObservedPhases)
+{
+    // phaseOf reports failure as -1, but a caller bug (or future
+    // alternate window reader) could hand decode any integer: every
+    // value outside [0, T) must stay detected-uncorrectable instead
+    // of feeding the residue arithmetic.
+    CyclicCode code(2);
+    for (int observed : {-1, -7, 4, 5, 100}) {
+        DecodeResult r = code.decode(observed, 1, 1);
+        EXPECT_FALSE(r.valid) << observed;
+        EXPECT_TRUE(r.detected) << observed;
+        EXPECT_FALSE(r.correctable) << observed;
+        EXPECT_EQ(r.step_error, 0) << observed;
+    }
+}
+
+TEST(CyclicCode, DecodeRefusesStrengthBeyondPeriod)
+{
+    // m = 1 needs period >= 4: the SED code (T = 2) cannot host it.
+    CyclicCode code(1);
+    EXPECT_DEATH(code.decode(0, 0, 1), "period");
+}
+
+TEST(CyclicCode, HeadAndTailPadWindowsAreDetectedNotDecoded)
+{
+    // Regression for the latent window edge: a stripe shifted so far
+    // that undefined pad domains (stripe head/tail) enter the code
+    // window must yield an unreadable phase and a detected,
+    // uncorrectable decode — the old behaviour let a window with
+    // defined neighbours alias to a valid phase.
+    CyclicCode code(2);
+    const int t = code.period();
+    for (int undefined_at = 0; undefined_at < code.window();
+         ++undefined_at) {
+        for (int p = 0; p < t; ++p) {
+            std::vector<Bit> bits = windowAt(code, p);
+            bits[static_cast<size_t>(undefined_at)] = Bit::X;
+            const int phase = code.phaseOf(bits);
+            EXPECT_EQ(phase, -1);
+            const DecodeResult r = code.decode(phase, p, 1);
+            EXPECT_FALSE(r.valid);
+            EXPECT_TRUE(r.detected);
+            EXPECT_FALSE(r.correctable);
+        }
+    }
+}
+
 TEST(CyclicCode, MiscorrectionBeyondStrength)
 {
     // A +3 error with SECDED (T = 4) has residue 3 == -1 mod 4, so

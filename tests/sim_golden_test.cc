@@ -453,6 +453,88 @@ TEST(GoldenSim, MatrixDigestsStableAcrossThreadCounts)
     EXPECT_EQ(serial, parallel);
 }
 
+TEST(GoldenSim, Fig16SpecWithoutShiftCodesKeepsThePinnedDigests)
+{
+    // Guard for the shift-code family introduction: the shipped
+    // fig16 spec selects the paper's standard catalogue only, and as
+    // long as the new schemes (lm-pos, del-ins-k) are absent from a
+    // spec, every pre-existing digest must stay bit-identical. A
+    // change here means the new codecs leaked into the legacy
+    // simulation path.
+    ExperimentSpec spec;
+    std::string diag;
+    const std::string path = std::string(RTM_REPO_DIR) +
+                             "/examples/specs/fig16.json";
+    ASSERT_TRUE(loadExperimentSpec(path, &spec, &diag)) << diag;
+    const auto standard = standardLlcOptions();
+    ASSERT_EQ(spec.matrix.options.size(), standard.size());
+    for (size_t o = 0; o < standard.size(); ++o)
+        EXPECT_TRUE(spec.matrix.options[o] == standard[o])
+            << "option " << standard[o].label;
+
+    // The shipped request count is bench-sized; the digest pins are
+    // defined at the golden parameters.
+    spec.matrix.requests = kGoldenRequests;
+    spec.matrix.warmup = kGoldenWarmup;
+    spec.matrix.divisor = kGoldenDivisor;
+
+    PaperCalibratedErrorModel model;
+    ExperimentResult res = runExperiment(spec, &model);
+    auto hashes = matrixHashes(res.matrix, standard.size());
+    for (size_t o = 0; o < standard.size(); ++o)
+        EXPECT_EQ(hashes[o], kGoldenOptionHashes[o])
+            << "option " << standard[o].label;
+    EXPECT_EQ(hashes.back(), kGoldenCombinedHash);
+}
+
+/**
+ * Pinned digests for the shift-code family itself: a small matrix
+ * (two workloads x shiftCodeLlcOptions()) at the golden parameters.
+ * Captured with RTM_UPDATE_GOLDEN=1; freezes the end-to-end
+ * behaviour of the lm-pos and del-ins-k schemes.
+ */
+const char *const kGoldenShiftCodeHashes[] = {
+    "9d77b9ea01da96a724fef20784128da38a8ddb850261caf6131b3f744e584002", // RM p-ECC-S adaptive
+    "28ef5b81ced0f9feabd2e2a9c037865da5d992f74db502781dc9fb56f160d4b6", // RM lm-pos
+    "a7383a3e05b32daaab3640e85aec0a71faeae998395317a6c4912019708eca80", // RM del-ins-k
+};
+const char *const kGoldenShiftCodeCombinedHash =
+    "ff793f953a0c068bee08b11090b43abaa978aedd2629356b6124353ceb56c9f7";
+
+TEST(GoldenSim, ShiftCodeMatrixDigestsMatchPins)
+{
+    ExperimentSpec spec;
+    spec.matrix.requests = kGoldenRequests;
+    spec.matrix.warmup = kGoldenWarmup;
+    spec.matrix.divisor = kGoldenDivisor;
+    spec.matrix.workloads = {"blackscholes", "canneal"};
+    spec.matrix.options = shiftCodeLlcOptions();
+    normalizeExperimentSpec(&spec);
+    const auto options = shiftCodeLlcOptions();
+    ASSERT_EQ(spec.matrix.options.size(), options.size());
+
+    PaperCalibratedErrorModel model;
+    ExperimentResult res = runExperiment(spec, &model);
+    ASSERT_EQ(res.matrix.size(), spec.matrix.workloads.size());
+    auto hashes = matrixHashes(res.matrix, options.size());
+
+    if (std::getenv("RTM_UPDATE_GOLDEN")) {
+        printf("const char *const kGoldenShiftCodeHashes[] = {\n");
+        for (size_t o = 0; o < options.size(); ++o)
+            printf("    \"%s\", // %s\n", hashes[o].c_str(),
+                   options[o].label.c_str());
+        printf("};\nconst char *const "
+               "kGoldenShiftCodeCombinedHash =\n    \"%s\";\n",
+               hashes.back().c_str());
+        FAIL() << "RTM_UPDATE_GOLDEN set: paste the printed pins "
+                  "into tests/sim_golden_test.cc and re-run";
+    }
+    for (size_t o = 0; o < options.size(); ++o)
+        EXPECT_EQ(hashes[o], kGoldenShiftCodeHashes[o])
+            << "option " << options[o].label;
+    EXPECT_EQ(hashes.back(), kGoldenShiftCodeCombinedHash);
+}
+
 // --- 4. fast-tier pins -----------------------------------------------
 
 /**

@@ -19,7 +19,8 @@
  *   --trace PATH      replay a text trace instead of a profile
  *   --tech T          sram | sttram | rm | rm-ideal  (default rm)
  *   --scheme S        baseline | sed | secded | pecc-o | worst |
- *                     adaptive                     (default adaptive)
+ *                     adaptive | lm-pos | del-ins-k
+ *                                                  (default adaptive)
  *   --requests N      memory requests              (default 60000)
  *   --divisor D       capacity divisor             (default 16)
  *   --seed N          RNG seed                     (default 42)
@@ -54,7 +55,8 @@
  *   --intensity OPS   sustained ops/s for Dsafe    (default 83e6)
  *
  * `stripe` options:
- *   --segments N --lseg N --strength M --variant std|overhead
+ *   --segments N --lseg N --strength M --variant
+ *   std|overhead|del-ins
  */
 
 #include <cstdio>
@@ -604,8 +606,10 @@ cmdStripe(int argc, char **argv)
     c.seg_len = flags.getInt("lseg", 8);
     c.correct = flags.getInt("strength", 1);
     std::string variant = flags.get("variant", "std");
-    c.variant = variant == "overhead" ? PeccVariant::OverheadRegion
-                                      : PeccVariant::Standard;
+    c.variant = variant == "overhead"
+                    ? PeccVariant::OverheadRegion
+                    : variant == "del-ins" ? PeccVariant::DelIns
+                                           : PeccVariant::Standard;
     PeccLayout lay = computeLayout(c);
     AreaModel area;
     std::printf("stripe: %d segments x %d domains, m = %d (%s)\n",
@@ -647,7 +651,7 @@ usage()
         "  rtmsim rates\n"
         "  rtmsim plan [--lseg N] [--intensity OPS]\n"
         "  rtmsim stripe [--segments N] [--lseg N] [--strength M] "
-        "[--variant std|overhead]\n"
+        "[--variant std|overhead|del-ins]\n"
         "  rtmsim help\n");
 }
 

@@ -14,6 +14,7 @@
 
 #include "common.hh"
 #include "codec/layout.hh"
+#include "mem/protection.hh"
 #include "model/tech.hh"
 
 using namespace rtm;
@@ -30,6 +31,46 @@ layoutOverheadPercent(PeccVariant variant)
     c.correct = 1;
     c.variant = variant;
     return 100.0 * computeLayout(c).storageOverhead();
+}
+
+PeccLayout
+codewordLayout(int frames)
+{
+    PeccConfig c;
+    c.num_segments = 8;
+    c.seg_len = 8;
+    c.correct = 1;
+    c.variant = PeccVariant::Standard;
+    c.codeword_frames = frames;
+    return computeLayout(c);
+}
+
+/**
+ * Amortised check-bit overhead of a protection-domain policy: each
+ * region's codeword overhead weighted by its address-space share
+ * (per the resolved [begin, end) fractions; the base domain covers
+ * the rest).
+ */
+double
+policyOverheadPercent(const ProtectionPolicy &policy)
+{
+    // 2048 frames is enough resolution for the fraction-based
+    // region bounds used here; any multiple of 8 works.
+    ResolvedProtection rp = resolveProtection(policy, 2048);
+    double covered = 0.0, acc = 0.0;
+    for (const ResolvedProtection::Range &r : rp.ranges) {
+        const double share =
+            static_cast<double>(r.end - r.begin) / 2048.0;
+        const ProtectionDomain &d = rp.domains[static_cast<size_t>(
+            r.domain)];
+        acc += share * codewordLayout(d.codeword_frames)
+                           .codewordStorageOverhead();
+        covered += share;
+    }
+    acc += (1.0 - covered) *
+           codewordLayout(rp.domains[0].codeword_frames)
+               .codewordStorageOverhead();
+    return 100.0 * acc;
 }
 
 } // namespace
@@ -67,5 +108,33 @@ main()
                 layoutOverheadPercent(PeccVariant::Standard));
     std::printf("  p-ECC-O %.1f%% (paper: 15.7%%)\n",
                 layoutOverheadPercent(PeccVariant::OverheadRegion));
+
+    std::printf("\npooled-codeword geometry (p-ECC 8x8, m=1, F "
+                "frames share one region at strength m+log2 F):\n");
+    TextTable cw({"frames/codeword", "pooled strength",
+                  "extra domains/codeword", "cell (%)",
+                  "redundancy reads/write"});
+    for (int frames : {1, 2, 4, 8}) {
+        PeccLayout lay = codewordLayout(frames);
+        cw.addRow({TextTable::integer(frames),
+                   TextTable::integer(lay.config.effectiveCorrect()),
+                   TextTable::integer(lay.codewordExtraDomains()),
+                   TextTable::fixed(
+                       100.0 * lay.codewordStorageOverhead(), 1),
+                   TextTable::integer(
+                       lay.redundancyAccessesPerWrite())});
+    }
+    cw.print(stdout);
+
+    std::printf("\nper-policy amortised cell overhead:\n");
+    ProtectionPolicy uniform8;
+    uniform8.kind = ProtectionScopeKind::Uniform;
+    uniform8.uniform.codeword_frames = 8;
+    std::printf("  per-frame (default)      %.1f%%\n",
+                policyOverheadPercent(ProtectionPolicy{}));
+    std::printf("  uniform pooled F=8       %.1f%%\n",
+                policyOverheadPercent(uniform8));
+    std::printf("  differentiated (F=8 cold) %.1f%%\n",
+                policyOverheadPercent(differentiatedPolicy(8)));
     return 0;
 }

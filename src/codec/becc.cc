@@ -74,6 +74,12 @@ HammingSecded::syndromeAndParity(uint64_t data, uint8_t check) const
     return static_cast<uint8_t>(syndrome | (total << 7));
 }
 
+bool
+HammingSecded::syndromeClean(uint64_t data, uint8_t check) const
+{
+    return syndromeAndParity(data, check) == 0;
+}
+
 BeccDecode
 HammingSecded::decode(uint64_t data, uint8_t check) const
 {

@@ -66,6 +66,13 @@ class HammingSecded
     /** Decode a (data, check) pair. */
     BeccDecode decode(uint64_t data, uint8_t check) const;
 
+    /**
+     * Detection-only EDC probe: true iff the syndrome and overall
+     * parity are both zero, i.e. decode() would return Clean with
+     * the data unchanged. The cheap first tier of a two-tier read.
+     */
+    bool syndromeClean(uint64_t data, uint8_t check) const;
+
   private:
     /** Codeword position (1-based, parity positions skipped) of
      *  each data bit. */

@@ -86,6 +86,23 @@ ProtectedLine::read(int idx)
             check = static_cast<uint8_t>(check | (1u << c));
     }
 
+    if (config_.two_tier) {
+        // Tier 1: detection-only probes with the same coverage as
+        // the full decode — SECDED syndrome plus the p-ECC window
+        // phase of every stripe. A clean probe accepts the word
+        // as-is; the full decode would have returned Clean with the
+        // same data, so the outcome is unchanged by construction.
+        bool clean = becc_.syndromeClean(data, check);
+        for (size_t s = 0; clean && s < stripes_.size(); ++s)
+            clean = stripes_[s]->edcClean();
+        if (clean) {
+            ++edc_fast_reads_;
+            res.data = data;
+            return res;
+        }
+        ++full_decodes_;
+    }
+
     BeccDecode d = becc_.decode(data, check);
     res.bit_status = d.status;
     res.data = d.data;

@@ -76,7 +76,14 @@ class ProtectedLine
      */
     void write(int idx, uint64_t data);
 
-    /** Read the word at segment-local index `idx`. */
+    /**
+     * Read the word at segment-local index `idx`. When the config's
+     * two_tier flag is set, a clean EDC probe (p-ECC window phases +
+     * SECDED syndrome, identical detection coverage to the full
+     * decode) accepts the word without running the correction logic;
+     * the decode outcome is the same either way, only the tier
+     * counters differ.
+     */
     LineReadResult read(int idx);
 
     /** Flip one stored data bit in place (bit-error injection). */
@@ -88,6 +95,12 @@ class ProtectedLine
     /** Total b-ECC single-bit corrections so far. */
     uint64_t bitCorrections() const { return bit_corrections_; }
 
+    /** Two-tier reads resolved by the cheap EDC probe alone. */
+    uint64_t edcFastReads() const { return edc_fast_reads_; }
+
+    /** Two-tier reads escalated to the full ECC decode. */
+    uint64_t fullDecodes() const { return full_decodes_; }
+
     /** Segment length of the underlying stripes. */
     int segLen() const { return config_.seg_len; }
 
@@ -97,6 +110,8 @@ class ProtectedLine
     HammingSecded becc_;
     uint64_t detections_ = 0;
     uint64_t bit_corrections_ = 0;
+    uint64_t edc_fast_reads_ = 0;
+    uint64_t full_decodes_ = 0;
 
     /** Align every stripe to idx; returns false on any DUE. */
     bool seekAll(int idx, LineReadResult *result);

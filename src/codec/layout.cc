@@ -45,9 +45,82 @@ validate(const PeccConfig &c)
             rtm_fatal("del-ins track of %d domains too short for "
                       "k=%d", c.seg_len, c.correct);
     }
+    const std::string geom = protectionGeometryError(c, 0);
+    if (!geom.empty())
+        rtm_fatal("%s", geom.c_str());
+}
+
+/** Extra domains of `c` evaluated at strength `m`, window `w`. */
+int
+extraDomainsAtStrength(const PeccConfig &c, int m, int w)
+{
+    switch (c.variant) {
+      case PeccVariant::None:
+        return 0;
+      case PeccVariant::Standard:
+        if (m == 0 && w == 1)
+            return c.seg_len + 1;
+        return 2 * m + (c.seg_len - 1 + 2 * m) + (w - (m + 1));
+      case PeccVariant::OverheadRegion:
+        return 4 * (m + 1);
+      case PeccVariant::DelIns: {
+        DelInsCode code(c.num_segments, c.seg_len, m);
+        return c.num_segments * code.checkBitsPerTrack() +
+               code.flushReads();
+      }
+    }
+    return 0;
 }
 
 } // anonymous namespace
+
+int
+PeccConfig::effectiveCorrect() const
+{
+    int boost = 0;
+    for (int f = codeword_frames; f > 1; f >>= 1)
+        ++boost;
+    return std::min(correct + boost, seg_len - 1);
+}
+
+std::string
+protectionGeometryError(const PeccConfig &config, int frames_per_group)
+{
+    const int f = config.codeword_frames;
+    if (f < 1 || f > 8 || (f & (f - 1)) != 0)
+        return "codeword_frames must be 1, 2, 4 or 8 (got " +
+               std::to_string(f) + ")";
+    if (frames_per_group > 0) {
+        if (f > frames_per_group)
+            return "codeword of " + std::to_string(f) +
+                   " frames exceeds the group capacity of " +
+                   std::to_string(frames_per_group) + " frames";
+        if (frames_per_group % f != 0)
+            return "codeword of " + std::to_string(f) +
+                   " frames does not tile the group (" +
+                   std::to_string(frames_per_group) +
+                   " frames per group)";
+    }
+    if (f > 1) {
+        if (config.variant == PeccVariant::None)
+            return "codeword_frames > 1 needs a protecting code "
+                   "(scheme is unprotected)";
+        // The pooled redundancy must still fit the stripe tail: a
+        // position code can only represent offsets up to Lseg - 1,
+        // so the boosted strength may not exceed it.
+        int boost = 0;
+        for (int g = f; g > 1; g >>= 1)
+            ++boost;
+        if (config.correct + boost > config.seg_len - 1)
+            return "redundancy for " + std::to_string(f) +
+                   "-frame codewords does not fit the stripe tail "
+                   "(m + log2(F) = " +
+                   std::to_string(config.correct + boost) +
+                   " exceeds Lseg - 1 = " +
+                   std::to_string(config.seg_len - 1) + ")";
+    }
+    return "";
+}
 
 int
 PeccLayout::extraDomains() const
@@ -59,24 +132,30 @@ PeccLayout::extraDomains() const
     //  - p-ECC-O: 2(m+1) domains at each end;
     //  - del-ins: the in-track VT check bits plus the flush-read
     //    sentinel domains (there is no dedicated code region).
-    const auto &c = config;
-    switch (c.variant) {
-      case PeccVariant::None:
-        return 0;
-      case PeccVariant::Standard:
-        if (c.correct == 0 && c.window() == 1)
-            return c.seg_len + 1;
-        return 2 * c.correct + (c.seg_len - 1 + 2 * c.correct) +
-               (c.window() - (c.correct + 1));
-      case PeccVariant::OverheadRegion:
-        return 4 * (c.correct + 1);
-      case PeccVariant::DelIns: {
-        DelInsCode code(c.num_segments, c.seg_len, c.correct);
-        return c.num_segments * code.checkBitsPerTrack() +
-               code.flushReads();
-      }
-    }
-    return 0;
+    return extraDomainsAtStrength(config, config.correct,
+                                  config.window());
+}
+
+int
+PeccLayout::codewordExtraDomains() const
+{
+    // F frames pooling one codeword share a single redundancy
+    // region, sized at the boosted strength m + log2(F) instead of
+    // F per-frame regions at strength m — the Ramulator2_ECC
+    // sub-linear scaling (Hamming-style: check bits grow with the
+    // log of the data they cover).
+    const int m_eff = config.effectiveCorrect();
+    return extraDomainsAtStrength(config, m_eff,
+                                  std::max(config.window(),
+                                           m_eff + 1));
+}
+
+double
+PeccLayout::codewordStorageOverhead() const
+{
+    return static_cast<double>(codewordExtraDomains()) /
+           (static_cast<double>(config.codeword_frames) *
+            static_cast<double>(config.dataDomains()));
 }
 
 int

@@ -22,6 +22,7 @@
 #ifndef RTM_CODEC_LAYOUT_HH
 #define RTM_CODEC_LAYOUT_HH
 
+#include <string>
 #include <vector>
 
 #include "device/stripe.hh"
@@ -67,6 +68,26 @@ struct PeccConfig
      */
     int window_ports = 0;
 
+    /**
+     * Frames sharing one codeword (Ramulator2_ECC-style large
+     * codewords). 1 is the paper's per-frame code and changes
+     * nothing; 2/4/8 pool the check bits of that many consecutive
+     * frames into one shared redundancy region, buying
+     * log2(codeword_frames) extra correction strength at sub-linear
+     * per-frame overhead — paid for with a redundancy access on
+     * every codeword update (accounted in RmBank).
+     */
+    int codeword_frames = 1;
+
+    /**
+     * Two-tier read discipline: a cheap EDC probe first (detection
+     * only, same coverage as the full decode), escalating to the
+     * full ECC decode + redundancy fetch only when the probe flags
+     * an error. Never changes decode outcomes — only what latency /
+     * energy / bandwidth a clean read is charged.
+     */
+    bool two_tier = false;
+
     /** Total data domains on the stripe. */
     int dataDomains() const { return num_segments * seg_len; }
 
@@ -85,7 +106,25 @@ struct PeccConfig
     {
         return window_ports > 0 ? window_ports : correct + 1;
     }
+
+    /**
+     * Correction strength of the pooled codeword: m + log2(F) for F
+     * frames per codeword, capped at Lseg - 1 (the largest offset a
+     * per-stripe position code can represent). F = 1 is exactly m.
+     */
+    int effectiveCorrect() const;
 };
+
+/**
+ * Non-fatal geometry diagnosis for spec-driven configuration: empty
+ * string when `config` (against a bank group of `frames_per_group`
+ * frames; pass 0 to skip the group checks) is realisable, otherwise
+ * one human-readable reason. Mirrors the rtm_fatal checks in
+ * computeLayout but lets spec parsing report a dotted-path error and
+ * exit 2 instead of aborting.
+ */
+std::string protectionGeometryError(const PeccConfig &config,
+                                    int frames_per_group);
 
 /** Fully resolved stripe geometry. */
 struct PeccLayout
@@ -126,6 +165,34 @@ struct PeccLayout
 
     /** Storage overhead: extra domains / data domains. */
     double storageOverhead() const;
+
+    // ---- multi-frame codeword accounting -----------------------------
+
+    /**
+     * Extra domains for one whole codeword of
+     * config.codeword_frames frames: one shared redundancy region
+     * sized at the pooled strength effectiveCorrect() instead of
+     * codeword_frames per-frame regions at strength m.
+     */
+    int codewordExtraDomains() const;
+
+    /**
+     * Amortised storage overhead per protected frame:
+     * codewordExtraDomains() / (codeword_frames * data domains).
+     * Equals storageOverhead() at codeword_frames = 1.
+     */
+    double codewordStorageOverhead() const;
+
+    /**
+     * Redundancy-frame accesses charged per codeword update: 0 for
+     * per-frame codes (check bits ride the frame itself), 1 once
+     * frames pool their redundancy into a shared region that lives
+     * at the codeword's base frame.
+     */
+    int redundancyAccessesPerWrite() const
+    {
+        return config.codeword_frames > 1 ? 1 : 0;
+    }
 
     /** Offset needed to read segment-local index r. */
     int offsetForIndex(int r) const;

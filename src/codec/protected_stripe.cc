@@ -115,6 +115,19 @@ ProtectedStripe::checkNow() const
     return decodeWindow(false);
 }
 
+bool
+ProtectedStripe::edcClean() const
+{
+    const auto &c = layout_.config;
+    if (c.variant == PeccVariant::None ||
+        c.variant == PeccVariant::DelIns)
+        return true;
+    const int observed = readWindowPhase(false);
+    const int expected =
+        layout_.expectedPhase(believed_offset_, code_.period());
+    return observed == expected;
+}
+
 void
 ProtectedStripe::shiftAndWriteStep(int direction)
 {

@@ -106,6 +106,17 @@ class ProtectedStripe
     DecodeResult checkNow() const;
 
     /**
+     * Cheap EDC probe of the active window: true iff the observed
+     * code phase matches the one expected at the believed offset.
+     * Detection-identical to a full decode — decodeWindow flags an
+     * error exactly when the phase mismatches — the probe just skips
+     * the error-inference/correction logic, so a two-tier read can
+     * trust a clean probe without fetching redundancy. Vacuously
+     * clean for code-less variants (None, DelIns).
+     */
+    bool edcClean() const;
+
+    /**
      * Verify-and-correct without a preceding shift: decode the active
      * window and, if an error is detected, run the bounded
      * counter-shift loop. Used by the controller's recovery ladder to

@@ -23,6 +23,9 @@ peccCheckSeconds(const PeccConfig &config)
 /** Correction logic time per counter-shift: 1.34 ns ~ 3 cycles. */
 constexpr Cycles kCorrectionLogicCycles = 3;
 
+/** Tier-1 EDC phase probe: the 0.34 ns detect slot, ~1 cycle. */
+constexpr Cycles kEdcProbeCycles = 1;
+
 } // anonymous namespace
 
 void
@@ -44,6 +47,11 @@ ControllerStats::merge(const ControllerStats &other)
     recovered_realign += other.recovered_realign;
     recovered_scrub += other.recovered_scrub;
     recovery_cycles += other.recovery_cycles;
+    edc_checks += other.edc_checks;
+    edc_passes += other.edc_passes;
+    full_decodes += other.full_decodes;
+    edc_cycles += other.edc_cycles;
+    decode_cycles += other.decode_cycles;
 }
 
 std::string
@@ -69,6 +77,8 @@ controllerLedgerViolation(const ControllerStats &stats)
         return "more realign recoveries than stage-2 pulses";
     if (stats.busy_cycles < stats.recovery_cycles)
         return "recovery cycles exceed busy cycles";
+    if (stats.edc_passes + stats.full_decodes != stats.edc_checks)
+        return "EDC probes not accounted to exactly one tier";
     return "";
 }
 
@@ -134,6 +144,30 @@ ShiftController::executePart(int direction, int part,
     }
     if (r.corrected)
         ++stats_.corrected_errors;
+
+    const auto &c = stripe_.config();
+    if (c.two_tier && (c.variant == PeccVariant::Standard ||
+                       c.variant == PeccVariant::OverheadRegion)) {
+        // Two-tier decomposition of the per-shift check. A clean
+        // probe ends the check at the detect slot already folded
+        // into the shift timing; a flagged shift escalates to the
+        // full decode and, when frames pool their check bits, the
+        // redundancy fetch from the codeword's base frame — extra
+        // latency only the (rare) error path pays.
+        ++stats_.edc_checks;
+        if (!r.detected) {
+            ++stats_.edc_passes;
+            stats_.edc_cycles += kEdcProbeCycles;
+        } else {
+            ++stats_.full_decodes;
+            Cycles tier2 = kCorrectionLogicCycles;
+            if (c.codeword_frames > 1)
+                tier2 += timing_.shiftCycles(1);
+            stats_.decode_cycles += tier2;
+            stats_.busy_cycles += tier2;
+            res.latency += tier2;
+        }
+    }
     return !r.unrecoverable;
 }
 

@@ -81,6 +81,20 @@ struct ControllerStats
     uint64_t recovered_scrub = 0;   //!< episodes ended by rung 3
     Cycles recovery_cycles = 0;     //!< cycles spent on the ladder
 
+    // Two-tier read discipline (PeccConfig::two_tier): every checked
+    // shift runs the cheap EDC phase probe; a clean probe ends the
+    // check (edc_passes), a flagged one escalates to the full decode
+    // plus — for pooled codewords — the redundancy fetch
+    // (full_decodes). Per-tier cycles decompose the discipline's
+    // cost: edc_cycles attributes the probe time already folded into
+    // the shift timing, decode_cycles is the extra escalation
+    // latency charged on top.
+    uint64_t edc_checks = 0;   //!< tier-1 probes issued
+    uint64_t edc_passes = 0;   //!< shifts cleared by the probe alone
+    uint64_t full_decodes = 0; //!< escalations to the full decode
+    Cycles edc_cycles = 0;     //!< attributed tier-1 probe cycles
+    Cycles decode_cycles = 0;  //!< extra tier-2 escalation cycles
+
     /** Per-field sum (campaign aggregation). */
     void merge(const ControllerStats &other);
 };

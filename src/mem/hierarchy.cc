@@ -47,6 +47,13 @@ Hierarchy::Hierarchy(const HierarchyConfig &config,
         bank.frames_per_group = config_.frames_per_group;
         bank.seg_len = config_.seg_len;
         bank.scheme = config_.scheme;
+        // A uniform / llc-level scheme override replaces the bank's
+        // base scheme outright (timing and planning included);
+        // region-scoped overrides stay classification-only.
+        const ProtectionDomain &llc = config_.protection.llcDomain();
+        if (llc.has_scheme)
+            bank.scheme = llc.scheme;
+        bank.protection = config_.protection;
         bank.mttf_target_s = config_.mttf_target_s;
         bank.head_policy = config_.head_policy;
         bank.placement = config_.placement;
@@ -166,6 +173,17 @@ Hierarchy::access(int core, Addr addr, bool is_write, Cycles now)
     if (rm_bank_) {
         ShiftCost shift =
             rm_bank_->accessFrame(r3.frame_index, now);
+        // Pooled codewords fetch their shared redundancy region on
+        // every write and, unless the domain reads two-tier, on
+        // every read (the frequent EDC-clean case skips it).
+        const ProtectionDomain &pd =
+            rm_bank_->domainFor(r3.frame_index);
+        if (pd.codeword_frames > 1 && (is_write || !pd.two_tier)) {
+            ShiftCost red =
+                rm_bank_->accessRedundancy(r3.frame_index, now);
+            shift.latency += red.latency;
+            shift.energy += red.energy;
+        }
         if (config_.llc_tech == MemTech::Racetrack) {
             out.latency += shift.latency;
             out.shift_cycles = shift.latency;
@@ -181,6 +199,15 @@ Hierarchy::access(int core, Addr addr, bool is_write, Cycles now)
         if (rm_bank_) {
             ShiftCost shift =
                 rm_bank_->accessFrame(wb.frame_index, now);
+            // The install is a write: a pooled codeword always
+            // updates its redundancy region.
+            const ProtectionDomain &pd =
+                rm_bank_->domainFor(wb.frame_index);
+            if (pd.codeword_frames > 1) {
+                ShiftCost red =
+                    rm_bank_->accessRedundancy(wb.frame_index, now);
+                shift.energy += red.energy;
+            }
             if (config_.llc_tech == MemTech::Racetrack)
                 out.energy += shift.energy;
         }

@@ -58,6 +58,15 @@ struct HierarchyConfig
     /** Racetrack data-placement policy (mem/placement.hh). */
     PlacementConfig placement;
 
+    /**
+     * Protection-domain policy (mem/protection.hh). A scheme
+     * override in the uniform/llc domain replaces `scheme` for the
+     * racetrack bank; pooled-codeword domains add redundancy-frame
+     * accesses on writes (and on reads unless two-tier). The
+     * default policy changes nothing.
+     */
+    ProtectionPolicy protection;
+
     /** Passed through to RmBankConfig::use_plan_memo. */
     bool use_plan_memo = true;
 

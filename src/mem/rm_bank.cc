@@ -63,7 +63,13 @@ RmBank::RmBank(const RmBankConfig &config,
       planner_(model, timing_,
                std::max(0, schemeCorrectionStrength(config.scheme)),
                config.seg_len - 1, config.mttf_target_s),
-      reliability_model_(model, config.scheme),
+      protection_(resolveProtection(config.protection,
+                                    config.line_frames)),
+      reliability_model_(model,
+                         protection_.domains[0].has_scheme
+                             ? protection_.domains[0].scheme
+                             : config.scheme,
+                         protection_.domains[0].codeword_frames),
       policy_(policyFor(config.scheme)),
       memo_enabled_(config.use_plan_memo)
 {
@@ -73,6 +79,31 @@ RmBank::RmBank(const RmBankConfig &config,
         rtm_fatal("RmBank needs at least one frame");
     if (config_.frames_per_group % config_.seg_len != 0)
         rtm_fatal("frames_per_group must be a multiple of seg_len");
+    for (size_t i = 0; i < protection_.domains.size(); ++i) {
+        ProtectionDomain &d = protection_.domains[i];
+        const Scheme es = d.has_scheme ? d.scheme : config_.scheme;
+        if (d.codeword_frames > 1 &&
+            schemeCorrectionStrength(es) < 0) {
+            // An unprotected scheme has no code to pool: serve the
+            // domain per-frame instead of refusing the whole sweep
+            // cell (the standard matrix includes baseline options).
+            rtm_warn("protection domain %zu: scheme '%s' is "
+                     "unprotected; serving per-frame codewords",
+                     i, schemeToken(es));
+            d.codeword_frames = 1;
+            d.two_tier = false;
+        }
+        const std::string err = protectionDomainError(
+            d, config_.scheme, config_.seg_len,
+            config_.frames_per_group);
+        if (!err.empty())
+            rtm_fatal("protection domain %zu: %s", i, err.c_str());
+        if (i > 0) {
+            extra_models_.emplace_back(
+                model, d.has_scheme ? d.scheme : config_.scheme,
+                d.codeword_frames);
+        }
+    }
     uint64_t groups =
         (config_.line_frames +
          static_cast<uint64_t>(config_.frames_per_group) - 1) /
@@ -195,17 +226,42 @@ RmBank::invalidatePlanMemo()
                 reliability_model_.sequence(decomps[i]);
             pc.sdc_prob = std::exp(rel.log_sdc);
             pc.due_prob = std::exp(rel.log_due);
+            for (const ReliabilityModel &dm : extra_models_) {
+                ShiftReliability r = dm.sequence(decomps[i]);
+                pc.extra_sdc.push_back(std::exp(r.log_sdc));
+                pc.extra_due.push_back(std::exp(r.log_due));
+            }
             entries.push_back(pc);
         }
 
         // Idle head drift performs d single-step shifts; cache that
         // sequence's reliability fold too (applyHeadPolicy).
-        ShiftReliability drift = reliability_model_.sequence(
-            std::vector<int>(static_cast<size_t>(d), 1));
-        drift_memo_[static_cast<size_t>(d)].sdc_prob =
-            std::exp(drift.log_sdc);
-        drift_memo_[static_cast<size_t>(d)].due_prob =
-            std::exp(drift.log_due);
+        const std::vector<int> drift_parts(static_cast<size_t>(d), 1);
+        ShiftReliability drift =
+            reliability_model_.sequence(drift_parts);
+        PlanCost &dc = drift_memo_[static_cast<size_t>(d)];
+        dc.sdc_prob = std::exp(drift.log_sdc);
+        dc.due_prob = std::exp(drift.log_due);
+        for (const ReliabilityModel &dm : extra_models_) {
+            ShiftReliability r = dm.sequence(drift_parts);
+            dc.extra_sdc.push_back(std::exp(r.log_sdc));
+            dc.extra_due.push_back(std::exp(r.log_due));
+        }
+    }
+}
+
+void
+RmBank::addMemoReliability(const PlanCost &pc, int dom)
+{
+    const double weight =
+        static_cast<double>(config_.stripes_per_group);
+    if (dom == 0) {
+        stats_.reliability.addExpected(pc.sdc_prob, pc.due_prob,
+                                       weight);
+    } else {
+        stats_.reliability.addExpected(
+            pc.extra_sdc[static_cast<size_t>(dom - 1)],
+            pc.extra_due[static_cast<size_t>(dom - 1)], weight);
     }
 }
 
@@ -243,14 +299,17 @@ RmBank::applyHeadPolicy(uint64_t group, Cycles now)
             t_shift_ops_->add(static_cast<uint64_t>(dist));
             t_shift_steps_->add(static_cast<uint64_t>(dist));
         }
+        // Domain of the group's first frame; regions snap to
+        // codeword boundaries, far finer than a group, so frames of
+        // one group rarely span domains (and drift reliability is a
+        // per-group approximation anyway).
+        const int dom = protection_.domainIndexFor(
+            group * static_cast<uint64_t>(config_.frames_per_group));
         if (memo_enabled_) {
-            const PlanCost &dm =
-                drift_memo_[static_cast<size_t>(dist)];
-            stats_.reliability.addExpected(
-                dm.sdc_prob, dm.due_prob,
-                static_cast<double>(config_.stripes_per_group));
+            addMemoReliability(drift_memo_[static_cast<size_t>(dist)],
+                               dom);
         } else {
-            ShiftReliability rel = reliability_model_.sequence(
+            ShiftReliability rel = domainModel(dom).sequence(
                 std::vector<int>(static_cast<size_t>(dist), 1));
             stats_.reliability.add(
                 rel, static_cast<double>(config_.stripes_per_group));
@@ -297,6 +356,9 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
     if (frame_index >= config_.line_frames)
         rtm_panic("frame %llu out of range",
                   static_cast<unsigned long long>(frame_index));
+    // Protection domain is keyed on the logical frame address, so
+    // it survives degradation remaps.
+    const int dom = protection_.domainIndexFor(frame_index);
     uint64_t group = groupOf(frame_index);
     if (stats_.degraded_groups > 0 && degraded_[group]) {
         // The home group has been retired: serve from its remap
@@ -374,9 +436,7 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
         cost.energy += pc->energy;
         cost.total_steps += pc->total_steps;
         cost.sub_shifts += pc->sub_shifts;
-        stats_.reliability.addExpected(
-            pc->sdc_prob, pc->due_prob,
-            static_cast<double>(config_.stripes_per_group));
+        addMemoReliability(*pc, dom);
         ++stats_.plan_memo_hits;
     } else {
         const std::vector<int> *parts = nullptr;
@@ -414,7 +474,7 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
 
         // Reliability: every stripe in the group shifts independently
         // and is an independent failure opportunity.
-        ShiftReliability rel = reliability_model_.sequence(*parts);
+        ShiftReliability rel = domainModel(dom).sequence(*parts);
         stats_.reliability.add(
             rel, static_cast<double>(config_.stripes_per_group));
     }
@@ -441,6 +501,25 @@ RmBank::accessFrame(uint64_t frame_index, Cycles now)
     return cost;
 }
 
+ShiftCost
+RmBank::accessRedundancy(uint64_t frame_index, Cycles now)
+{
+    const ProtectionDomain &d = protection_.domainFor(frame_index);
+    if (d.codeword_frames <= 1)
+        return {};
+    // The pooled check region lives in the codeword's base frame
+    // slot. codeword_frames divides frames_per_group (validated at
+    // construction), so the base frame shares the data frame's
+    // group and domain.
+    const uint64_t f = static_cast<uint64_t>(d.codeword_frames);
+    uint64_t base = (frame_index / f) * f;
+    ShiftCost cost = accessFrame(base, now);
+    ++stats_.redundancy_accesses;
+    stats_.redundancy_steps +=
+        static_cast<uint64_t>(cost.total_steps);
+    return cost;
+}
+
 void
 RmBank::chargeMigration(const PlacementMigration &m)
 {
@@ -460,13 +539,12 @@ RmBank::chargeMigration(const PlacementMigration &m)
     group_stats_[g].migration_steps += steps;
     stats_.shift_energy +=
         static_cast<double>(dist) * one_step_energy_;
+    const int dom = protection_.domainIndexFor(m.frame);
     if (memo_enabled_) {
-        const PlanCost &dm = drift_memo_[static_cast<size_t>(dist)];
-        stats_.reliability.addExpected(
-            dm.sdc_prob, dm.due_prob,
-            static_cast<double>(config_.stripes_per_group));
+        addMemoReliability(drift_memo_[static_cast<size_t>(dist)],
+                           dom);
     } else {
-        ShiftReliability rel = reliability_model_.sequence(
+        ShiftReliability rel = domainModel(dom).sequence(
             std::vector<int>(static_cast<size_t>(dist), 1));
         stats_.reliability.add(
             rel, static_cast<double>(config_.stripes_per_group));
@@ -605,6 +683,10 @@ RmBank::ledgerViolation() const
         return "degraded flags disagree with degraded_groups";
     if (stats_.remapped_accesses > stats_.accesses)
         return "more remapped accesses than accesses";
+    if (stats_.redundancy_accesses > stats_.accesses)
+        return "more redundancy accesses than accesses";
+    if (stats_.redundancy_steps > stats_.shift_steps)
+        return "redundancy steps exceed total shift steps";
     return "";
 }
 

@@ -31,6 +31,7 @@
 #include "control/sts.hh"
 #include "device/error_model.hh"
 #include "mem/placement.hh"
+#include "mem/protection.hh"
 #include "model/reliability.hh"
 #include "model/tech.hh"
 #include "util/stats.hh"
@@ -71,6 +72,13 @@ struct RmBankStats
     // also folded into shift_ops/shift_steps/shift_energy.
     uint64_t migrations = 0;      //!< frames moved
     uint64_t migration_steps = 0; //!< shift steps spent migrating
+
+    // Protection domains: accesses spent fetching the shared
+    // redundancy region of a pooled codeword (a real access served
+    // through the normal shift path; also counted in accesses /
+    // shift_steps above).
+    uint64_t redundancy_accesses = 0;
+    uint64_t redundancy_steps = 0;
 };
 
 /** Per-group slice of the bank aggregates (ledger validation). */
@@ -112,6 +120,16 @@ struct RmBankConfig
      * layout bit-identically.
      */
     PlacementConfig placement;
+
+    /**
+     * Protection-domain policy (mem/protection.hh): per-region
+     * codeword geometry and scheme overrides. Overrides affect each
+     * domain's reliability classification only; plan decomposition
+     * and shift timing always follow `scheme`. The default
+     * (uniform, single-frame codewords) reproduces the historical
+     * accounting bit-identically.
+     */
+    ProtectionPolicy protection;
 
     /**
      * Model per-group occupancy: a request arriving while the
@@ -170,6 +188,18 @@ class RmBank
      */
     ShiftCost accessFrame(uint64_t frame_index, Cycles now);
 
+    /**
+     * Serve the redundancy-region fetch a pooled codeword needs on
+     * top of the data access to `frame_index` (writes always; reads
+     * only when the domain is not two-tier). The shared check
+     * region lives in the codeword's base frame's slot, so this is
+     * a real access — head movement, shifts, energy, reliability —
+     * through the normal path, tallied separately in
+     * `redundancy_accesses` / `redundancy_steps`. No-op ({}) when
+     * the frame's domain keeps the paper's single-frame codewords.
+     */
+    ShiftCost accessRedundancy(uint64_t frame_index, Cycles now);
+
     /** Statistics accumulated so far. */
     const RmBankStats &stats() const { return stats_; }
 
@@ -204,6 +234,18 @@ class RmBank
 
     /** The placement policy in effect (introspection/benches). */
     const PlacementPolicy &placement() const { return *placement_; }
+
+    /** Protection domain governing `frame` (resolved policy). */
+    const ProtectionDomain &domainFor(uint64_t frame) const
+    {
+        return protection_.domainFor(frame);
+    }
+
+    /** The resolved protection table (introspection/benches). */
+    const ResolvedProtection &protection() const
+    {
+        return protection_;
+    }
 
     /**
      * Per-frame access counts accumulated by a tracking placement
@@ -272,13 +314,23 @@ class RmBank
         int sub_shifts = 0;
         double sdc_prob = 0.0; //!< exp(sequence log_sdc)
         double due_prob = 0.0; //!< exp(sequence log_due)
+        /** Per-extra-domain fold (index i-1 holds domain i); empty
+         *  under the default single-domain policy, so the hot path
+         *  pays nothing for the feature it does not use. */
+        std::vector<double> extra_sdc;
+        std::vector<double> extra_due;
     };
     RmBankConfig config_;
     const PositionErrorModel *model_;
     TechParams tech_;
     StsTiming timing_;
     ShiftPlanner planner_;
+    /** Resolved protection table; domain 0 is the base domain. */
+    ResolvedProtection protection_;
+    /** Domain 0's reliability model (the base/llc domain). */
     ReliabilityModel reliability_model_;
+    /** Models for domains 1..N-1 (empty under the default policy). */
+    std::vector<ReliabilityModel> extra_models_;
     ShiftPolicy policy_;
     int worst_case_distance_;
 
@@ -344,6 +396,17 @@ class RmBank
 
     uint64_t groupOf(uint64_t frame) const;
     int indexInGroup(uint64_t frame) const;
+
+    /** Reliability model of protection domain `dom`. */
+    const ReliabilityModel &domainModel(int dom) const
+    {
+        return dom == 0 ? reliability_model_
+                        : extra_models_[static_cast<size_t>(dom - 1)];
+    }
+
+    /** Fold one memoised decomposition into the reliability ledger
+     *  under domain `dom`'s model. */
+    void addMemoReliability(const PlanCost &pc, int dom);
 
     /** Apply the idle head-drift policy before serving at `now`. */
     void applyHeadPolicy(uint64_t group, Cycles now);

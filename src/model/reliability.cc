@@ -24,7 +24,8 @@ ShiftReliability::none()
 }
 
 ReliabilityModel::ReliabilityModel(const PositionErrorModel *model,
-                                   Scheme scheme)
+                                   Scheme scheme,
+                                   int codeword_frames)
     : model_(model), scheme_(scheme)
 {
     if (!model_)
@@ -34,6 +35,26 @@ ReliabilityModel::ReliabilityModel(const PositionErrorModel *model,
     if (code_ && code_->correctionRadius() != correct_)
         rtm_panic("shift code radius %d disagrees with scheme "
                   "strength %d", code_->correctionRadius(), correct_);
+    if (codeword_frames > 1 && code_ && correct_ >= 0) {
+        // Pooled codewords: F frames share one redundancy region
+        // whose extra check bits buy log2(F) more correction radius
+        // (spec validation already rejected geometries where the
+        // boosted radius does not fit the stripe tail). Re-derive
+        // the code at the boosted strength so the classification
+        // walk below sees the larger radius.
+        int boost = 0;
+        for (int f = codeword_frames; f > 1; f >>= 1)
+            ++boost;
+        correct_ += boost;
+        if (scheme == Scheme::DelIns) {
+            code_ = std::make_shared<DelInsShiftCode>(correct_);
+        } else {
+            int w = 1;
+            while ((1 << w) < 2 * correct_ + 2)
+                ++w;
+            code_ = std::make_shared<CyclicPositionCode>(w, correct_);
+        }
+    }
     // Residue period of the paper's w = m + 1 codes; the lm-pos
     // default (w = 3, m = 2) happens to share it. Kept for
     // introspection only - the decomposition below asks the shift

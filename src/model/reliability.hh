@@ -57,8 +57,15 @@ class ReliabilityModel
     /**
      * @param model error model (per-distance step-error rates)
      * @param scheme protection scheme (decides m and decomposition)
+     * @param codeword_frames frames pooling one codeword: F > 1
+     *        boosts the correction radius by log2(F) (the shared
+     *        redundancy region of a large codeword holds that many
+     *        more check bits per position), re-deriving the code the
+     *        decomposition classifies against. 1 is the paper's
+     *        per-frame code, bit-identical to the two-arg form.
      */
-    ReliabilityModel(const PositionErrorModel *model, Scheme scheme);
+    ReliabilityModel(const PositionErrorModel *model, Scheme scheme,
+                     int codeword_frames = 1);
 
     /** Failure decomposition of a single N-step shift operation. */
     ShiftReliability shiftOp(int distance) const;

@@ -544,6 +544,104 @@ parseResilienceSection(const JsonValue &v, ResilienceSpec *s,
                          "cell_deadline_ms", "run_deadline_ms"});
 }
 
+/** Append a domain's keys to an (already started) object. */
+void
+setProtectionDomainKeys(JsonValue *v, const ProtectionDomain &d)
+{
+    if (d.has_scheme)
+        v->set("scheme", schemeToken(d.scheme));
+    v->set("codeword_frames", d.codeword_frames);
+    v->set("two_tier", d.two_tier);
+}
+
+/**
+ * Parse the domain keys of `r`'s object (scheme / codeword_frames /
+ * two_tier) and validate the geometry they imply against the fixed
+ * hierarchy defaults (Lseg, frames per group); the bank re-validates
+ * at construction against its actual scheme, this front-loads the
+ * typed diagnostic.
+ */
+void
+parseProtectionDomain(SpecReader &r, ProtectionDomain *d)
+{
+    if (r.has("scheme")) {
+        std::string token;
+        r.readString("scheme", &token);
+        if (!schemeFromToken(token, &d->scheme))
+            r.fail("scheme", "unknown scheme '" + token + "'");
+        else
+            d->has_scheme = true;
+    }
+    r.readInt("codeword_frames", &d->codeword_frames);
+    r.readBool("two_tier", &d->two_tier);
+    const HierarchyConfig geometry;
+    const std::string err = protectionDomainError(
+        *d, Scheme::PeccSAdaptive, geometry.seg_len,
+        geometry.frames_per_group);
+    if (!err.empty())
+        r.fail("codeword_frames", err);
+}
+
+void
+parseProtectionSection(const JsonValue &v, ProtectionPolicy *p,
+                       std::string *diag)
+{
+    SpecReader r(v, "protection", diag);
+    std::string kind_token = protectionKindToken(p->kind);
+    r.readString("kind", &kind_token);
+    if (!protectionKindFromToken(kind_token, &p->kind))
+        r.fail("kind", "unknown protection kind '" + kind_token +
+                           "' (uniform | per-level | regions)");
+    if (const JsonValue *u = r.child("uniform", JsonType::Object)) {
+        SpecReader ur(*u, "protection.uniform", diag);
+        parseProtectionDomain(ur, &p->uniform);
+        ur.rejectUnknownKeys(
+            {"scheme", "codeword_frames", "two_tier"});
+    }
+    if (const JsonValue *arr = r.child("levels", JsonType::Array)) {
+        p->levels.clear();
+        for (size_t i = 0; i < arr->size(); ++i) {
+            SpecReader lr(arr->at(i),
+                          "protection.levels[" + std::to_string(i) +
+                              "]",
+                          diag);
+            ProtectionLevel level;
+            lr.readString("level", &level.level);
+            if (level.level != "l1" && level.level != "l2" &&
+                level.level != "llc")
+                lr.fail("level", "unknown cache level '" +
+                                     level.level +
+                                     "' (l1 | l2 | llc)");
+            parseProtectionDomain(lr, &level.domain);
+            lr.rejectUnknownKeys(
+                {"level", "scheme", "codeword_frames", "two_tier"});
+            p->levels.push_back(std::move(level));
+        }
+    }
+    if (const JsonValue *arr = r.child("regions", JsonType::Array)) {
+        p->regions.clear();
+        for (size_t i = 0; i < arr->size(); ++i) {
+            SpecReader rr(arr->at(i),
+                          "protection.regions[" +
+                              std::to_string(i) + "]",
+                          diag);
+            ProtectionRegion region;
+            rr.readDouble("begin", &region.begin);
+            rr.readDouble("end", &region.end);
+            if (region.begin < 0.0 || region.begin >= 1.0)
+                rr.fail("begin", "must be in [0, 1)");
+            if (region.end <= region.begin || region.end > 1.0)
+                rr.fail("end", "must be in (begin, 1]");
+            parseProtectionDomain(rr, &region.domain);
+            rr.rejectUnknownKeys(
+                {"begin", "end", "scheme", "codeword_frames",
+                 "two_tier"});
+            p->regions.push_back(region);
+        }
+    }
+    r.rejectUnknownKeys({"kind", "uniform", "levels", "regions"});
+}
+
 } // anonymous namespace
 
 // --- engine ----------------------------------------------------------
@@ -833,6 +931,39 @@ experimentSpecToJson(const ExperimentSpec &spec_in)
     rs.set("run_deadline_ms", spec.resilience.run_deadline_ms);
     doc.set("resilience", std::move(rs));
 
+    // Omitted entirely under the default policy so pre-existing
+    // specs keep their emitted bytes (and resume-journal hashes).
+    if (spec.protection != ProtectionPolicy{}) {
+        JsonValue pr = JsonValue::object();
+        pr.set("kind", protectionKindToken(spec.protection.kind));
+        JsonValue uni = JsonValue::object();
+        setProtectionDomainKeys(&uni, spec.protection.uniform);
+        pr.set("uniform", std::move(uni));
+        if (!spec.protection.levels.empty()) {
+            JsonValue levels = JsonValue::array();
+            for (const ProtectionLevel &l : spec.protection.levels) {
+                JsonValue lv = JsonValue::object();
+                lv.set("level", l.level);
+                setProtectionDomainKeys(&lv, l.domain);
+                levels.push(std::move(lv));
+            }
+            pr.set("levels", std::move(levels));
+        }
+        if (!spec.protection.regions.empty()) {
+            JsonValue regions = JsonValue::array();
+            for (const ProtectionRegion &g :
+                 spec.protection.regions) {
+                JsonValue rv = JsonValue::object();
+                rv.set("begin", g.begin);
+                rv.set("end", g.end);
+                setProtectionDomainKeys(&rv, g.domain);
+                regions.push(std::move(rv));
+            }
+            pr.set("regions", std::move(regions));
+        }
+        doc.set("protection", std::move(pr));
+    }
+
     JsonValue tel = JsonValue::object();
     tel.set("metrics", spec.metrics_path);
     tel.set("trace", spec.trace_path);
@@ -864,6 +995,9 @@ experimentSpecFromJson(const JsonValue &doc, ExperimentSpec *spec,
     if (const JsonValue *r =
             top.child("resilience", JsonType::Object))
         parseResilienceSection(*r, &out.resilience, d);
+    if (const JsonValue *p =
+            top.child("protection", JsonType::Object))
+        parseProtectionSection(*p, &out.protection, d);
     if (const JsonValue *t =
             top.child("telemetry", JsonType::Object)) {
         SpecReader tr(*t, "telemetry", d);
@@ -873,8 +1007,8 @@ experimentSpecFromJson(const JsonValue &doc, ExperimentSpec *spec,
     }
     top.readString("output", &out.output_path);
     top.rejectUnknownKeys({"name", "matrix", "campaign", "stress",
-                           "montecarlo", "resilience", "telemetry",
-                           "output"});
+                           "montecarlo", "resilience", "protection",
+                           "telemetry", "output"});
     if (!d->empty())
         return false;
     normalizeExperimentSpec(&out);
@@ -1233,6 +1367,13 @@ simResultToJson(const std::string &workload, const LlcOption &opt,
     v.set("shifts_per_access", r.shiftsPerAccess());
     v.set("migrations", r.migrations);
     v.set("migration_steps", r.migration_steps);
+    // Only present under a pooled-codeword protection domain, so
+    // pre-existing result documents (and their digests) keep their
+    // exact bytes under the default policy.
+    if (r.redundancy_accesses > 0 || r.redundancy_steps > 0) {
+        v.set("redundancy_accesses", r.redundancy_accesses);
+        v.set("redundancy_steps", r.redundancy_steps);
+    }
     v.set("cache_dynamic_energy", r.cache_dynamic_energy);
     v.set("llc_shift_energy", r.llc_shift_energy);
     v.set("dram_energy", r.dram_energy);
@@ -1280,6 +1421,8 @@ simResultFromJson(const JsonValue &doc, SimResult *out)
     u64("shift_cycles", &r.shift_cycles);
     u64("migrations", &r.migrations);
     u64("migration_steps", &r.migration_steps);
+    u64("redundancy_accesses", &r.redundancy_accesses);
+    u64("redundancy_steps", &r.redundancy_steps);
     dbl("cache_dynamic_energy", &r.cache_dynamic_energy);
     dbl("llc_shift_energy", &r.llc_shift_energy);
     dbl("dram_energy", &r.dram_energy);
@@ -1564,7 +1707,8 @@ runExperiment(const ExperimentSpec &spec_in,
         appendMatrixJobs(engine, &res.matrix, profiles,
                          spec.matrix.options, matrix_model,
                          spec.matrix.requests, spec.matrix.warmup,
-                         spec.matrix.divisor, spec.matrix.seed);
+                         spec.matrix.divisor, spec.matrix.seed,
+                         spec.protection);
     }
     if (spec.campaign.enabled) {
         res.has_campaign = true;

@@ -342,6 +342,16 @@ struct ExperimentSpec
     McSpec montecarlo;
     ResilienceSpec resilience;
 
+    /**
+     * Protection-domain policy applied to every racetrack matrix
+     * cell (mem/protection.hh): uniform, per-cache-level, or
+     * per-address-region codeword geometry and scheme overrides.
+     * The default policy is the paper's per-frame configuration —
+     * it is omitted from the emitted JSON, so pre-existing specs
+     * keep their bytes and their resume-journal hashes.
+     */
+    ProtectionPolicy protection;
+
     // Output sinks (empty = disabled).
     std::string metrics_path; //!< telemetry registry JSON
     std::string trace_path;   //!< Chrome trace_event JSON
@@ -353,6 +363,7 @@ struct ExperimentSpec
                campaign == o.campaign && stress == o.stress &&
                montecarlo == o.montecarlo &&
                resilience == o.resilience &&
+               protection == o.protection &&
                metrics_path == o.metrics_path &&
                trace_path == o.trace_path &&
                output_path == o.output_path;

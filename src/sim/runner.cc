@@ -67,7 +67,7 @@ appendMatrixJobs(ExperimentEngine &engine,
                  const std::vector<LlcOption> &options,
                  const PositionErrorModel *model, uint64_t requests,
                  uint64_t warmup, uint64_t capacity_divisor,
-                 uint64_t seed)
+                 uint64_t seed, const ProtectionPolicy &protection)
 {
     // Every (workload, option) cell is an independent simulation:
     // simulate() builds its own hierarchy and RNG state per call and
@@ -91,8 +91,9 @@ appendMatrixJobs(ExperimentEngine &engine,
         ExperimentEngine::Cell job;
         job.label = profile.name + "/" + opt.label;
         job.body = [slot, opt, profile, model, requests, warmup,
-                    capacity_divisor, seed, matrix_start,
-                    cell](TelemetryScope shard, StopFlag *stop) {
+                    capacity_divisor, seed, matrix_start, cell,
+                    protection](TelemetryScope shard,
+                                StopFlag *stop) {
             ScopedPhase cell_phase("runner.cell");
             WorkloadProfile run_profile =
                 scaledProfile(profile, capacity_divisor);
@@ -106,6 +107,7 @@ appendMatrixJobs(ExperimentEngine &engine,
             cfg.hierarchy.placement.swap_budget =
                 opt.placement_swap_budget;
             cfg.hierarchy.capacity_divisor = capacity_divisor;
+            cfg.hierarchy.protection = protection;
             cfg.mem_requests = requests;
             cfg.warmup_requests = warmup;
             cfg.seed = seed;

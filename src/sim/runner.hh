@@ -102,6 +102,10 @@ runMatrix(const std::vector<LlcOption> &options,
  * is a thin append + run wrapper.
  *
  * `rows` must stay at a stable address until the engine has run.
+ *
+ * `protection` applies to every racetrack cell (the spec-level
+ * protection-domain policy); the default policy is the paper's
+ * per-frame configuration and changes nothing.
  */
 void appendMatrixJobs(ExperimentEngine &engine,
                       std::vector<WorkloadMatrixRow> *rows,
@@ -109,7 +113,8 @@ void appendMatrixJobs(ExperimentEngine &engine,
                       const std::vector<LlcOption> &options,
                       const PositionErrorModel *model,
                       uint64_t requests, uint64_t warmup,
-                      uint64_t capacity_divisor, uint64_t seed);
+                      uint64_t capacity_divisor, uint64_t seed,
+                      const ProtectionPolicy &protection = {});
 
 /** Geometric mean over positive values. */
 double geomean(const std::vector<double> &values);

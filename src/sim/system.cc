@@ -156,6 +156,10 @@ runSim(const std::string &name, const SimConfig &config,
         res.migrations = s.migrations - warm_rm.migrations;
         res.migration_steps =
             s.migration_steps - warm_rm.migration_steps;
+        res.redundancy_accesses =
+            s.redundancy_accesses - warm_rm.redundancy_accesses;
+        res.redundancy_steps =
+            s.redundancy_steps - warm_rm.redundancy_steps;
 
         // Reliability: expected events accumulated during the
         // measured phase over the measured time span.

@@ -62,6 +62,12 @@ struct SimResult
     uint64_t migrations = 0;
     uint64_t migration_steps = 0;
 
+    // Pooled-codeword redundancy traffic (racetrack LLC under a
+    // multi-frame protection domain; zero under the default
+    // per-frame policy). Counted inside llc/shift totals too.
+    uint64_t redundancy_accesses = 0;
+    uint64_t redundancy_steps = 0;
+
     // Reliability (racetrack only; +inf otherwise).
     Seconds sdc_mttf = 0.0;
     Seconds due_mttf = 0.0;

@@ -79,6 +79,73 @@ TEST(Layout, PeccOWinsAtLargeSegments)
     EXPECT_GT(std64.extraDomains(), 4 * ovr64.extraDomains());
 }
 
+TEST(Layout, CodewordAccountingReducesToPerFrameAtOneFrame)
+{
+    PeccLayout lay =
+        computeLayout(cfg(8, 8, 1, PeccVariant::Standard));
+    EXPECT_EQ(lay.config.effectiveCorrect(), 1);
+    EXPECT_EQ(lay.codewordExtraDomains(), lay.extraDomains());
+    EXPECT_DOUBLE_EQ(lay.codewordStorageOverhead(),
+                     lay.storageOverhead());
+    EXPECT_EQ(lay.redundancyAccessesPerWrite(), 0);
+}
+
+TEST(Layout, PooledStrengthGrowsLogarithmically)
+{
+    for (int frames : {2, 4, 8}) {
+        PeccConfig c = cfg(8, 8, 1, PeccVariant::Standard);
+        c.codeword_frames = frames;
+        int boost = 0;
+        for (int f = frames; f > 1; f >>= 1)
+            ++boost;
+        EXPECT_EQ(c.effectiveCorrect(), 1 + boost)
+            << "F " << frames;
+        EXPECT_EQ(computeLayout(c).redundancyAccessesPerWrite(), 1);
+    }
+    // The pooled strength is capped by what a per-stripe position
+    // code can represent (Lseg - 1).
+    PeccConfig tight = cfg(8, 4, 2, PeccVariant::Standard);
+    tight.codeword_frames = 8;
+    EXPECT_EQ(tight.effectiveCorrect(), 3);
+}
+
+TEST(Layout, CodewordOverheadFallsMonotonicallyWithFrames)
+{
+    double prev = 1e9;
+    for (int frames : {1, 2, 4, 8}) {
+        PeccConfig c = cfg(8, 8, 1, PeccVariant::Standard);
+        c.codeword_frames = frames;
+        PeccLayout lay = computeLayout(c);
+        const double overhead = lay.codewordStorageOverhead();
+        EXPECT_LT(overhead, prev) << "F " << frames;
+        EXPECT_GT(overhead, 0.0);
+        prev = overhead;
+    }
+}
+
+TEST(Layout, GeometryErrorDiagnosesBadCodewordFrames)
+{
+    PeccConfig good = cfg(8, 8, 1, PeccVariant::Standard);
+    good.codeword_frames = 4;
+    EXPECT_EQ(protectionGeometryError(good, 64), "");
+
+    PeccConfig odd = cfg(8, 8, 1, PeccVariant::Standard);
+    odd.codeword_frames = 3;
+    EXPECT_NE(protectionGeometryError(odd, 64), "");
+
+    PeccConfig wide = cfg(8, 8, 1, PeccVariant::Standard);
+    wide.codeword_frames = 16;
+    EXPECT_NE(protectionGeometryError(wide, 64), "");
+
+    // A codeword must divide the bank group evenly.
+    PeccConfig straddle = cfg(8, 8, 1, PeccVariant::Standard);
+    straddle.codeword_frames = 8;
+    EXPECT_NE(protectionGeometryError(straddle, 12), "");
+    // frames_per_group = 0 skips the group checks (stripe-level
+    // uses).
+    EXPECT_EQ(protectionGeometryError(straddle, 0), "");
+}
+
 TEST(Layout, BaselineHasNoProtectionCosts)
 {
     PeccLayout lay = computeLayout(cfg(8, 8, 1, PeccVariant::None));

@@ -30,6 +30,14 @@
  *   --swap-budget N   adaptive swaps per epoch     (default 4)
  *   --head-policy H   stay | return-home | center | predictive
  *                     port scheduling after access (default stay)
+ *   --protection P    uniform | two-tier | differentiated
+ *                     protection-domain policy (default uniform;
+ *                     two-tier = uniform + EDC-first reads,
+ *                     differentiated = hot quarter per-frame, cold
+ *                     3/4 pooled two-tier codewords)
+ *   --codeword-frames N  frames per codeword, 1|2|4|8 (default 1;
+ *                     under `differentiated` this sizes the cold
+ *                     region's codewords)
  *   --out PATH        unified result JSON (spec runs)
  *   --metrics PATH    write the telemetry registry as JSON
  *   --trace-out PATH  write traced events in Chrome trace_event
@@ -68,6 +76,7 @@
 #include "codec/layout.hh"
 #include "control/planner.hh"
 #include "device/error_model.hh"
+#include "mem/protection.hh"
 #include "model/area.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
@@ -125,6 +134,34 @@ headPolicyOrExit(const std::string &s)
                      "unknown head policy '%s' (stay | return-home | "
                      "center | predictive)\n",
                      s.c_str());
+        std::exit(2);
+    }
+    return policy;
+}
+
+/**
+ * Build a ProtectionPolicy from --protection / --codeword-frames.
+ * Only called when at least one of the two flags is present, so a
+ * bare `rtmsim run` keeps the default (empty) policy and its golden
+ * digests.
+ */
+ProtectionPolicy
+protectionOrExit(const CliFlags &flags)
+{
+    const int frames = flags.getInt("codeword-frames", 1);
+    const std::string token = flags.get("protection", "uniform");
+    ProtectionPolicy policy;
+    if (token == "uniform" || token == "two-tier") {
+        policy.kind = ProtectionScopeKind::Uniform;
+        policy.uniform.codeword_frames = frames;
+        policy.uniform.two_tier = token == "two-tier";
+    } else if (token == "differentiated") {
+        policy = differentiatedPolicy(frames > 1 ? frames : 8);
+    } else {
+        std::fprintf(stderr,
+                     "unknown protection '%s' (uniform | two-tier | "
+                     "differentiated)\n",
+                     token.c_str());
         std::exit(2);
     }
     return policy;
@@ -189,6 +226,8 @@ applyRunOverrides(const CliFlags &flags, ExperimentSpec *spec)
                             opt.placement_swap_budget)));
         }
     }
+    if (flags.has("protection") || flags.has("codeword-frames"))
+        spec->protection = protectionOrExit(flags);
     if (flags.has("mc-tier")) {
         const std::string token = flags.get("mc-tier", "exact");
         McTier tier;
@@ -401,7 +440,7 @@ cmdRun(int argc, char **argv)
          "divisor", "seed", "out", "metrics", "trace-out",
          "mc-tier", "mc-trials", "stream-out", "resume",
          "placement", "placement-epoch", "swap-budget",
-         "head-policy"});
+         "head-policy", "protection", "codeword-frames"});
 
     if (flags.has("spec")) {
         ExperimentSpec spec =
@@ -423,6 +462,8 @@ cmdRun(int argc, char **argv)
         static_cast<int>(flags.getU64("swap-budget", 4));
     cfg.hierarchy.head_policy =
         headPolicyOrExit(flags.get("head-policy", "stay"));
+    if (flags.has("protection") || flags.has("codeword-frames"))
+        cfg.hierarchy.protection = protectionOrExit(flags);
     cfg.mem_requests = flags.getU64("requests", 60000);
     cfg.warmup_requests = cfg.mem_requests / 10;
     cfg.seed = flags.getU64("seed", 42);
@@ -475,6 +516,12 @@ cmdRun(int argc, char **argv)
                     static_cast<unsigned long long>(r.migrations),
                     static_cast<unsigned long long>(
                         r.migration_steps));
+    if (r.redundancy_accesses)
+        std::printf("redundancy      %llu accesses (%llu steps)\n",
+                    static_cast<unsigned long long>(
+                        r.redundancy_accesses),
+                    static_cast<unsigned long long>(
+                        r.redundancy_steps));
     std::printf("energy          %.3g J dynamic, %.3g J shift, "
                 "%.3g J leakage, %.3g J DRAM\n",
                 r.cache_dynamic_energy, r.llc_shift_energy,
@@ -644,6 +691,8 @@ usage()
         "[--placement-epoch N]\n"
         "             [--swap-budget N] "
         "[--head-policy stay|return-home|center|predictive]\n"
+        "             [--protection uniform|two-tier|"
+        "differentiated] [--codeword-frames 1|2|4|8]\n"
         "             [--mc-tier exact|fast] [--mc-trials N]\n"
         "             [--stream-out J.jsonl|none] "
         "[--resume J.jsonl]\n"
